@@ -1,0 +1,16 @@
+"""Shared constants/helpers importable from benchmark modules."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "192"))
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a paper-style table next to the benchmark outputs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+Grid size defaults keep a full ``pytest benchmarks/ --benchmark-only``
+run in the minutes range; set ``REPRO_BENCH_N`` (cells per side) to scale
+toward the paper's 2048.  Every module also writes its paper-style table
+to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import BENCH_N
+from repro.harness.overhead import tealeaf_like_matrix
+
+
+@pytest.fixture(scope="session")
+def bench_matrix():
+    """One TeaLeaf-shaped operator shared across benchmark modules."""
+    return tealeaf_like_matrix(BENCH_N)
+
+
+@pytest.fixture(scope="session")
+def bench_x(bench_matrix):
+    return np.random.default_rng(11).standard_normal(bench_matrix.n_cols)

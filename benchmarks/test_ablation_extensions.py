@@ -1,0 +1,78 @@
+"""Ablations over the extension surface: formats, index widths, CRC modes.
+
+* CSR vs COO vs 64-bit-index CSR protection cost for the same operator
+  (the storage-format dimension of prior work + the §V.B extension);
+* CRC operating points 5ED / 1EC4ED / 2EC3ED: identical check cost on
+  clean data (the paper's point that correction capability is free until
+  an error actually occurs), diverging only in the repair path.
+"""
+
+import numpy as np
+import pytest
+
+from _common import BENCH_N
+from repro.bits.float_bits import f64_to_u64
+from repro.csr.coo import COOMatrix
+from repro.protect import (
+    ProtectedCOOMatrix,
+    ProtectedCSRElements64,
+    ProtectedCSRMatrix,
+)
+from repro.protect.csr_elements import ProtectedCSRElements
+
+
+@pytest.fixture(scope="module")
+def coo_matrix(bench_matrix):
+    return COOMatrix.from_csr(bench_matrix)
+
+
+def test_check_csr_secded(benchmark, bench_matrix):
+    benchmark.group = "ablation-format-check"
+    pmat = ProtectedCSRMatrix(bench_matrix, "secded64", "secded64")
+    benchmark(pmat.check_all, False)
+
+
+def test_check_coo_secded128(benchmark, coo_matrix):
+    benchmark.group = "ablation-format-check"
+    pmat = ProtectedCOOMatrix(coo_matrix, "secded128")
+    benchmark(pmat.check_all, False)
+
+
+def test_check_csr64_secded(benchmark, bench_matrix):
+    benchmark.group = "ablation-format-check"
+    prot = ProtectedCSRElements64(
+        bench_matrix.values.copy(),
+        bench_matrix.colidx.astype(np.uint64),
+        bench_matrix.rowptr.astype(np.uint64),
+        bench_matrix.n_cols,
+        "secded",
+    )
+    benchmark(prot.check, False)
+
+
+@pytest.mark.parametrize("mode", ["5ED", "1EC4ED", "2EC3ED"])
+def test_crc_mode_clean_check(benchmark, bench_matrix, mode):
+    """On clean data every mode costs the same - correction is off-path."""
+    benchmark.group = "ablation-crc-mode-clean"
+    prot = ProtectedCSRElements(
+        bench_matrix.values.copy(), bench_matrix.colidx.copy(),
+        bench_matrix.rowptr, bench_matrix.n_cols, "crc32c", crc_mode=mode,
+    )
+    benchmark(prot.check, True)
+
+
+@pytest.mark.parametrize("mode", ["1EC4ED", "2EC3ED"])
+def test_crc_mode_repair_path(benchmark, bench_matrix, mode):
+    """With one corrupted row, locating costs O(1) vs O(bits) per mode."""
+    benchmark.group = "ablation-crc-mode-repair"
+    prot = ProtectedCSRElements(
+        bench_matrix.values.copy(), bench_matrix.colidx.copy(),
+        bench_matrix.rowptr, bench_matrix.n_cols, "crc32c", crc_mode=mode,
+    )
+
+    def corrupt_and_check():
+        f64_to_u64(prot.values)[10] ^= np.uint64(1) << np.uint64(17)
+        return prot.check(True)
+
+    report = benchmark(corrupt_and_check)
+    assert report.ok

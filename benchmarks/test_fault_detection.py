@@ -1,0 +1,68 @@
+"""FI — fault-injection campaign benchmarks.
+
+Not a paper figure, but the substrate of its resilience claims: campaign
+throughput per scheme, and a summary table of detection/correction rates
+(written to ``benchmarks/results/fault_campaigns.txt``).
+"""
+
+import numpy as np
+import pytest
+
+from _common import write_report
+from repro.csr import five_point_operator
+from repro.faults import (
+    MultiBitFlip,
+    Region,
+    SingleBitFlip,
+    run_matrix_campaign,
+    run_vector_campaign,
+)
+
+SCHEMES = ["sed", "secded64", "secded128", "crc32c"]
+
+
+def _matrix():
+    rng = np.random.default_rng(21)
+    return five_point_operator(
+        16, 16, rng.uniform(0.5, 2.0, (16, 16)), rng.uniform(0.5, 2.0, (16, 16)), 0.3
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_campaign_throughput_matrix(benchmark, scheme):
+    benchmark.group = "fi-campaign-throughput"
+    matrix = _matrix()
+    benchmark.pedantic(
+        run_matrix_campaign,
+        args=(matrix, scheme, scheme, Region.VALUES, SingleBitFlip()),
+        kwargs={"n_trials": 50},
+        iterations=1, rounds=3,
+    )
+
+
+def test_fault_campaign_report(benchmark):
+    benchmark.group = "fi-report"
+    matrix = _matrix()
+    rng = np.random.default_rng(22)
+    vector = rng.standard_normal(256)
+
+    def run():
+        lines = ["FI: fault-injection campaign summary (200 trials each)"]
+        for scheme in SCHEMES:
+            res = run_matrix_campaign(
+                matrix, scheme, scheme, Region.VALUES, SingleBitFlip(), n_trials=200
+            )
+            lines.append(res.row())
+        for scheme in SCHEMES:
+            res = run_matrix_campaign(
+                matrix, scheme, scheme, Region.VALUES,
+                MultiBitFlip(k=2, spread=0), n_trials=200,
+            )
+            lines.append(res.row())
+        for scheme in SCHEMES:
+            res = run_vector_campaign(vector, scheme, SingleBitFlip(), n_trials=200)
+            lines.append(res.row())
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(run, iterations=1, rounds=1)
+    write_report("fault_campaigns", text)

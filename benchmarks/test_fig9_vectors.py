@@ -1,0 +1,75 @@
+"""Fig. 9 — execution-time overheads of dense-vector protection.
+
+The benchmark body is one CG-iteration kernel mix over protected vectors
+(check-on-read, re-encode-on-write), versus the plain NumPy baseline.
+"""
+
+import numpy as np
+import pytest
+
+from _common import BENCH_N, write_report
+from repro.harness.experiments import run_experiment
+from repro.harness.report import format_table
+from repro.protect.vector import ProtectedVector
+
+SCHEMES = ["sed", "secded64", "secded128", "crc32c"]
+
+
+def _cg_body_plain(matrix, x, r, p):
+    w = matrix.matvec(p)
+    alpha = float(np.dot(r, r)) / float(np.dot(p, w))
+    x = x + alpha * p
+    r = r - alpha * w
+    beta = float(np.dot(r, r))
+    p = r + (beta + 1e-30) * p
+    return x, r, p
+
+
+def test_cg_body_baseline(benchmark, bench_matrix, bench_x):
+    benchmark.group = "fig9-vector-protection"
+    r0 = np.random.default_rng(12).standard_normal(bench_matrix.n_cols)
+
+    def run():
+        x, r, p = bench_x.copy(), r0.copy(), r0.copy()
+        for _ in range(2):
+            x, r, p = _cg_body_plain(bench_matrix, x, r, p)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_cg_body_protected_vectors(benchmark, bench_matrix, bench_x, scheme):
+    benchmark.group = "fig9-vector-protection"
+    r0 = np.random.default_rng(12).standard_normal(bench_matrix.n_cols)
+
+    def run():
+        px = ProtectedVector(bench_x, scheme)
+        pr = ProtectedVector(r0, scheme)
+        pp = ProtectedVector(r0, scheme)
+        for _ in range(2):
+            p_val = pp.values()
+            pp.check(correct=False)
+            w = bench_matrix.matvec(p_val)
+            r_val = pr.values()
+            pr.check(correct=False)
+            alpha = float(np.dot(r_val, r_val)) / float(np.dot(p_val, w))
+            px.check(correct=False)
+            px.store(px.values() + alpha * p_val)
+            r_new = r_val - alpha * w
+            pr.store(r_new)
+            beta = float(np.dot(r_new, r_new))
+            pp.store(r_new + (beta + 1e-30) * p_val)
+
+    benchmark(run)
+
+
+def test_fig9_report(benchmark):
+    benchmark.group = "fig9-report"
+    rows = benchmark.pedantic(
+        run_experiment, args=("fig9",), kwargs={"n": BENCH_N, "repeats": 3},
+        iterations=1, rounds=1,
+    )
+    write_report(
+        "fig9",
+        format_table(rows, "Fig. 9: dense vector protection overhead (per scheme)"),
+    )

@@ -1,0 +1,68 @@
+"""Fault-injection campaign: empirical detection/correction guarantees.
+
+Sprays single flips, double flips, 5-bit flips and 32-bit bursts into
+every protected structure under every scheme and tabulates the outcomes
+(DCE / DUE / SDC), reproducing the guarantee matrix the paper's scheme
+choice rests on (SED=odd-detect, SECDED=1-correct/2-detect, CRC32C=HD 6).
+
+Run:  python examples/fault_campaign.py
+"""
+
+import numpy as np
+
+from repro.csr import five_point_operator
+from repro.faults import (
+    BurstError,
+    MultiBitFlip,
+    Region,
+    SingleBitFlip,
+    run_matrix_campaign,
+    run_solver_campaign,
+    run_vector_campaign,
+)
+
+SCHEMES = ["sed", "secded64", "secded128", "crc32c"]
+TRIALS = 300
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    matrix = five_point_operator(
+        16, 16, rng.uniform(0.5, 2.0, (16, 16)), rng.uniform(0.5, 2.0, (16, 16)), 0.3
+    )
+    vector = rng.standard_normal(512)
+
+    print(f"matrix campaigns ({TRIALS} trials each), region = CSR values:")
+    for model in (SingleBitFlip(), MultiBitFlip(k=2, spread=0),
+                  MultiBitFlip(k=5, spread=0), BurstError(length=32)):
+        for scheme in SCHEMES:
+            res = run_matrix_campaign(
+                matrix, scheme, scheme, Region.VALUES, model, n_trials=TRIALS
+            )
+            print("  " + res.row())
+        print()
+
+    print("row-pointer campaigns, single flips:")
+    for scheme in SCHEMES:
+        res = run_matrix_campaign(
+            matrix, scheme, scheme, Region.ROWPTR, SingleBitFlip(), n_trials=TRIALS
+        )
+        print("  " + res.row())
+
+    print("\ndense-vector campaigns, single flips:")
+    for scheme in SCHEMES:
+        res = run_vector_campaign(vector, scheme, SingleBitFlip(), n_trials=TRIALS)
+        print("  " + res.row())
+
+    print("\nend-to-end: corrupt the matrix, run a fully protected CG solve:")
+    b = rng.standard_normal(matrix.n_rows)
+    for scheme in ("sed", "secded64"):
+        res = run_solver_campaign(matrix, b, scheme, scheme, n_trials=40)
+        rec = res.info["recovered"]
+        print(f"  {res.row()}  recovered-by-reencode={rec}")
+    print("\n(SECDED solves continue transparently; SED detects, the app "
+          "re-encodes and retries - no checkpoint/restart, the paper's point.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Production pipeline: the extension surface end to end.
+
+1. write/read a Matrix Market file (how production matrices arrive);
+2. protect it and run *any* solver unmodified via ProtectedOperator —
+   CG, Jacobi, Chebyshev and even scipy's cg over ABFT storage;
+3. the COO format (prior-work surface) and 64-bit indices
+   (the paper's >2**32-columns extension note) with live corrections.
+
+Run:  python examples/production_pipeline.py
+"""
+
+import io
+
+import numpy as np
+
+from repro.bits.float_bits import f64_to_u64
+from repro.csr import five_point_operator
+from repro.csr.coo import COOMatrix
+from repro.csr.io import read_matrix_market, write_matrix_market
+from repro.protect import (
+    CheckPolicy,
+    ProtectedCOOMatrix,
+    ProtectedCSRElements64,
+    ProtectedCSRMatrix,
+    ProtectedOperator,
+)
+from repro.solvers import cg_solve, jacobi_solve
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    A = five_point_operator(
+        24, 24, rng.uniform(0.5, 2.0, (24, 24)), rng.uniform(0.5, 2.0, (24, 24)), 0.4
+    )
+    x_true = rng.standard_normal(A.n_rows)
+    b = A.matvec(x_true)
+
+    # 1. Matrix Market round trip --------------------------------------
+    buf = io.StringIO()
+    write_matrix_market(A, buf)
+    loaded = read_matrix_market(buf.getvalue())
+    print(f"MatrixMarket round trip: shape={loaded.shape}, nnz={loaded.nnz}")
+
+    # 2. Any solver, protected, unmodified ------------------------------
+    policy = CheckPolicy(interval=1, correct=True)
+    op = ProtectedOperator(ProtectedCSRMatrix(loaded, "secded64", "secded64"), policy)
+    res_cg = cg_solve(op, b, eps=1e-22)
+    res_jac = jacobi_solve(op, b, eps=1e-22, max_iters=20000)
+    print(f"protected CG:     {res_cg.iterations} iters, "
+          f"err={np.linalg.norm(res_cg.x - x_true):.2e}")
+    print(f"protected Jacobi: {res_jac.iterations} iters, "
+          f"err={np.linalg.norm(res_jac.x - x_true):.2e}")
+    try:
+        from scipy.sparse.linalg import cg as scipy_cg
+
+        x, info = scipy_cg(op.to_scipy(), b, rtol=1e-10)
+        print(f"scipy.sparse.linalg.cg over ABFT storage: info={info}, "
+              f"err={np.linalg.norm(x - x_true):.2e}")
+    except ImportError:
+        pass
+
+    # 3a. COO protection (prior-work format) ----------------------------
+    coo = COOMatrix.from_csr(A)
+    pcoo = ProtectedCOOMatrix(coo, "secded128")
+    f64_to_u64(pcoo.values)[100] ^= np.uint64(1) << np.uint64(22)
+    report = pcoo.check_all()["coo_elements"]
+    print(f"\nCOO (secded128): injected 1 flip -> corrected {report.n_corrected}")
+
+    # 3b. 64-bit indices: columns beyond 2**32 ---------------------------
+    offset = 2**40
+    colidx64 = A.colidx.astype(np.uint64) + np.uint64(offset)
+    prot64 = ProtectedCSRElements64(
+        A.values.copy(), colidx64, A.rowptr.astype(np.uint64),
+        A.n_cols + offset, "secded",
+    )
+    prot64.colidx[50] ^= np.uint64(1) << np.uint64(39)
+    report = prot64.check()
+    print(f"CSR64 (secded, columns ~2**40): injected 1 flip -> "
+          f"corrected {report.n_corrected}")
+    print("\nsame engine, different layouts - the paper's 'easily extended' note.")
+
+
+if __name__ == "__main__":
+    main()

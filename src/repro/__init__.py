@@ -1,0 +1,18 @@
+"""repro — ABFT techniques for fully protecting sparse matrix solvers.
+
+Reproduction of Pawelczak, McIntosh-Smith, Price & Martineau,
+IEEE CLUSTER 2017 (DOI 10.1109/CLUSTER.2017.49).
+
+Public surface (see README.md for a guided tour):
+
+* :mod:`repro.protect` — the protected containers and kernels;
+* :mod:`repro.solvers` — CG (plain/protected), Jacobi, Chebyshev, PPCG;
+* :mod:`repro.tealeaf` — the TeaLeaf heat-conduction miniapp;
+* :mod:`repro.faults` — fault models, injection, campaigns;
+* :mod:`repro.platforms` — the calibrated cross-platform cost model;
+* :mod:`repro.harness` — per-figure experiment runners.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

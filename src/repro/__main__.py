@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the example scripts so every reproduction artefact is a
+single shell command away:
+
+* ``tealeaf [deck.in] [--protect]`` — run the miniapp;
+* ``overheads [--figure figN] [--grid N]`` — regenerate Figs. 4/5/9;
+* ``intervals [--figure figN] [--grid N]`` — regenerate Figs. 6/7/8;
+* ``campaign [--trials T]`` — fault-injection guarantee matrix;
+* ``anchors`` — the paper's quoted numbers vs the platform model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_tealeaf(args) -> int:
+    from repro.tealeaf import Deck, TeaLeafDriver, parse_deck
+    from repro.tealeaf.driver import Protection
+
+    if args.deck:
+        deck = parse_deck(open(args.deck).read())
+    else:
+        deck = Deck(x_cells=args.grid, y_cells=args.grid, end_step=args.steps)
+    protection = None
+    if args.protect:
+        protection = Protection(
+            element_scheme=args.scheme, rowptr_scheme=args.scheme,
+            vector_scheme=args.scheme, check_interval=args.interval,
+            correct=args.interval == 1,
+        )
+    driver = TeaLeafDriver(deck, protection)
+    summary = driver.run()
+    for s in summary.steps:
+        print(f"step {s.step}: {s.iterations} iters, residual {s.residual:.3e}, "
+              f"{s.wall_time:.3f}s")
+    fs = summary.field_summary
+    print(f"field summary: temp={fs['temp']:.9e} ie={fs['ie']:.6e} "
+          f"mass={fs['mass']:.6e}")
+    return 0
+
+
+def _cmd_overheads(args) -> int:
+    from repro.harness.experiments import run_experiment
+    from repro.harness.report import format_table
+
+    for figure in args.figures or ("fig4", "fig5", "fig9"):
+        rows = run_experiment(figure, n=args.grid, repeats=args.repeats)
+        print(format_table(rows, f"{figure}: protection overheads"))
+        print()
+    return 0
+
+
+def _cmd_intervals(args) -> int:
+    from repro.harness.experiments import run_experiment
+    from repro.harness.report import format_interval_series
+
+    for figure in args.figures or ("fig6", "fig7", "fig8"):
+        rows = run_experiment(figure, n=args.grid, repeats=args.repeats)
+        print(format_interval_series(rows, f"{figure}: overhead vs interval"))
+        print()
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    import numpy as np
+
+    from repro.csr import five_point_operator
+    from repro.faults import (
+        MultiBitFlip, Region, SingleBitFlip, run_matrix_campaign,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    matrix = five_point_operator(
+        16, 16, rng.uniform(0.5, 2.0, (16, 16)), rng.uniform(0.5, 2.0, (16, 16)), 0.3
+    )
+    for model in (SingleBitFlip(), MultiBitFlip(k=2, spread=0)):
+        for scheme in ("sed", "secded64", "secded128", "crc32c"):
+            res = run_matrix_campaign(
+                matrix, scheme, scheme, Region.VALUES, model,
+                n_trials=args.trials, seed=args.seed,
+            )
+            print(res.row())
+    return 0
+
+
+def _cmd_anchors(args) -> int:
+    from repro.platforms import PAPER_ANCHORS, predict_overhead
+
+    print(f"{'platform':>10} {'region':>8} {'scheme':>9} {'N':>4} "
+          f"{'paper':>7} {'model':>7}  source")
+    for anchor in PAPER_ANCHORS:
+        if anchor.region == "hw_ecc":
+            print(f"{anchor.platform:>10} {'hw_ecc':>8} {'':>9} {'':>4} "
+                  f"{anchor.value:7.3f} {anchor.value:7.3f}  {anchor.source}")
+            continue
+        interval = anchor.interval if anchor.interval != 999 else 128
+        pred = predict_overhead(anchor.platform, anchor.region,
+                                anchor.scheme, interval)
+        print(f"{anchor.platform:>10} {anchor.region:>8} {anchor.scheme:>9} "
+              f"{interval:>4} {anchor.value:7.3f} {pred:7.3f}  {anchor.source}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ABFT sparse-solver reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tealeaf", help="run the TeaLeaf miniapp")
+    p.add_argument("deck", nargs="?", help="tea.in deck file")
+    p.add_argument("--grid", type=int, default=96)
+    p.add_argument("--steps", type=int, default=3)
+    p.add_argument("--protect", action="store_true")
+    p.add_argument("--scheme", default="secded64")
+    p.add_argument("--interval", type=int, default=1)
+    p.set_defaults(func=_cmd_tealeaf)
+
+    p = sub.add_parser("overheads", help="Figs. 4/5/9 tables")
+    p.add_argument("--figures", nargs="*", choices=["fig4", "fig5", "fig9"])
+    p.add_argument("--grid", type=int, default=192)
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(func=_cmd_overheads)
+
+    p = sub.add_parser("intervals", help="Figs. 6/7/8 curves")
+    p.add_argument("--figures", nargs="*", choices=["fig6", "fig7", "fig8"])
+    p.add_argument("--grid", type=int, default=192)
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(func=_cmd_intervals)
+
+    p = sub.add_parser("campaign", help="fault-injection campaigns")
+    p.add_argument("--trials", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("anchors", help="paper numbers vs platform model")
+    p.set_defaults(func=_cmd_anchors)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like
+        # well-behaved Unix tools do.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

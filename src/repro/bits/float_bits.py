@@ -1,0 +1,99 @@
+"""Bit-level views of IEEE-754 float64 values.
+
+The dense-vector protection schemes (paper §VI.B, Fig. 3) store redundancy
+in the *least-significant mantissa bits* of each double.  Two invariants
+drive this module:
+
+* reinterpreting ``float64 <-> uint64`` must never copy unless asked —
+  the kernels operate on views so encode/check passes stay bandwidth-bound
+  just like the paper's C kernels;
+* every arithmetic use of a protected value must first mask the
+  redundancy bits to zero ("our framework masks all these bits to 0
+  whenever a floating point value is used for computation").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of explicit mantissa (fraction) bits in IEEE-754 binary64.
+MANTISSA_BITS = 52
+
+
+def f64_to_u64(values: np.ndarray) -> np.ndarray:
+    """Reinterpret a float64 array as uint64 without copying.
+
+    Parameters
+    ----------
+    values:
+        A contiguous ``float64`` array.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``uint64`` view over the same memory.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    return values.view(np.uint64)
+
+
+def u64_to_f64(words: np.ndarray) -> np.ndarray:
+    """Reinterpret a uint64 array as float64 without copying."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    return words.view(np.float64)
+
+
+def mask_mantissa_lsbs(values: np.ndarray, n_bits: int, out: np.ndarray | None = None) -> np.ndarray:
+    """Return ``values`` with the ``n_bits`` least-significant mantissa bits zeroed.
+
+    This is the compute-time mask the paper applies so the embedded
+    redundancy does not bias the arithmetic.  ``n_bits == 0`` returns the
+    input unchanged (no copy).
+
+    The relative masking error is below ``2**-(52 - n_bits)`` for *normal*
+    numbers (thanks to the implicit leading mantissa bit); subnormals can
+    lose relatively more — physical fields in TeaLeaf-like solvers never
+    live in the subnormal range, but library users storing values below
+    ``~2.2e-308`` should be aware.
+    """
+    if n_bits == 0:
+        return values
+    if not 0 < n_bits <= MANTISSA_BITS:
+        raise ValueError(f"n_bits must be in [0, {MANTISSA_BITS}], got {n_bits}")
+    mask = np.uint64(~np.uint64((1 << n_bits) - 1))
+    words = f64_to_u64(values)
+    if out is None:
+        return u64_to_f64(words & mask)
+    out_words = f64_to_u64(out)
+    np.bitwise_and(words, mask, out=out_words)
+    return out
+
+
+def extract_mantissa_lsbs(values: np.ndarray, n_bits: int) -> np.ndarray:
+    """Read the ``n_bits`` least-significant mantissa bits of each double.
+
+    Returns a ``uint64`` array of the raw redundancy payloads.
+    """
+    if not 0 < n_bits <= MANTISSA_BITS:
+        raise ValueError(f"n_bits must be in (0, {MANTISSA_BITS}], got {n_bits}")
+    mask = np.uint64((1 << n_bits) - 1)
+    return f64_to_u64(values) & mask
+
+
+def insert_mantissa_lsbs(values: np.ndarray, payload: np.ndarray, n_bits: int) -> np.ndarray:
+    """Write ``payload`` into the ``n_bits`` LSBs of each double, in place.
+
+    ``values`` is modified through its uint64 view and also returned for
+    chaining.  ``payload`` entries wider than ``n_bits`` raise.
+    """
+    if not 0 < n_bits <= MANTISSA_BITS:
+        raise ValueError(f"n_bits must be in (0, {MANTISSA_BITS}], got {n_bits}")
+    payload = np.asarray(payload, dtype=np.uint64)
+    limit = np.uint64(1 << n_bits)
+    if payload.size and np.any(payload >= limit):
+        raise ValueError(f"payload does not fit in {n_bits} bits")
+    mask = np.uint64(~np.uint64((1 << n_bits) - 1))
+    words = f64_to_u64(values)
+    np.bitwise_and(words, mask, out=words)
+    np.bitwise_or(words, payload, out=words)
+    return values

@@ -1,0 +1,104 @@
+"""Lane packing: uniform (N, L)-uint64 codeword views.
+
+Every protected structure in the paper is some mix of 64-bit doubles and
+32-bit integers.  The ECC engine wants one representation, so we pack each
+codeword into ``L`` little-endian 64-bit *lanes*:
+
+* physical bit ``b`` of a codeword lives in lane ``b // 64``, bit ``b % 64``;
+* a 32-bit integer occupying "entry slot" ``e`` of a codeword contributes
+  bits ``64*(e//2) + 32*(e%2) + [0..31]``.
+
+Packing never loses information and the inverse functions restore the
+original arrays exactly, which the round-trip property tests exercise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.bits.float_bits import f64_to_u64, u64_to_f64
+
+_U32 = np.uint64(0xFFFFFFFF)
+
+
+def pack_csr_element_lanes(values: np.ndarray, colidx: np.ndarray) -> np.ndarray:
+    """Pack CSR ``(value, column index)`` pairs into (N, 2) uint64 lanes.
+
+    Lane 0 holds the 64 value bits, lane 1 the zero-extended 32-bit column
+    index (codeword bits 64..95; bits 96..127 of lane 1 are padding and are
+    *excluded* from the code's position set).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    colidx = np.asarray(colidx, dtype=np.uint32)
+    if values.shape != colidx.shape:
+        raise ValueError("values and colidx must have identical shapes")
+    lanes = np.empty(values.shape + (2,), dtype=np.uint64)
+    lanes[..., 0] = f64_to_u64(values)
+    lanes[..., 1] = colidx.astype(np.uint64)
+    return lanes
+
+
+def unpack_csr_element_lanes(lanes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_csr_element_lanes`."""
+    lanes = np.asarray(lanes, dtype=np.uint64)
+    values = u64_to_f64(np.ascontiguousarray(lanes[..., 0]))
+    colidx = (lanes[..., 1] & _U32).astype(np.uint32)
+    return values, colidx
+
+
+def pack_u32_lanes(entries: np.ndarray, group: int) -> np.ndarray:
+    """Pack groups of ``group`` consecutive uint32 entries into codeword lanes.
+
+    ``entries`` has length ``N * group``; the result has shape
+    ``(N, ceil(group/2))``.  Entry ``e`` of a group occupies bits
+    ``32*(e%2)..32*(e%2)+31`` of lane ``e//2``.
+    """
+    entries = np.asarray(entries, dtype=np.uint32)
+    if group < 1:
+        raise ValueError("group must be >= 1")
+    if entries.size % group:
+        raise ValueError(f"entry count {entries.size} not divisible by group {group}")
+    n = entries.size // group
+    grouped = entries.reshape(n, group).astype(np.uint64)
+    n_lanes = (group + 1) // 2
+    lanes = np.zeros((n, n_lanes), dtype=np.uint64)
+    for e in range(group):
+        lane = e // 2
+        shift = np.uint64(32 * (e % 2))
+        lanes[:, lane] |= grouped[:, e] << shift
+    return lanes
+
+
+def unpack_u32_lanes(lanes: np.ndarray, group: int) -> np.ndarray:
+    """Inverse of :func:`pack_u32_lanes`; returns a flat uint32 array."""
+    lanes = np.asarray(lanes, dtype=np.uint64)
+    n = lanes.shape[0]
+    out = np.empty((n, group), dtype=np.uint32)
+    for e in range(group):
+        lane = e // 2
+        shift = np.uint64(32 * (e % 2))
+        out[:, e] = ((lanes[:, lane] >> shift) & _U32).astype(np.uint32)
+    return out.reshape(-1)
+
+
+def pack_f64_lanes(values: np.ndarray, group: int) -> np.ndarray:
+    """Pack groups of ``group`` consecutive doubles into (N, group) lanes."""
+    values = np.asarray(values, dtype=np.float64)
+    if group < 1:
+        raise ValueError("group must be >= 1")
+    if values.size % group:
+        raise ValueError(f"value count {values.size} not divisible by group {group}")
+    return f64_to_u64(values).reshape(-1, group).copy()
+
+
+def bits_to_lane_masks(positions: Iterable[int], n_lanes: int) -> np.ndarray:
+    """Turn a set of physical bit positions into per-lane uint64 masks."""
+    masks = np.zeros(n_lanes, dtype=np.uint64)
+    for pos in positions:
+        lane, bit = divmod(int(pos), 64)
+        if not 0 <= lane < n_lanes:
+            raise ValueError(f"bit position {pos} outside {n_lanes} lanes")
+        masks[lane] |= np.uint64(1) << np.uint64(bit)
+    return masks

@@ -1,0 +1,68 @@
+"""Vectorised population count and parity.
+
+Parity is *the* primitive of every scheme here: SED is one parity, SECDED
+is nine parities with different masks, CRC32C reduces to table lookups but
+its correction path still folds parities of syndrome signatures.
+
+NumPy >= 2.0 ships :func:`numpy.bitwise_count` which lowers to the POPCNT
+instruction; a portable SWAR fallback is kept for older NumPy and as a
+cross-check in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+_SH56 = np.uint64(56)
+
+
+def _popcount64_swar(words: np.ndarray) -> np.ndarray:
+    """Branch-free SWAR popcount over uint64 (fallback path)."""
+    x = words.astype(np.uint64, copy=True)
+    x -= (x >> np.uint64(1)) & _M1
+    x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+    x = (x + (x >> np.uint64(4))) & _M4
+    return ((x * _H01) >> _SH56).astype(np.uint8)
+
+
+def popcount64(words: np.ndarray) -> np.ndarray:
+    """Per-element number of set bits of a uint64 array."""
+    words = np.asarray(words, dtype=np.uint64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    return _popcount64_swar(words)
+
+
+def parity64(words: np.ndarray) -> np.ndarray:
+    """Per-element parity (popcount mod 2) of a uint64 array, as uint8."""
+    return (popcount64(words) & np.uint8(1)).astype(np.uint8)
+
+
+def parity_lanes(lanes: np.ndarray) -> np.ndarray:
+    """Parity across the last axis of a lane-packed codeword array.
+
+    ``lanes`` has shape ``(..., L)`` of uint64; the result has shape
+    ``(...)`` and value ``parity(XOR of all lanes)`` — i.e. the parity of
+    the whole multi-word codeword.
+    """
+    lanes = np.asarray(lanes, dtype=np.uint64)
+    folded = fold_parity(lanes)
+    return parity64(folded)
+
+
+def fold_parity(lanes: np.ndarray) -> np.ndarray:
+    """XOR-fold the last axis of a uint64 array into a single word.
+
+    Parity is XOR-linear, so ``parity(concat(words)) == parity(xor(words))``;
+    folding first keeps the popcount count independent of lane count.
+    """
+    lanes = np.asarray(lanes, dtype=np.uint64)
+    if lanes.ndim == 0:
+        return lanes
+    return np.bitwise_xor.reduce(lanes, axis=-1)

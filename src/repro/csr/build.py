@@ -1,0 +1,125 @@
+"""CSR constructors: COO/dense conversion and the 5-point stencil operator.
+
+:func:`five_point_operator` assembles exactly the operator TeaLeaf's CG
+solve works on — ``(I + dt * L)`` for the implicit heat equation on a
+regular 2-D grid — and, crucially for the ABFT schemes, stores **five
+entries in every row**: boundary rows keep their out-of-domain neighbour
+slots as explicit zero coefficients (with an in-range column index), just
+like TeaLeaf's fixed 5-band storage.  The paper relies on this when the
+CRC32C row scheme demands at least four elements per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csr.matrix import CSRMatrix
+
+
+def csr_from_coo(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    shape: tuple[int, int],
+) -> CSRMatrix:
+    """Build CSR from COO triplets (duplicates kept, entries row-sorted)."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    if not (rows.size == cols.size == vals.size):
+        raise ValueError("COO triplet arrays must have equal length")
+    m, n = shape
+    if rows.size and (rows.min() < 0 or rows.max() >= m):
+        raise ValueError("row index out of range")
+    if cols.size and (cols.min() < 0 or cols.max() >= n):
+        raise ValueError("column index out of range")
+    order = np.lexsort((cols, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    rowptr = np.zeros(m + 1, dtype=np.uint32)
+    counts = np.bincount(rows, minlength=m)
+    rowptr[1:] = np.cumsum(counts)
+    return CSRMatrix(vals, cols.astype(np.uint32), rowptr, shape)
+
+
+def csr_from_dense(dense: np.ndarray, *, keep_zeros: bool = False) -> CSRMatrix:
+    """Build CSR from a dense 2-D array, dropping zeros unless asked not to."""
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    if keep_zeros:
+        rows, cols = np.indices(dense.shape)
+        rows, cols = rows.ravel(), cols.ravel()
+    else:
+        rows, cols = np.nonzero(dense)
+    return csr_from_coo(rows, cols, dense[rows, cols], dense.shape)
+
+
+def csr_from_scipy(mat) -> CSRMatrix:
+    """Convert any scipy sparse matrix (test interop)."""
+    csr = mat.tocsr()
+    csr.sort_indices()
+    return CSRMatrix(
+        csr.data.astype(np.float64),
+        csr.indices.astype(np.uint32),
+        csr.indptr.astype(np.uint32),
+        csr.shape,
+    )
+
+
+def five_point_operator(
+    nx: int,
+    ny: int,
+    kx: np.ndarray,
+    ky: np.ndarray,
+    dt_over_h2: float,
+) -> CSRMatrix:
+    """Assemble TeaLeaf's implicit 5-point conduction operator.
+
+    Solves ``(I + dt * L) u = b`` where ``L`` is the negative divergence
+    of the conductivity-weighted gradient.  ``kx[j, i]`` is the face
+    conductivity between cells ``(j, i-1)`` and ``(j, i)``; ``ky[j, i]``
+    between ``(j-1, i)`` and ``(j, i)`` — both of shape ``(ny, nx)`` with
+    their first column/row ignored at the domain boundary (zero-flux /
+    Neumann condition, as in TeaLeaf).
+
+    Every row stores exactly 5 entries in the fixed band order
+    (south, west, centre, east, north); out-of-domain neighbours keep a
+    zero coefficient and a clamped in-range column index.
+    """
+    kx = np.asarray(kx, dtype=np.float64)
+    ky = np.asarray(ky, dtype=np.float64)
+    if kx.shape != (ny, nx) or ky.shape != (ny, nx):
+        raise ValueError(f"kx/ky must have shape {(ny, nx)}")
+    n = nx * ny
+    c = float(dt_over_h2)
+
+    j, i = np.indices((ny, nx))
+    idx = (j * nx + i).ravel()
+
+    # Face coefficients, zero across the physical boundary.
+    w = np.where(i > 0, kx, 0.0).ravel() * c
+    e = np.where(i < nx - 1, np.roll(kx, -1, axis=1), 0.0).ravel() * c
+    s = np.where(j > 0, ky, 0.0).ravel() * c
+    nn = np.where(j < ny - 1, np.roll(ky, -1, axis=0), 0.0).ravel() * c
+    centre = 1.0 + (w + e + s + nn)
+
+    # Clamped neighbour indices keep zero-coefficient slots in range.
+    south_idx = np.where(j > 0, idx.reshape(ny, nx) - nx, idx.reshape(ny, nx)).ravel()
+    west_idx = np.where(i > 0, idx.reshape(ny, nx) - 1, idx.reshape(ny, nx)).ravel()
+    east_idx = np.where(i < nx - 1, idx.reshape(ny, nx) + 1, idx.reshape(ny, nx)).ravel()
+    north_idx = np.where(
+        j < ny - 1, idx.reshape(ny, nx) + nx, idx.reshape(ny, nx)
+    ).ravel()
+
+    values = np.empty(5 * n, dtype=np.float64)
+    colidx = np.empty(5 * n, dtype=np.uint32)
+    values[0::5], colidx[0::5] = -s, south_idx
+    values[1::5], colidx[1::5] = -w, west_idx
+    values[2::5], colidx[2::5] = centre, idx
+    values[3::5], colidx[3::5] = -e, east_idx
+    values[4::5], colidx[4::5] = -nn, north_idx
+
+    rowptr = (np.arange(n + 1, dtype=np.uint64) * 5).astype(np.uint32)
+    if 5 * n >= 2**32:
+        raise ValueError("operator exceeds 32-bit nnz indexing")
+    return CSRMatrix(values, colidx, rowptr, (n, n), validate=False)

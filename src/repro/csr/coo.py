@@ -1,0 +1,91 @@
+"""COO (coordinate) sparse format.
+
+The ABFT line of work this paper extends ([13], McIntosh-Smith et al.)
+protected matrices in *both* COO and CSR; COO is included so the library
+covers the full prior-work surface.  A COO element is a 128-bit struct —
+``(row uint32, col uint32, value float64)`` — which leaves *two* spare
+top-bit regions for redundancy (see
+:class:`repro.protect.coo_elements.ProtectedCOOElements`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class COOMatrix:
+    """An unprotected COO matrix over float64/uint32 storage."""
+
+    __slots__ = ("rowidx", "colidx", "values", "shape")
+
+    def __init__(self, rowidx, colidx, values, shape, *, validate: bool = True):
+        self.rowidx = np.ascontiguousarray(rowidx, dtype=np.uint32)
+        self.colidx = np.ascontiguousarray(colidx, dtype=np.uint32)
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        if not (self.rowidx.shape == self.colidx.shape == self.values.shape):
+            raise ValueError("COO component arrays must have identical shapes")
+        m, n = self.shape
+        if self.rowidx.size:
+            if int(self.rowidx.max()) >= m:
+                raise ValueError("row index out of range")
+            if int(self.colidx.max()) >= n:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``A @ x`` by scatter-accumulate (duplicates sum, like scipy)."""
+        if out is None:
+            out = np.zeros(self.shape[0], dtype=np.float64)
+        else:
+            out[:] = 0.0
+        np.add.at(
+            out,
+            self.rowidx.astype(np.int64),
+            self.values * x[self.colidx.astype(np.int64)],
+        )
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(
+            dense,
+            (self.rowidx.astype(np.int64), self.colidx.astype(np.int64)),
+            self.values,
+        )
+        return dense
+
+    def to_csr(self):
+        """Convert to :class:`~repro.csr.matrix.CSRMatrix`."""
+        from repro.csr.build import csr_from_coo
+
+        return csr_from_coo(
+            self.rowidx.astype(np.int64),
+            self.colidx.astype(np.int64),
+            self.values,
+            self.shape,
+        )
+
+    @classmethod
+    def from_csr(cls, csr) -> "COOMatrix":
+        ptr = csr.rowptr.astype(np.int64)
+        rowidx = np.repeat(
+            np.arange(csr.n_rows, dtype=np.uint32), np.diff(ptr).astype(np.int64)
+        )
+        return cls(rowidx, csr.colidx.copy(), csr.values.copy(), csr.shape)
+
+    def copy(self) -> "COOMatrix":
+        return COOMatrix(
+            self.rowidx.copy(), self.colidx.copy(), self.values.copy(),
+            self.shape, validate=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,97 @@
+"""Matrix Market (.mtx) I/O.
+
+Production sparse solvers live on MatrixMarket files; a reproduction
+meant for downstream adoption needs to read them.  Supports the
+``coordinate`` (sparse) format with ``real``/``integer``/``pattern``
+fields and ``general``/``symmetric`` symmetries — the subset covering
+the SuiteSparse collection's SPD matrices a CG user would load.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+
+import numpy as np
+
+from repro.csr.build import csr_from_coo
+from repro.csr.matrix import CSRMatrix
+
+
+def read_matrix_market(source) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into a CSRMatrix.
+
+    ``source`` may be a path, a file object or a string containing the
+    file's text.  Symmetric matrices are expanded to full storage
+    (diagonal entries are not duplicated).
+    """
+    if isinstance(source, (str, pathlib.Path)) and "\n" not in str(source):
+        text = pathlib.Path(source).read_text()
+    elif isinstance(source, str):
+        text = source
+    else:
+        text = source.read()
+    lines = iter(text.splitlines())
+
+    header = next(lines, "").strip().lower().split()
+    if len(header) < 5 or header[:2] != ["%%matrixmarket", "matrix"]:
+        raise ValueError("not a MatrixMarket file (bad banner)")
+    layout, field, symmetry = header[2], header[3], header[4]
+    if layout != "coordinate":
+        raise ValueError(f"unsupported layout {layout!r} (only coordinate)")
+    if field not in ("real", "integer", "pattern"):
+        raise ValueError(f"unsupported field {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+
+    size_line = None
+    for line in lines:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            size_line = stripped
+            break
+    if size_line is None:
+        raise ValueError("missing size line")
+    m, n, nnz = (int(tok) for tok in size_line.split())
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    k = 0
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        parts = stripped.split()
+        rows[k] = int(parts[0]) - 1
+        cols[k] = int(parts[1]) - 1
+        vals[k] = 1.0 if field == "pattern" else float(parts[2])
+        k += 1
+        if k == nnz:
+            break
+    if k != nnz:
+        raise ValueError(f"expected {nnz} entries, found {k}")
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, rows[: nnz][off]])
+        vals = np.concatenate([vals, vals[off]])
+    return csr_from_coo(rows, cols, vals, (m, n))
+
+
+def write_matrix_market(matrix: CSRMatrix, target) -> None:
+    """Write a CSRMatrix as a general real coordinate MatrixMarket file."""
+    buf = io.StringIO()
+    buf.write("%%MatrixMarket matrix coordinate real general\n")
+    buf.write("% written by repro (ABFT sparse solver reproduction)\n")
+    buf.write(f"{matrix.n_rows} {matrix.n_cols} {matrix.nnz}\n")
+    ptr = matrix.rowptr.astype(np.int64)
+    row_of = np.repeat(np.arange(matrix.n_rows), np.diff(ptr))
+    for r, c, v in zip(row_of, matrix.colidx, matrix.values):
+        buf.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")
+    text = buf.getvalue()
+    if isinstance(target, (str, pathlib.Path)):
+        pathlib.Path(target).write_text(text)
+    else:
+        target.write(text)

@@ -1,0 +1,81 @@
+"""Reference SpMV kernels.
+
+Two code paths, mirroring how the paper's kernels exploit structure:
+
+* :func:`spmv` — general CSR via ``np.add.reduceat`` (any row lengths);
+* :func:`spmv_fixed_width` — the fast path for matrices whose rows all
+  store the same number of entries (TeaLeaf's 5-point operator stores 5
+  per row), one reshape + row sum, no indirection over rows.
+
+Both are pure gather-multiply-reduce over the three CSR vectors, so the
+protected kernels in :mod:`repro.protect.kernels` can wrap them without
+duplicating arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def spmv(
+    values: np.ndarray,
+    colidx: np.ndarray,
+    rowptr: np.ndarray,
+    x: np.ndarray,
+    n_rows: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """General CSR matrix-vector product.
+
+    Handles empty rows (where ``reduceat`` alone would mis-assign
+    segments) by masking them after the reduction.
+    """
+    if out is None:
+        out = np.zeros(n_rows, dtype=np.float64)
+    else:
+        out[:] = 0.0
+    if values.size == 0:
+        return out
+    products = values * x[colidx.astype(np.int64)]
+    ptr = rowptr.astype(np.int64)
+    starts = ptr[:-1]
+    lengths = ptr[1:] - starts
+    nonempty = lengths > 0
+    if np.all(nonempty):
+        out[:] = np.add.reduceat(products, starts)
+    else:
+        # reduceat with repeated offsets returns products[start] for empty
+        # rows; compute on the compacted rows then scatter back.
+        sums = np.add.reduceat(products, starts[nonempty])
+        out[nonempty] = sums
+    return out
+
+
+def spmv_fixed_width(
+    values: np.ndarray,
+    colidx: np.ndarray,
+    x: np.ndarray,
+    width: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """SpMV when every row stores exactly ``width`` entries."""
+    n_rows = values.size // width
+    products = values * x[colidx.astype(np.int64)]
+    result = products.reshape(n_rows, width).sum(axis=1)
+    if out is None:
+        return result
+    out[:] = result
+    return out
+
+
+def row_dot(
+    values: np.ndarray,
+    colidx: np.ndarray,
+    rowptr: np.ndarray,
+    row: int,
+    x: np.ndarray,
+) -> float:
+    """Single-row dot product (used by tests and the scalar oracle)."""
+    ptr = rowptr.astype(np.int64)
+    seg = slice(ptr[row], ptr[row + 1])
+    return float(np.dot(values[seg], x[colidx[seg].astype(np.int64)]))

@@ -1,0 +1,42 @@
+"""Structural validation of CSR vectors.
+
+These checks are about *construction-time* correctness; the cheap runtime
+range checks that guard skipped-integrity iterations live in
+:mod:`repro.protect.policy` (they must stay branch-light, as the paper
+measures their fixed cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def validate_structure(
+    values: np.ndarray,
+    colidx: np.ndarray,
+    rowptr: np.ndarray,
+    shape: tuple[int, int],
+) -> None:
+    """Raise ``ValueError`` on any structural inconsistency."""
+    m, n = shape
+    if m < 0 or n < 0:
+        raise ValueError(f"negative shape {shape}")
+    if n >= 2**32 or m >= 2**32:
+        raise ValueError("matrix dimensions must fit 32-bit indices")
+    if values.shape != colidx.shape:
+        raise ValueError(
+            f"values ({values.shape}) and colidx ({colidx.shape}) lengths differ"
+        )
+    if rowptr.shape != (m + 1,):
+        raise ValueError(f"rowptr must have length {m + 1}, got {rowptr.shape}")
+    ptr = rowptr.astype(np.int64)
+    if ptr[0] != 0:
+        raise ValueError("rowptr[0] must be 0")
+    if ptr[-1] != values.size:
+        raise ValueError(f"rowptr[-1]={ptr[-1]} does not equal nnz={values.size}")
+    if np.any(np.diff(ptr) < 0):
+        raise ValueError("rowptr must be non-decreasing")
+    if colidx.size and int(colidx.max()) >= n:
+        raise ValueError(
+            f"column index {int(colidx.max())} out of range for {n} columns"
+        )

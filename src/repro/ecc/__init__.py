@@ -1,0 +1,50 @@
+"""Error detecting and correcting codes (paper §IV).
+
+Three code families, all operating on lane-packed codewords:
+
+* :mod:`repro.ecc.sed` — single-error-detect parity (HD 2);
+* :mod:`repro.ecc.hamming` — shortened extended Hamming SECDED (HD 4),
+  instantiated for every storage profile in :mod:`repro.ecc.profiles`;
+* :mod:`repro.ecc.crc32c` — the Castagnoli CRC (HD 6 for codewords of
+  178..5243 bits), with syndrome-signature correction in
+  :mod:`repro.ecc.crc_correct`.
+"""
+
+from repro.ecc.base import CheckReport, CodewordStatus
+from repro.ecc.sed import sed_parity_lanes, sed_encode, sed_check
+from repro.ecc.hamming import SECDEDCode
+from repro.ecc.profiles import (
+    csr_element_secded,
+    rowptr_secded64,
+    rowptr_secded128,
+    vector_secded64,
+    vector_secded128,
+)
+from repro.ecc.crc32c import (
+    crc32c,
+    crc32c_bitwise,
+    crc32c_table,
+    crc32c_slicing16,
+    crc32c_batch,
+)
+from repro.ecc.crc_correct import CRCCorrector
+
+__all__ = [
+    "CheckReport",
+    "CodewordStatus",
+    "sed_parity_lanes",
+    "sed_encode",
+    "sed_check",
+    "SECDEDCode",
+    "csr_element_secded",
+    "rowptr_secded64",
+    "rowptr_secded128",
+    "vector_secded64",
+    "vector_secded128",
+    "crc32c",
+    "crc32c_bitwise",
+    "crc32c_table",
+    "crc32c_slicing16",
+    "crc32c_batch",
+    "CRCCorrector",
+]

@@ -1,0 +1,65 @@
+"""Shared result types for integrity checks."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+
+class CodewordStatus(enum.IntEnum):
+    """Per-codeword outcome of an integrity check.
+
+    Integer-valued so whole-array status vectors stay NumPy-friendly.
+    """
+
+    #: Codeword passed the check.
+    OK = 0
+    #: Error found and corrected in place (DCE).
+    CORRECTED = 1
+    #: Error found, not correctable (DUE).
+    UNCORRECTABLE = 2
+
+
+@dataclasses.dataclass
+class CheckReport:
+    """Aggregate result of checking an array of codewords.
+
+    Attributes
+    ----------
+    status:
+        ``uint8`` array of :class:`CodewordStatus` values, one per codeword.
+    n_corrected / n_uncorrectable:
+        Convenience counts.
+    """
+
+    status: np.ndarray
+
+    @property
+    def n_corrected(self) -> int:
+        return int(np.count_nonzero(self.status == CodewordStatus.CORRECTED))
+
+    @property
+    def n_uncorrectable(self) -> int:
+        return int(np.count_nonzero(self.status == CodewordStatus.UNCORRECTABLE))
+
+    @property
+    def clean(self) -> bool:
+        """True when every codeword passed without intervention."""
+        return bool(np.all(self.status == CodewordStatus.OK))
+
+    @property
+    def ok(self) -> bool:
+        """True when the data is now trustworthy (clean or fully corrected)."""
+        return self.n_uncorrectable == 0
+
+    def uncorrectable_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.status == CodewordStatus.UNCORRECTABLE)
+
+    def corrected_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.status == CodewordStatus.CORRECTED)
+
+    def merge(self, other: "CheckReport") -> "CheckReport":
+        """Element-wise worst-case merge of two reports over the same codewords."""
+        return CheckReport(status=np.maximum(self.status, other.status))

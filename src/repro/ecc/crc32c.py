@@ -1,0 +1,149 @@
+"""CRC32C (Castagnoli) — reference, table, Slicing-by-16 and batched kernels.
+
+The paper picks CRC32C because (a) its generator has an ``(x + 1)`` factor
+so all odd-weight errors and burst errors up to 32 bits are detected,
+(b) codewords of 178..5243 bits enjoy a minimum Hamming distance of 6
+(Koopman), and (c) Intel/ARMv8 CPUs accelerate it in hardware.  Without
+the instruction the paper falls back to Slicing-by-16 — we implement that
+algorithm, plus a row-parallel NumPy kernel (`crc32c_batch`) standing in
+for the hardware-parallel GPU/SIMD paths: it processes one byte *column*
+of many codewords per step, so checking a whole sparse matrix costs
+``bytes_per_row`` vector operations instead of ``n_rows * bytes_per_row``
+scalar ones.
+
+Convention: reflected algorithm, polynomial ``0x1EDC6F41`` (reflected form
+``0x82F63B78``), init ``0xFFFFFFFF``, final XOR ``0xFFFFFFFF`` — identical
+to the SSE4.2 ``crc32`` instruction and RFC 3720.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Reflected CRC32C polynomial.
+POLY_REFLECTED = np.uint32(0x82F63B78)
+_INIT = np.uint32(0xFFFFFFFF)
+_XOROUT = np.uint32(0xFFFFFFFF)
+
+
+def _build_table() -> np.ndarray:
+    """The classic 256-entry byte table for the reflected algorithm."""
+    table = np.empty(256, dtype=np.uint32)
+    for byte in range(256):
+        crc = np.uint32(byte)
+        for _ in range(8):
+            if crc & np.uint32(1):
+                crc = np.uint32((int(crc) >> 1) ^ int(POLY_REFLECTED))
+            else:
+                crc = np.uint32(int(crc) >> 1)
+        table[byte] = crc
+    return table
+
+
+def _build_slicing_tables(n: int = 16) -> np.ndarray:
+    """Slicing tables T[k]: CRC contribution of a byte ``k`` positions early."""
+    tables = np.empty((n, 256), dtype=np.uint32)
+    tables[0] = TABLE
+    for k in range(1, n):
+        prev = tables[k - 1]
+        tables[k] = TABLE[prev & np.uint32(0xFF)] ^ (prev >> np.uint32(8))
+    return tables
+
+
+TABLE = _build_table()
+SLICING_TABLES = _build_slicing_tables(16)
+
+
+def _as_bytes(data) -> bytes:
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return bytes(data)
+    arr = np.asarray(data)
+    return arr.tobytes()
+
+
+def crc32c_bitwise(data, crc: int = 0) -> int:
+    """Bit-at-a-time reference implementation (slow; used to validate)."""
+    crc = (crc ^ int(_INIT)) & 0xFFFFFFFF
+    poly = int(POLY_REFLECTED)
+    for byte in _as_bytes(data):
+        crc ^= byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ poly if crc & 1 else crc >> 1
+    return (crc ^ int(_XOROUT)) & 0xFFFFFFFF
+
+
+def crc32c_table(data, crc: int = 0) -> int:
+    """Byte-at-a-time table-driven implementation."""
+    crc = (crc ^ int(_INIT)) & 0xFFFFFFFF
+    table = TABLE
+    for byte in _as_bytes(data):
+        crc = int(table[(crc ^ byte) & 0xFF]) ^ (crc >> 8)
+    return (crc ^ int(_XOROUT)) & 0xFFFFFFFF
+
+
+def crc32c_slicing16(data, crc: int = 0) -> int:
+    """Slicing-by-16: sixteen independent table lookups per 16-byte block.
+
+    This is the software algorithm the paper uses when the hardware
+    instruction is unavailable.
+    """
+    buf = _as_bytes(data)
+    crc = (crc ^ int(_INIT)) & 0xFFFFFFFF
+    t = SLICING_TABLES
+    i, n = 0, len(buf)
+    while n - i >= 16:
+        x = crc ^ int.from_bytes(buf[i : i + 4], "little")
+        crc = 0
+        for k in range(4):
+            crc ^= int(t[15 - k][(x >> (8 * k)) & 0xFF])
+        for k in range(12):
+            crc ^= int(t[11 - k][buf[i + 4 + k]])
+        i += 16
+    table = TABLE
+    while i < n:
+        crc = int(table[(crc ^ buf[i]) & 0xFF]) ^ (crc >> 8)
+        i += 1
+    return (crc ^ int(_XOROUT)) & 0xFFFFFFFF
+
+
+def crc32c(data, crc: int = 0) -> int:
+    """Default scalar entry point (Slicing-by-16)."""
+    return crc32c_slicing16(data, crc)
+
+
+def crc32c_batch(byte_matrix: np.ndarray) -> np.ndarray:
+    """CRC32C of every *row* of an ``(N, B)`` uint8 matrix, vectorised.
+
+    All rows must have equal length; callers with ragged rows (CSR rows of
+    different nnz) group rows by length first.  One table gather per byte
+    column updates all ``N`` CRCs simultaneously.
+    """
+    byte_matrix = np.ascontiguousarray(byte_matrix, dtype=np.uint8)
+    if byte_matrix.ndim != 2:
+        raise ValueError("crc32c_batch expects an (N, B) uint8 matrix")
+    n = byte_matrix.shape[0]
+    crc = np.full(n, _INIT, dtype=np.uint32)
+    table = TABLE
+    mask = np.uint32(0xFF)
+    eight = np.uint32(8)
+    for col in range(byte_matrix.shape[1]):
+        crc = table[(crc ^ byte_matrix[:, col]) & mask] ^ (crc >> eight)
+    return crc ^ _XOROUT
+
+
+def crc32c_zero_operator(crc: np.ndarray | int, n_zero_bytes: int):
+    """Advance CRC state(s) over ``n_zero_bytes`` zero bytes.
+
+    The raw (pre-xorout) CRC register is linear, so appending zero bytes
+    is a fixed linear map; this helper applies it step-wise and is used by
+    the correction machinery to build single-bit syndrome signatures.
+    Operates on raw register values (no init/xorout handling).
+    """
+    scalar = np.isscalar(crc)
+    state = np.atleast_1d(np.asarray(crc, dtype=np.uint32))
+    table = TABLE
+    mask = np.uint32(0xFF)
+    eight = np.uint32(8)
+    for _ in range(n_zero_bytes):
+        state = table[state & mask] ^ (state >> eight)
+    return int(state[0]) if scalar else state

@@ -1,0 +1,172 @@
+"""Concrete SECDED layouts used by the paper (Figs. 1-3).
+
+Each factory returns a :class:`~repro.ecc.hamming.SECDEDCode` bound to the
+physical bit layout of one protected structure.  The redundancy budgets
+follow the paper exactly:
+
+* **SECDED64** — 8 check bits per 64-bit codeword;
+* **SECDED128** — 9 check bits per 128-bit codeword (the remaining
+  reserved slots are protected constant-zero bits);
+* the CSR element code is the (96, 88) fit: 64 value bits + 24 index bits
+  protected by the index's top byte.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.ecc.hamming import SECDEDCode
+
+
+@functools.lru_cache(maxsize=None)
+def csr_element_secded() -> SECDEDCode:
+    """SECDED over one 96-bit CSR element (Fig. 1b).
+
+    Lane 0 = the float64 value, lane 1 = the uint32 column index
+    (zero-extended; padding bits 96..127 excluded).  Check bits live in
+    the top byte of the index (bits 88..95), limiting matrices to
+    ``2**24 - 1`` columns.
+    """
+    return SECDEDCode(
+        n_lanes=2,
+        codeword_positions=range(96),
+        check_positions=range(88, 96),
+        name="csr-element-secded(96,88)",
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def csr_element_pair_secded128() -> SECDEDCode:
+    """SECDED128 over two consecutive CSR elements.
+
+    Codeword = 192 bits (two 96-bit elements across four lanes:
+    value0, index0, value1, index1), redundancy in the two index top
+    bytes (16 slots): 9 check bits — the paper's SECDED128 budget — plus
+    7 protected constant-zero bits.
+    """
+    positions = (
+        list(range(0, 64))          # value 0
+        + list(range(64, 96))       # index 0
+        + list(range(128, 192))     # value 1
+        + list(range(192, 224))     # index 1
+    )
+    return SECDEDCode(
+        n_lanes=4,
+        codeword_positions=positions,
+        check_positions=list(range(88, 96)) + list(range(216, 224)),
+        min_syndrome_bits=8,
+        name="csr-element-pair-secded128",
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def coo_element_secded128() -> SECDEDCode:
+    """SECDED128 over one 128-bit COO element (row, col, value).
+
+    Lane 0 = the float64 value, lane 1 = ``row | col << 32``.  Redundancy
+    in both indices' top bytes (16 slots, 9 used), limiting both matrix
+    dimensions to ``2**24 - 1``.
+    """
+    return SECDEDCode(
+        n_lanes=2,
+        codeword_positions=range(128),
+        check_positions=list(range(88, 96)) + list(range(120, 128)),
+        min_syndrome_bits=8,
+        name="coo-element-secded128",
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def csr64_element_secded() -> SECDEDCode:
+    """SECDED over a 64-bit-index CSR element (value + uint64 column).
+
+    The paper's §V.B extension note: production solvers beyond 2**32
+    columns use 64-bit indices.  The 128-bit codeword needs 9 check bits,
+    stored in the index's top 9 bits -> columns <= 2**55 - 1.
+    """
+    return SECDEDCode(
+        n_lanes=2,
+        codeword_positions=range(128),
+        check_positions=range(119, 128),
+        min_syndrome_bits=8,
+        name="csr64-element-secded",
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def u64_top_secded() -> SECDEDCode:
+    """SECDED over one uint64 with redundancy in its top byte.
+
+    Used for 64-bit row pointers: values <= 2**56 - 1 leave the top byte
+    free, and a 64-bit codeword needs exactly 8 check bits.
+    """
+    return SECDEDCode(
+        n_lanes=1,
+        codeword_positions=range(64),
+        check_positions=range(56, 64),
+        min_syndrome_bits=7,
+        name="u64-top-secded",
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def rowptr_secded64() -> SECDEDCode:
+    """SECDED64 over two consecutive row-pointer entries (Fig. 2b).
+
+    Codeword = 64 bits (two uint32 entries), redundancy in the top nibble
+    of each entry (bits 28..31 and 60..63), limiting the matrix to
+    ``2**28 - 1`` non-zeros.  ``min_syndrome_bits=7`` pins the classic
+    8-bit SECDED64 budget.
+    """
+    return SECDEDCode(
+        n_lanes=1,
+        codeword_positions=range(64),
+        check_positions=[28, 29, 30, 31, 60, 61, 62, 63],
+        min_syndrome_bits=7,
+        name="rowptr-secded64",
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def rowptr_secded128() -> SECDEDCode:
+    """SECDED128 over four consecutive row-pointer entries.
+
+    Codeword = 128 bits (four uint32 entries), 16 reserved top-nibble
+    slots of which 9 hold check bits (the paper's SECDED128 budget) and 7
+    are protected constant-zero bits.
+    """
+    reserved = [28, 29, 30, 31, 60, 61, 62, 63, 92, 93, 94, 95, 124, 125, 126, 127]
+    return SECDEDCode(
+        n_lanes=2,
+        codeword_positions=range(128),
+        check_positions=reserved,
+        min_syndrome_bits=8,
+        name="rowptr-secded128",
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def vector_secded64() -> SECDEDCode:
+    """SECDED64 over a single double (Fig. 3b): 8 mantissa LSBs reserved."""
+    return SECDEDCode(
+        n_lanes=1,
+        codeword_positions=range(64),
+        check_positions=range(8),
+        min_syndrome_bits=7,
+        name="vector-secded64",
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def vector_secded128() -> SECDEDCode:
+    """SECDED128 over two doubles: 5 mantissa LSBs reserved in each.
+
+    10 reserved slots, 9 check bits + 1 protected constant-zero bit.
+    """
+    return SECDEDCode(
+        n_lanes=2,
+        codeword_positions=range(128),
+        check_positions=[0, 1, 2, 3, 4, 64, 65, 66, 67, 68],
+        min_syndrome_bits=8,
+        name="vector-secded128",
+    )

@@ -1,0 +1,58 @@
+"""Scheme registry: names, budgets and guarantees in one place.
+
+Used by the protected containers (to parameterise layouts), the harness
+(to enumerate experiment axes exactly like the paper's figure legends) and
+the docs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeInfo:
+    """Static description of one ABFT protection scheme."""
+
+    #: Canonical name used across the library and benchmark output.
+    name: str
+    #: Redundancy bits consumed per codeword.
+    check_bits: int
+    #: Vector/row-pointer elements grouped into one codeword (1 = per-element).
+    group: int
+    #: Guaranteed corrections per codeword.
+    corrects: int
+    #: Guaranteed detections per codeword (beyond corrections).
+    detects: int
+    #: One-line description for reports.
+    summary: str
+
+
+#: Protection schemes in the order the paper's figures list them.
+SCHEMES: dict[str, SchemeInfo] = {
+    "none": SchemeInfo("none", 0, 1, 0, 0, "no protection (baseline)"),
+    "sed": SchemeInfo("sed", 1, 1, 0, 1, "parity: detect any odd number of flips"),
+    "secded64": SchemeInfo(
+        "secded64", 8, 2, 1, 2, "Hamming SECDED over 64-bit codewords"
+    ),
+    "secded128": SchemeInfo(
+        "secded128", 9, 4, 1, 2, "Hamming SECDED over 128-bit codewords"
+    ),
+    "crc32c": SchemeInfo(
+        "crc32c", 32, 8, 2, 5, "CRC32C: HD 6 within 178..5243-bit codewords"
+    ),
+}
+
+#: The axis order used by Figures 4, 5 and 9.
+FIGURE_ORDER: Sequence[str] = ("sed", "secded64", "secded128", "crc32c")
+
+
+def scheme_info(name: str) -> SchemeInfo:
+    """Look up a scheme by canonical name (raises KeyError with choices)."""
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
+        ) from None

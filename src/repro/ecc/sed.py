@@ -1,0 +1,47 @@
+"""Single Error Detection — one parity bit per codeword (paper §IV).
+
+SED gives a minimum Hamming distance of 2: every odd number of bit flips
+is detected, every even number is missed, nothing is correctable.  It is
+by far the cheapest scheme (one popcount per codeword) which is why the
+paper finds it attractive on almost every platform.
+
+The functions here are layout-agnostic: the caller supplies lane-packed
+codewords where the designated parity *slot* has been zeroed (encode) or
+left as stored (check).  Placement of the parity bit — top bit of a column
+index, LSB of a mantissa — is owned by the containers in
+:mod:`repro.protect`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.popcount import parity_lanes
+
+
+def sed_parity_lanes(lanes: np.ndarray) -> np.ndarray:
+    """Parity of each lane-packed codeword; shape ``lanes.shape[:-1]``, uint8."""
+    return parity_lanes(lanes)
+
+
+def sed_encode(lanes: np.ndarray, parity_lane: int, parity_bit: int) -> np.ndarray:
+    """Set the parity bit so each codeword has even total parity.
+
+    ``lanes`` is modified in place (the parity slot is overwritten, any
+    previous content there is discarded) and returned.
+    """
+    bit = np.uint64(1) << np.uint64(parity_bit)
+    lanes[..., parity_lane] &= ~bit
+    p = parity_lanes(lanes).astype(np.uint64)
+    lanes[..., parity_lane] |= p << np.uint64(parity_bit)
+    return lanes
+
+
+def sed_check(lanes: np.ndarray) -> np.ndarray:
+    """Return a boolean "corrupted" flag per codeword.
+
+    A clean SED codeword (data + embedded parity bit) always has even
+    parity, so a nonzero total parity means an odd number of flips
+    happened somewhere in the codeword.
+    """
+    return parity_lanes(lanes).astype(bool)

@@ -1,0 +1,98 @@
+"""Error taxonomy for the ABFT framework.
+
+The paper classifies memory faults by how the protection system reacts:
+
+* **DCE** — detectable *correctable* error: the scheme locates the flipped
+  bit(s) and restores the original word.
+* **DUE** — detectable *uncorrectable* error: the scheme knows corruption
+  happened but cannot localise it; the application must recover by other
+  means (e.g. checkpoint/restart, or — for the CG solve — restarting the
+  iteration, which the paper highlights as an ABFT advantage).
+* **SDC** — silent data corruption: the flip pattern exceeded the code's
+  detection capability and went unnoticed (or triggered a miscorrection).
+
+This module defines the exception types and outcome enumeration shared by
+the ECC codecs, the protected containers and the fault-injection campaign
+machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ABFTError(Exception):
+    """Base class for every error raised by the :mod:`repro` framework."""
+
+
+class ConfigurationError(ABFTError):
+    """A protection scheme was configured with invalid parameters.
+
+    Raised e.g. when a matrix exceeds the column/nnz limits imposed by
+    re-purposing index bits (SED: ``2**31 - 1`` columns, SECDED/CRC32C:
+    ``2**24 - 1`` columns), or when a CRC32C row codeword would not have
+    the four elements needed to store the 32 redundancy bits.
+    """
+
+
+class DetectedUncorrectableError(ABFTError):
+    """A DUE: corruption detected but not correctable by the scheme.
+
+    Attributes
+    ----------
+    region:
+        Which protected structure reported the error (e.g. ``"csr_elements"``).
+    indices:
+        Codeword indices (within the region) that failed the check.
+    """
+
+    def __init__(self, region: str, indices=None, message: str | None = None):
+        self.region = region
+        self.indices = indices
+        if message is None:
+            message = f"uncorrectable corruption detected in region {region!r}"
+            if indices is not None:
+                message += f" at codeword indices {indices}"
+        super().__init__(message)
+
+
+class BoundsViolationError(ABFTError):
+    """An index range check failed.
+
+    During iterations where the full integrity check is skipped
+    (the "less frequent checking" optimisation, paper §VI.A.2) the kernels
+    still validate that row-pointer values stay below ``nnz`` and column
+    indices stay below ``n_cols`` so a flipped index bit can never cause
+    an out-of-bounds access.
+    """
+
+    def __init__(self, region: str, message: str | None = None):
+        self.region = region
+        super().__init__(message or f"index bounds violation in region {region!r}")
+
+
+class Outcome(enum.Enum):
+    """Classification of one fault-injection experiment."""
+
+    #: No error present / injected pattern was a no-op.
+    CLEAN = "clean"
+    #: Detected and corrected in place (DCE).
+    CORRECTED = "corrected"
+    #: Detected, not correctable (DUE).
+    DETECTED = "detected"
+    #: The check passed but the data differs from the original (SDC).
+    SILENT = "silent"
+    #: The scheme "corrected" to a *wrong* word (miscorrection → SDC).
+    MISCORRECTED = "miscorrected"
+    #: Range check caught the corruption before an OOB access (DUE-like).
+    BOUNDS = "bounds"
+
+    @property
+    def is_sdc(self) -> bool:
+        """True when the outcome leaves corrupted data undetected."""
+        return self in (Outcome.SILENT, Outcome.MISCORRECTED)
+
+    @property
+    def is_detected(self) -> bool:
+        """True when the application learned that corruption happened."""
+        return self in (Outcome.CORRECTED, Outcome.DETECTED, Outcome.BOUNDS)

@@ -1,0 +1,51 @@
+"""Fault injection: bit-flip models, injectors and campaign machinery.
+
+The paper's evaluation is overhead-focused but its claims rest on the
+codes' guarantees (SED detects odd flips; SECDED corrects 1/detects 2;
+CRC32C handles up to 5 within a HD-6 codeword).  This package provides
+the harness that validates those guarantees empirically: pick a fault
+model, spray flips into protected structures, classify every outcome as
+corrected / detected / silent and aggregate campaign statistics.
+"""
+
+from repro.faults.models import (
+    FaultModel,
+    SingleBitFlip,
+    MultiBitFlip,
+    BurstError,
+    StuckBits,
+    FaultSpec,
+)
+from repro.faults.injector import (
+    Region,
+    inject_into_matrix,
+    inject_into_vector,
+    flip_array_bit,
+)
+from repro.faults.campaign import (
+    CampaignResult,
+    run_matrix_campaign,
+    run_vector_campaign,
+    run_solver_campaign,
+)
+from repro.faults.process import PoissonProcess, FaultyRunReport, faulty_cg_solve
+
+__all__ = [
+    "PoissonProcess",
+    "FaultyRunReport",
+    "faulty_cg_solve",
+    "FaultModel",
+    "SingleBitFlip",
+    "MultiBitFlip",
+    "BurstError",
+    "StuckBits",
+    "FaultSpec",
+    "Region",
+    "inject_into_matrix",
+    "inject_into_vector",
+    "flip_array_bit",
+    "CampaignResult",
+    "run_matrix_campaign",
+    "run_vector_campaign",
+    "run_solver_campaign",
+]

@@ -1,0 +1,89 @@
+"""Applying fault specs to protected structures.
+
+Injection happens on the *stored* representation — values, redundancy
+bits, everything is fair game, exactly like a real memory upset.  The
+injector reports whether each fault actually changed memory (stuck-at
+faults can be no-ops), which the campaign needs for ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.bits.float_bits import f64_to_u64
+from repro.faults.models import FaultSpec
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.vector import ProtectedVector
+
+
+class Region(enum.Enum):
+    """Which stored array a fault targets."""
+
+    VALUES = "values"
+    COLIDX = "colidx"
+    ROWPTR = "rowptr"
+    VECTOR = "vector"
+
+    @property
+    def bits_per_element(self) -> int:
+        return 64 if self in (Region.VALUES, Region.VECTOR) else 32
+
+
+def flip_array_bit(array: np.ndarray, element: int, bit: int,
+                   stuck: int | None = None) -> bool:
+    """Flip (or stick) one bit of one element; True when memory changed.
+
+    ``array`` may be float64 (treated through its uint64 view) or any
+    unsigned integer dtype.
+    """
+    if array.dtype == np.float64:
+        words = f64_to_u64(array)
+        one = np.uint64(1) << np.uint64(bit)
+    elif array.dtype == np.uint32:
+        words = array
+        one = np.uint32(1) << np.uint32(bit)
+    elif array.dtype == np.uint64:
+        words = array
+        one = np.uint64(1) << np.uint64(bit)
+    else:
+        raise TypeError(f"cannot inject into dtype {array.dtype}")
+    before = words[element]
+    if stuck is None:
+        words[element] = before ^ one
+    elif stuck:
+        words[element] = before | one
+    else:
+        words[element] = before & ~one
+    return bool(words[element] != before)
+
+
+def _target_array(matrix: ProtectedCSRMatrix, region: Region) -> np.ndarray:
+    if region is Region.VALUES:
+        return matrix.values
+    if region is Region.COLIDX:
+        return matrix.colidx
+    if region is Region.ROWPTR:
+        return matrix.rowptr
+    raise ValueError(f"region {region} is not a matrix region")
+
+
+def inject_into_matrix(
+    matrix: ProtectedCSRMatrix, region: Region, faults: Iterable[FaultSpec]
+) -> int:
+    """Apply faults to one region of a protected matrix; returns #changed."""
+    array = _target_array(matrix, region)
+    changed = 0
+    for fault in faults:
+        changed += flip_array_bit(array, fault.element, fault.bit, fault.stuck)
+    return changed
+
+
+def inject_into_vector(vector: ProtectedVector, faults: Iterable[FaultSpec]) -> int:
+    """Apply faults to a protected vector's stored doubles; returns #changed."""
+    changed = 0
+    for fault in faults:
+        changed += flip_array_bit(vector.raw, fault.element, fault.bit, fault.stuck)
+    return changed

@@ -1,0 +1,135 @@
+"""Fault models: how many bits flip, and where, per event.
+
+Soft errors (the paper's focus) flip bits without damaging hardware; hard
+errors can present as stuck bits.  Each model turns an RNG into a list of
+:class:`FaultSpec` records — (element index, bit offset) pairs plus a
+stuck polarity for hard faults — that the injector applies to a target
+array.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One bit-level fault: flip (or stick) bit ``bit`` of element ``element``."""
+
+    element: int
+    bit: int
+    #: ``None`` = flip; ``0``/``1`` = stuck-at (hard fault).
+    stuck: int | None = None
+
+
+class FaultModel:
+    """Base class; subclasses generate fault lists for an element space."""
+
+    def sample(self, rng: np.random.Generator, n_elements: int, bits_per_element: int):
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclasses.dataclass
+class SingleBitFlip(FaultModel):
+    """The canonical soft error: exactly one flipped bit."""
+
+    def sample(self, rng, n_elements, bits_per_element):
+        return [
+            FaultSpec(
+                int(rng.integers(0, n_elements)),
+                int(rng.integers(0, bits_per_element)),
+            )
+        ]
+
+    name = "single-bit"
+
+
+@dataclasses.dataclass
+class MultiBitFlip(FaultModel):
+    """``k`` independent flips, optionally confined near one element.
+
+    ``spread`` limits how many elements after the first may be hit, which
+    models multi-bit upsets striking one memory line; ``spread=None``
+    sprays uniformly (distinct positions).
+    """
+
+    k: int = 2
+    spread: int | None = None
+
+    def sample(self, rng, n_elements, bits_per_element):
+        if self.spread is None:
+            total = n_elements * bits_per_element
+            flat = rng.choice(total, size=min(self.k, total), replace=False)
+            return [
+                FaultSpec(int(f // bits_per_element), int(f % bits_per_element))
+                for f in flat
+            ]
+        base = int(rng.integers(0, n_elements))
+        hi = min(n_elements, base + self.spread + 1)
+        span = (hi - base) * bits_per_element
+        flat = rng.choice(span, size=min(self.k, span), replace=False)
+        return [
+            FaultSpec(base + int(f // bits_per_element), int(f % bits_per_element))
+            for f in flat
+        ]
+
+    @property
+    def name(self):
+        where = "local" if self.spread is not None else "uniform"
+        return f"{self.k}-bit-{where}"
+
+
+@dataclasses.dataclass
+class BurstError(FaultModel):
+    """Contiguous burst of up to ``length`` bits with random inner pattern.
+
+    Both endpoints are always flipped so the burst truly spans ``length``
+    bits (the quantity CRC's burst guarantee is stated over).  The burst
+    may cross element boundaries, as a physical line upset would.
+    """
+
+    length: int = 8
+
+    def sample(self, rng, n_elements, bits_per_element):
+        total = n_elements * bits_per_element
+        length = min(self.length, total)
+        start = int(rng.integers(0, total - length + 1))
+        pattern = rng.integers(0, 2, size=length)
+        pattern[0] = pattern[-1] = 1
+        return [
+            FaultSpec(int((start + k) // bits_per_element),
+                      int((start + k) % bits_per_element))
+            for k in range(length)
+            if pattern[k]
+        ]
+
+    @property
+    def name(self):
+        return f"burst-{self.length}"
+
+
+@dataclasses.dataclass
+class StuckBits(FaultModel):
+    """Hard fault: ``k`` bits stuck at a polarity (may be no-op flips)."""
+
+    k: int = 1
+    polarity: int = 1
+
+    def sample(self, rng, n_elements, bits_per_element):
+        total = n_elements * bits_per_element
+        flat = rng.choice(total, size=min(self.k, total), replace=False)
+        return [
+            FaultSpec(int(f // bits_per_element), int(f % bits_per_element),
+                      stuck=self.polarity)
+            for f in flat
+        ]
+
+    @property
+    def name(self):
+        return f"stuck-{self.k}@{self.polarity}"

@@ -1,0 +1,189 @@
+"""Continuous fault processes: MTBF-style Poisson injection over a run.
+
+The exascale motivation is falling MTBF; this module models a memory
+subject to a Poisson soft-error process (rate per bit per unit time, as
+the DRAM field studies report) and drives injection *during* a TeaLeaf
+run — between CG iterations, which is when real upsets strike — so the
+deferred-checking semantics of §VI.A.2 (errors discovered up to N
+iterations late, mandatory end-of-step sweep) can be observed end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import BoundsViolationError, DetectedUncorrectableError
+from repro.faults.injector import Region, inject_into_matrix
+from repro.faults.models import FaultSpec
+from repro.protect.kernels import verify_matrix
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.policy import CheckPolicy
+from repro.solvers.base import SolverResult
+
+
+@dataclasses.dataclass
+class PoissonProcess:
+    """Homogeneous Poisson bit-flip process over a protected matrix.
+
+    ``rate_per_bit`` is the upset probability per stored bit per exposure
+    unit (one CG iteration here).  ``advance`` draws the number of events
+    for an exposure window and returns concrete fault specs.
+    """
+
+    rate_per_bit: float
+    rng: np.random.Generator = dataclasses.field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    def advance(self, n_bits: int, exposure: float = 1.0) -> int:
+        """Number of upsets in ``n_bits`` over ``exposure`` iterations."""
+        lam = self.rate_per_bit * n_bits * exposure
+        return int(self.rng.poisson(lam))
+
+    def sample_region(
+        self, matrix: ProtectedCSRMatrix, exposure: float = 1.0
+    ) -> list[tuple[Region, FaultSpec]]:
+        """Draw upsets across all three matrix regions, area-weighted."""
+        regions = [
+            (Region.VALUES, matrix.nnz, 64),
+            (Region.COLIDX, matrix.nnz, 32),
+            (Region.ROWPTR, matrix.rowptr.size, 32),
+        ]
+        events = []
+        for region, n_elements, bits in regions:
+            for _ in range(self.advance(n_elements * bits, exposure)):
+                events.append(
+                    (
+                        region,
+                        FaultSpec(
+                            int(self.rng.integers(0, n_elements)),
+                            int(self.rng.integers(0, bits)),
+                        ),
+                    )
+                )
+        return events
+
+
+@dataclasses.dataclass
+class FaultyRunReport:
+    """What happened during a solve under continuous fault injection."""
+
+    result: SolverResult | None
+    injected: int
+    corrected: int
+    detected_uncorrectable: int
+    bounds_trips: int
+    silent_at_end: int
+    #: Iterations at which at least one fault was injected.
+    injection_iterations: list[int]
+
+    @property
+    def all_accounted(self) -> bool:
+        """True when no injected corruption survived undetected."""
+        return self.silent_at_end == 0
+
+
+def faulty_cg_solve(
+    matrix: ProtectedCSRMatrix,
+    b: np.ndarray,
+    process: PoissonProcess,
+    *,
+    eps: float = 1e-16,
+    max_iters: int = 500,
+    policy: CheckPolicy | None = None,
+    on_due: str = "reencode",
+) -> FaultyRunReport:
+    """CG under a live fault process, with the paper's recovery options.
+
+    Faults are injected between iterations; the policy decides how soon
+    they are noticed.  ``on_due`` selects the recovery for uncorrectable
+    detections: ``"reencode"`` (rebuild redundancy from a pristine copy
+    and continue — the ABFT recovery story) or ``"abort"``.
+    """
+    if policy is None:
+        policy = CheckPolicy(interval=1, correct=True)
+    pristine = matrix.to_csr()
+    n = matrix.n_rows
+    injected = corrected0 = dues = bounds_trips = 0
+    injection_iters: list[int] = []
+
+    x = np.zeros(n)
+    r = b.copy()
+    p = r.copy()
+    rr = float(np.dot(r, r))
+    it = 0
+    result = None
+    policy.reset()
+    while it < max_iters:
+        events = process.sample_region(matrix)
+        if events:
+            injection_iters.append(it)
+            for region, spec in events:
+                injected += inject_into_matrix(matrix, region, [spec])
+        try:
+            verify_matrix(matrix, policy)
+            w = matrix.matvec_unchecked(p)
+        except (DetectedUncorrectableError, BoundsViolationError) as exc:
+            if isinstance(exc, BoundsViolationError):
+                bounds_trips += 1
+            else:
+                dues += 1
+            if on_due == "abort":
+                break
+            _reencode_from(matrix, pristine)
+            continue  # retry the iteration on repaired data
+        pw = float(np.dot(p, w))
+        if pw == 0.0:
+            break
+        alpha = rr / pw
+        x += alpha * p
+        r -= alpha * w
+        rr_new = float(np.dot(r, r))
+        it += 1
+        if rr_new < eps:
+            result = SolverResult(
+                x=x, iterations=it, converged=True,
+                residual_norms=[float(np.sqrt(rr_new))],
+            )
+            break
+        p = r + (rr_new / rr) * p
+        rr = rr_new
+    corrected0 = policy.stats.corrected
+
+    # Mandatory end-of-step sweep: anything still lurking is found here.
+    silent = 0
+    try:
+        verify_matrix(matrix, policy, force=True)
+    except DetectedUncorrectableError:
+        dues += 1
+        _reencode_from(matrix, pristine)
+    decoded = matrix.to_csr()
+    if not (
+        np.array_equal(decoded.values, pristine.values)
+        and np.array_equal(decoded.colidx, pristine.colidx)
+        and np.array_equal(decoded.rowptr, pristine.rowptr)
+    ):
+        silent = 1
+    return FaultyRunReport(
+        result=result,
+        injected=injected,
+        corrected=policy.stats.corrected,
+        detected_uncorrectable=dues,
+        bounds_trips=bounds_trips,
+        silent_at_end=silent,
+        injection_iterations=injection_iters,
+    )
+
+
+def _reencode_from(matrix: ProtectedCSRMatrix, pristine) -> None:
+    """Restore a protected matrix's stored arrays from pristine data."""
+    np.copyto(matrix.values, pristine.values)
+    np.copyto(matrix.colidx, pristine.colidx)
+    if hasattr(matrix.elements, "encode"):
+        matrix.elements.encode()
+    rp = matrix.rowptr_protected
+    if hasattr(rp, "encode"):
+        np.copyto(rp.raw, pristine.rowptr)
+        rp.encode()

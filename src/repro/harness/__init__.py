@@ -1,0 +1,43 @@
+"""Experiment harness: timing, host overhead measurement, reporting.
+
+Two evidence sources feed every figure reproduction:
+
+* **host measurements** (:mod:`repro.harness.overhead`) — the actual
+  NumPy kernels of this library, protected vs unprotected, timed on the
+  machine running the benchmarks;
+* **platform model** (:mod:`repro.platforms`) — calibrated predictions
+  for the paper's five machines.
+
+:mod:`repro.harness.experiments` assembles both into the per-figure
+tables, and :mod:`repro.harness.report` prints them.
+"""
+
+from repro.harness.timing import time_callable, Timing
+from repro.harness.overhead import (
+    measure_element_overheads,
+    measure_rowptr_overheads,
+    measure_vector_overheads,
+    measure_interval_curve,
+    measure_full_protection,
+)
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentRow,
+    run_experiment,
+)
+from repro.harness.report import format_table, format_interval_series
+
+__all__ = [
+    "time_callable",
+    "Timing",
+    "measure_element_overheads",
+    "measure_rowptr_overheads",
+    "measure_vector_overheads",
+    "measure_interval_curve",
+    "measure_full_protection",
+    "EXPERIMENTS",
+    "ExperimentRow",
+    "run_experiment",
+    "format_table",
+    "format_interval_series",
+]

@@ -1,0 +1,165 @@
+"""The per-figure experiment registry (DESIGN.md's experiment index).
+
+Each entry knows how to produce the figure's series from both evidence
+sources — the host measurement and the platform model — and which paper
+anchors apply.  ``run_experiment`` returns uniform rows the report module
+formats, and the ``benchmarks/`` tree calls straight into this registry
+so the same code regenerates every figure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.harness import overhead as hov
+from repro.platforms import predict as ppred
+from repro.platforms.specs import PAPER_ANCHORS
+
+
+@dataclasses.dataclass
+class ExperimentRow:
+    """One (configuration -> overhead) data point of a figure."""
+
+    figure: str
+    series: str          # e.g. platform or "host"
+    key: str             # scheme name or interval
+    overhead: float
+    source: str          # "model" | "measured"
+    paper_value: float | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    figure: str
+    title: str
+    runner: Callable[..., list[ExperimentRow]]
+
+
+def _anchor_lookup(region: str, scheme: str, platform: str, interval: int = 1):
+    for anchor in PAPER_ANCHORS:
+        if (
+            anchor.region == region
+            and anchor.scheme == scheme
+            and anchor.platform == platform
+            and (anchor.interval == interval or anchor.interval == 999)
+        ):
+            return anchor.value
+    return None
+
+
+def _figure_bars(figure, region, model_table, host_fn, host_kwargs) -> list[ExperimentRow]:
+    rows = []
+    for platform, by_scheme in model_table().items():
+        for scheme, value in by_scheme.items():
+            rows.append(
+                ExperimentRow(
+                    figure=figure, series=platform, key=scheme,
+                    overhead=value, source="model",
+                    paper_value=_anchor_lookup(region, scheme, platform),
+                )
+            )
+    for scheme, value in host_fn(**host_kwargs).items():
+        rows.append(
+            ExperimentRow(
+                figure=figure, series="host", key=scheme,
+                overhead=value, source="measured",
+            )
+        )
+    return rows
+
+
+def run_fig4(n: int = 256, repeats: int = 5) -> list[ExperimentRow]:
+    return _figure_bars("fig4", "elements", ppred.figure4_table,
+                        hov.measure_element_overheads, {"n": n, "repeats": repeats})
+
+
+def run_fig5(n: int = 256, repeats: int = 5) -> list[ExperimentRow]:
+    return _figure_bars("fig5", "rowptr", ppred.figure5_table,
+                        hov.measure_rowptr_overheads, {"n": n, "repeats": repeats})
+
+
+def run_fig9(n: int = 256, repeats: int = 5) -> list[ExperimentRow]:
+    return _figure_bars("fig9", "vector", ppred.figure9_table,
+                        hov.measure_vector_overheads, {"n": n, "repeats": repeats})
+
+
+def _run_interval_figure(
+    figure: str, platform: str, scheme: str, n: int, repeats: int
+) -> list[ExperimentRow]:
+    rows = []
+    for interval, value in ppred.interval_figure(platform, scheme).items():
+        rows.append(
+            ExperimentRow(
+                figure=figure, series=platform, key=str(interval),
+                overhead=value, source="model",
+                paper_value=_anchor_lookup("matrix", scheme, platform, interval),
+            )
+        )
+    measured = hov.measure_interval_curve(scheme, n=n, repeats=repeats)
+    for interval, value in measured.items():
+        rows.append(
+            ExperimentRow(
+                figure=figure, series="host", key=str(interval),
+                overhead=value, source="measured",
+            )
+        )
+    return rows
+
+
+def run_fig6(n: int = 256, repeats: int = 3) -> list[ExperimentRow]:
+    """Fig. 6: whole-matrix SED vs interval (paper platform: Broadwell)."""
+    return _run_interval_figure("fig6", "broadwell", "sed", n, repeats)
+
+
+def run_fig7(n: int = 256, repeats: int = 3) -> list[ExperimentRow]:
+    """Fig. 7: whole-matrix SECDED64 vs interval (ThunderX)."""
+    return _run_interval_figure("fig7", "thunderx", "secded64", n, repeats)
+
+
+def run_fig8(n: int = 256, repeats: int = 3) -> list[ExperimentRow]:
+    """Fig. 8: whole-matrix CRC32C vs interval (GTX 1080 Ti)."""
+    return _run_interval_figure("fig8", "gtx1080ti", "crc32c", n, repeats)
+
+
+def run_t1(n: int = 192, repeats: int = 3) -> list[ExperimentRow]:
+    """T1: combined full protection + the K40 hardware-ECC target."""
+    rows = [
+        ExperimentRow(
+            figure="t1", series="k40", key="hardware-ecc",
+            overhead=0.081, source="model", paper_value=0.081,
+        )
+    ]
+    for platform in ("p100", "gtx1080ti", "broadwell"):
+        rows.append(
+            ExperimentRow(
+                figure="t1", series=platform, key="full-secded64",
+                overhead=ppred.combined_full_protection(platform),
+                source="model",
+                paper_value=_anchor_lookup("full", "secded64", platform),
+            )
+        )
+    rows.append(
+        ExperimentRow(
+            figure="t1", series="host", key="full-secded64",
+            overhead=hov.measure_full_protection(n=n, repeats=repeats),
+            source="measured",
+        )
+    )
+    return rows
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "fig4": Experiment("fig4", "CSR element protection overhead", run_fig4),
+    "fig5": Experiment("fig5", "Row pointer protection overhead", run_fig5),
+    "fig6": Experiment("fig6", "Whole-matrix SED vs check interval", run_fig6),
+    "fig7": Experiment("fig7", "Whole-matrix SECDED64 vs check interval", run_fig7),
+    "fig8": Experiment("fig8", "Whole-matrix CRC32C vs check interval", run_fig8),
+    "fig9": Experiment("fig9", "Dense vector protection overhead", run_fig9),
+    "t1": Experiment("t1", "Combined full protection headline numbers", run_t1),
+}
+
+
+def run_experiment(figure: str, **kwargs) -> list[ExperimentRow]:
+    """Run one registry entry by figure id ('fig4' ... 'fig9', 't1')."""
+    return EXPERIMENTS[figure].runner(**kwargs)

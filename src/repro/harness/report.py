@@ -1,0 +1,63 @@
+"""Plain-text tables mirroring the paper's figures."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.harness.experiments import ExperimentRow
+
+
+def _fmt(value: float | None) -> str:
+    return "    -" if value is None else f"{100 * value:5.1f}"
+
+
+def format_table(rows: list[ExperimentRow], title: str = "") -> str:
+    """Bar-figure layout: one line per series, one column per scheme."""
+    by_series: dict[str, list[ExperimentRow]] = defaultdict(list)
+    keys: list[str] = []
+    for row in rows:
+        by_series[row.series].append(row)
+        if row.key not in keys:
+            keys.append(row.key)
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'series':>12} {'src':>8} | " + " ".join(f"{k:>10}" for k in keys)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for series, series_rows in by_series.items():
+        values = {r.key: r for r in series_rows}
+        source = series_rows[0].source
+        cells, paper_cells = [], []
+        has_paper = False
+        for key in keys:
+            row = values.get(key)
+            cells.append(_fmt(row.overhead if row else None) + "%")
+            paper = row.paper_value if row else None
+            has_paper |= paper is not None
+            paper_cells.append(_fmt(paper) + "%")
+        lines.append(f"{series:>12} {source:>8} | " + " ".join(f"{c:>10}" for c in cells))
+        if has_paper:
+            lines.append(f"{'(paper)':>12} {'':>8} | " + " ".join(f"{c:>10}" for c in paper_cells))
+    return "\n".join(lines)
+
+
+def format_interval_series(rows: list[ExperimentRow], title: str = "") -> str:
+    """Line-figure layout: interval on the x axis."""
+    by_series: dict[str, dict[int, ExperimentRow]] = defaultdict(dict)
+    for row in rows:
+        by_series[row.series][int(row.key)] = row
+    intervals = sorted({int(r.key) for r in rows})
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'series':>12} | " + " ".join(f"N={n:>4}" for n in intervals)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for series, points in by_series.items():
+        cells = [
+            _fmt(points[n].overhead if n in points else None) + "%"
+            for n in intervals
+        ]
+        lines.append(f"{series:>12} | " + " ".join(f"{c:>6}" for c in cells))
+    return "\n".join(lines)

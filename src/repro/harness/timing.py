@@ -1,0 +1,43 @@
+"""Minimal, deterministic-ish timing utilities.
+
+The paper runs each configuration five times and takes the mean; we
+default to the same protocol but also keep the minimum (less sensitive to
+noisy shared machines) — overhead ratios use the minimum by default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+
+@dataclasses.dataclass
+class Timing:
+    """Wall-clock samples of one measured callable."""
+
+    samples: list[float]
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+
+def time_callable(fn, *, repeats: int = 5, warmup: int = 1) -> Timing:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` unmeasured calls."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return Timing(samples=samples)
+
+
+def overhead_ratio(protected: Timing, baseline: Timing) -> float:
+    """Relative overhead: (t_protected - t_base) / t_base, via best times."""
+    return protected.best / baseline.best - 1.0

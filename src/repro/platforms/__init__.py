@@ -1,0 +1,34 @@
+"""Analytic platform model (the cross-platform substitution).
+
+We cannot run on the paper's five machines (Broadwell, ThunderX, K40,
+GTX 1080 Ti, P100), so this package models them: a roofline-style cost
+model whose per-platform parameters (memory bandwidth, effective ABFT
+op throughput, CRC32C byte rate, range-check throughput) are calibrated
+against every overhead number the paper's text states.  The model then
+*predicts* all the bars/curves of Figs. 4-9 so their cross-platform shape
+can be reproduced and compared; DESIGN.md §4 records the rationale.
+"""
+
+from repro.platforms.specs import PlatformSpec, PLATFORMS, PAPER_ANCHORS, Anchor
+from repro.platforms.model import predict_overhead, predict_interval_curve
+from repro.platforms.predict import (
+    figure4_table,
+    figure5_table,
+    figure9_table,
+    interval_figure,
+    combined_full_protection,
+)
+
+__all__ = [
+    "PlatformSpec",
+    "PLATFORMS",
+    "PAPER_ANCHORS",
+    "Anchor",
+    "predict_overhead",
+    "predict_interval_curve",
+    "figure4_table",
+    "figure5_table",
+    "figure9_table",
+    "interval_figure",
+    "combined_full_protection",
+]

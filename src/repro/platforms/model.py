@@ -1,0 +1,150 @@
+"""The roofline-style overhead model.
+
+TeaLeaf is memory-bandwidth bound (the paper's premise), so a CG
+iteration's base time is the bytes it moves divided by bandwidth.  ABFT
+adds *compute* — the checks are fused into the kernels and touch no extra
+memory (that is the whole point of zero-storage ABFT) — so the overhead
+of a scheme is the check's op count divided by the platform's effective
+throughput, relative to the memory-bound base time.
+
+Per grid cell and CG iteration the kernels move:
+
+* matrix: 5 elements x 12 B + 4 B row pointer   = 64 B
+* vectors: SpMV gather ~8 B + ~12 dot/axpy sweeps x 8 B = 104 B
+
+Overheads are size-independent ratios (both numerator and denominator
+scale with n), matching the paper's use of a single 2048^2 deck.
+
+Op-count mix per scheme (mask+popcount+compare instruction groups):
+
+===========  =================  ===============  =================
+scheme        per CSR element    per rowptr entry  per vector touch
+===========  =================  ===============  =================
+sed           4                  3                 3
+secded64      28                 15                28
+secded128     20                 10                17.5
+crc32c        12 B @ crc rate    4 B @ crc rate    8 B @ crc rate
+===========  =================  ===============  =================
+
+(SECDED128 is cheaper per element than SECDED64 because one codeword
+amortises over 2-4 elements, but wins no resiliency — the paper's
+"no benefits of using SECDED128 over SECDED64" observation.)
+"""
+
+from __future__ import annotations
+
+from repro.platforms.specs import PLATFORMS, PlatformSpec
+
+#: Bytes moved per cell per CG iteration (base, unprotected).
+BYTES_MATRIX = 64.0   # 5 x (8 + 4) + 4
+BYTES_VECTORS = 104.0
+BYTES_TOTAL = BYTES_MATRIX + BYTES_VECTORS
+
+#: ABFT op counts per protected unit (see table in the module docstring).
+OPS_ELEMENT = {"sed": 4.0, "secded64": 28.0, "secded128": 20.0}
+OPS_ROWPTR = {"sed": 3.0, "secded64": 15.0, "secded128": 10.0}
+OPS_VECTOR = {"sed": 3.0, "secded64": 28.0, "secded128": 17.5}
+
+#: Bytes fed to CRC32C per cell for each region.
+CRC_BYTES = {"elements": 60.0, "rowptr": 4.0, "vector": 8.0 * 12}
+
+#: Range checks per cell (5 column indices + 1 row pointer entry).
+RANGECHECK_OPS = 12.0
+
+#: Vector elements touched per cell per iteration (reads + re-encoded writes).
+VECTOR_TOUCHES = 8.0
+
+
+def _spec(platform: str | PlatformSpec) -> PlatformSpec:
+    if isinstance(platform, PlatformSpec):
+        return platform
+    return PLATFORMS[platform]
+
+
+def _base_time_per_cell(spec: PlatformSpec) -> float:
+    """Nanoseconds-per-cell-equivalent; only ratios matter."""
+    return BYTES_TOTAL / spec.bw_gbs
+
+
+def _check_time_per_cell(spec: PlatformSpec, region: str, scheme: str) -> float:
+    """Cost of one full integrity pass over `region`, per cell."""
+    if scheme == "none":
+        return 0.0
+    if region == "vector":
+        fixed = VECTOR_TOUCHES * spec.vector_fixed_ops / spec.vector_ecc_gops
+        if scheme == "crc32c":
+            return fixed + CRC_BYTES[region] / spec.crc_gbps
+        return fixed + VECTOR_TOUCHES * OPS_VECTOR[scheme] / spec.vector_ecc_gops
+    if scheme == "crc32c":
+        return CRC_BYTES[region] / spec.crc_gbps
+    if region == "elements":
+        return 5.0 * OPS_ELEMENT[scheme] / spec.ecc_gops
+    if region == "rowptr":
+        return 1.0 * OPS_ROWPTR[scheme] / spec.ecc_gops
+    raise ValueError(f"unknown region {region!r}")
+
+
+def rangecheck_floor(platform: str | PlatformSpec) -> float:
+    """The fixed overhead of index range checks (interval > 1 floor)."""
+    spec = _spec(platform)
+    return (RANGECHECK_OPS / spec.rangecheck_gops) / _base_time_per_cell(spec)
+
+
+def predict_overhead(
+    platform: str | PlatformSpec,
+    region: str,
+    scheme: str,
+    interval: int = 1,
+) -> float:
+    """Predicted runtime overhead fraction for one protection configuration.
+
+    ``region`` is ``"elements"``, ``"rowptr"``, ``"vector"``, ``"matrix"``
+    (= elements + rowptr) or ``"full"`` (= matrix + vector).  ``interval``
+    spreads the full check cost over N accesses and adds the range-check
+    floor on the skipped ones (§VI.A.2); it applies to the matrix regions
+    only (vectors change every iteration and cannot defer checks).
+    """
+    spec = _spec(platform)
+    base = _base_time_per_cell(spec)
+    if region == "matrix":
+        return predict_overhead(spec, "elements", scheme, interval) + predict_overhead(
+            spec, "rowptr", scheme, interval
+        )
+    if region == "full":
+        return predict_overhead(spec, "matrix", scheme, interval) + predict_overhead(
+            spec, "vector", scheme, 1
+        )
+    t_check = _check_time_per_cell(spec, region, scheme)
+    if region == "vector":
+        return t_check / base
+    if interval <= 1:
+        return t_check / base
+    # Deferred mode: 1/N of accesses pay the check, the rest pay range
+    # checks; the per-region share of the floor is proportional to its
+    # index count (5 of 6 checks guard the elements, 1 of 6 the rowptr).
+    share = 5.0 / 6.0 if region == "elements" else 1.0 / 6.0
+    floor = share * rangecheck_floor(spec)
+    return t_check / base / interval + floor * (1.0 - 1.0 / interval)
+
+
+def predict_interval_curve(
+    platform: str | PlatformSpec,
+    scheme: str,
+    intervals=(1, 2, 4, 8, 16, 32, 64, 128),
+) -> dict[int, float]:
+    """Whole-matrix overhead vs check interval (Figs. 6-8 series)."""
+    return {
+        int(n): predict_overhead(platform, "matrix", scheme, int(n))
+        for n in intervals
+    }
+
+
+def model_summary(platform: str | PlatformSpec) -> dict[str, float]:
+    """Key predicted numbers for one platform (used in reports)."""
+    spec = _spec(platform)
+    out = {}
+    for region in ("elements", "rowptr", "vector"):
+        for scheme in ("sed", "secded64", "secded128", "crc32c"):
+            out[f"{region}/{scheme}"] = predict_overhead(spec, region, scheme)
+    out["floor"] = rangecheck_floor(spec)
+    return out

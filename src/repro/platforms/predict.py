@@ -1,0 +1,49 @@
+"""Figure-shaped tables from the platform model (Figs. 4-9 cross-platform).
+
+Each function returns the same rows/series the paper plots, as plain
+dicts keyed like the figure legends, so the benchmark harness can print
+paper-vs-model tables.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.model import predict_interval_curve, predict_overhead
+from repro.platforms.specs import PLATFORMS
+
+#: Scheme order used on the figures' x axes.
+SCHEME_ORDER = ("sed", "secded64", "secded128", "crc32c")
+
+
+def figure4_table() -> dict[str, dict[str, float]]:
+    """Fig. 4: CSR-element protection overhead, platform x scheme."""
+    return {
+        key: {s: predict_overhead(key, "elements", s) for s in SCHEME_ORDER}
+        for key in PLATFORMS
+    }
+
+
+def figure5_table() -> dict[str, dict[str, float]]:
+    """Fig. 5: row-pointer protection overhead, platform x scheme."""
+    return {
+        key: {s: predict_overhead(key, "rowptr", s) for s in SCHEME_ORDER}
+        for key in PLATFORMS
+    }
+
+
+def figure9_table() -> dict[str, dict[str, float]]:
+    """Fig. 9: dense-vector protection overhead, platform x scheme."""
+    return {
+        key: {s: predict_overhead(key, "vector", s) for s in SCHEME_ORDER}
+        for key in PLATFORMS
+    }
+
+
+def interval_figure(platform: str, scheme: str,
+                    intervals=(1, 2, 4, 8, 16, 32, 64, 128)) -> dict[int, float]:
+    """Figs. 6/7/8: whole-matrix overhead vs check interval."""
+    return predict_interval_curve(platform, scheme, intervals)
+
+
+def combined_full_protection(platform: str, scheme: str = "secded64") -> float:
+    """The paper's headline: full matrix + vectors, one scheme."""
+    return predict_overhead(platform, "full", scheme)

@@ -1,0 +1,53 @@
+"""Protected containers and kernels (paper §VI).
+
+The public surface of the paper's contribution:
+
+* :class:`~repro.protect.vector.ProtectedVector` — dense float64 vectors
+  with redundancy in mantissa LSBs (Fig. 3);
+* :class:`~repro.protect.csr_elements.ProtectedCSRElements` — the
+  ``(value, column index)`` pairs with redundancy in index top bits
+  (Fig. 1);
+* :class:`~repro.protect.row_pointer.ProtectedRowPointer` — the row
+  pointer with redundancy in its top bits (Fig. 2);
+* :class:`~repro.protect.matrix.ProtectedCSRMatrix` — the full matrix;
+* :class:`~repro.protect.policy.CheckPolicy` — less-frequent checking;
+* :mod:`repro.protect.kernels` — SpMV / dot / axpy over protected data.
+"""
+
+from repro.protect.base import (
+    ELEMENT_SCHEMES,
+    ROWPTR_SCHEMES,
+    VECTOR_SCHEMES,
+    column_limit,
+    rowptr_value_limit,
+)
+from repro.protect.vector import ProtectedVector
+from repro.protect.csr_elements import ProtectedCSRElements
+from repro.protect.row_pointer import ProtectedRowPointer
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.policy import CheckPolicy
+from repro.protect.kernels import protected_spmv, protected_dot, protected_axpy
+from repro.protect.coo_elements import ProtectedCOOElements, ProtectedCOOMatrix
+from repro.protect.csr64 import ProtectedCSRElements64, ProtectedRowPointer64
+from repro.protect.operator import ProtectedOperator
+
+__all__ = [
+    "ProtectedOperator",
+    "ProtectedCOOElements",
+    "ProtectedCOOMatrix",
+    "ProtectedCSRElements64",
+    "ProtectedRowPointer64",
+    "ELEMENT_SCHEMES",
+    "ROWPTR_SCHEMES",
+    "VECTOR_SCHEMES",
+    "column_limit",
+    "rowptr_value_limit",
+    "ProtectedVector",
+    "ProtectedCSRElements",
+    "ProtectedRowPointer",
+    "ProtectedCSRMatrix",
+    "CheckPolicy",
+    "protected_spmv",
+    "protected_dot",
+    "protected_axpy",
+]

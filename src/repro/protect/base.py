@@ -1,0 +1,74 @@
+"""Shared scheme tables and size-limit arithmetic for protected containers.
+
+Each scheme's *limits* come straight from the paper (§VI.A): redundancy is
+stolen from index bits, so protecting data constrains how large the matrix
+may grow.  The containers enforce these limits at encode time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: CSR element schemes (Fig. 1) and the column-index bits they reserve.
+ELEMENT_SCHEMES: dict[str, int] = {
+    "sed": 1,        # top bit of the column index
+    "secded64": 8,   # top byte
+    "secded128": 8,  # top byte (codeword spans two elements)
+    "crc32c": 8,     # top byte (checksum spread over the row's first four)
+}
+
+#: Row-pointer schemes (Fig. 2) and the bits reserved per 32-bit entry.
+ROWPTR_SCHEMES: dict[str, int] = {
+    "sed": 1,        # top bit
+    "secded64": 4,   # top nibble, codeword = 2 entries
+    "secded128": 4,  # top nibble, codeword = 4 entries
+    "crc32c": 4,     # top nibble, codeword = 8 entries
+}
+
+#: Dense-vector schemes (Fig. 3) and the mantissa LSBs reserved per double.
+VECTOR_SCHEMES: dict[str, int] = {
+    "sed": 1,
+    "secded64": 8,
+    "secded128": 5,  # codeword = 2 doubles
+    "crc32c": 8,     # codeword = 4 doubles
+}
+
+#: Elements grouped into one codeword, per structure kind and scheme.
+GROUPS: dict[str, dict[str, int]] = {
+    "element": {"sed": 1, "secded64": 1, "secded128": 2, "crc32c": 0},  # 0 = per row
+    "rowptr": {"sed": 1, "secded64": 2, "secded128": 4, "crc32c": 8},
+    "vector": {"sed": 1, "secded64": 1, "secded128": 2, "crc32c": 4},
+}
+
+
+def _check_scheme(scheme: str, table: dict[str, int], kind: str) -> None:
+    if scheme not in table:
+        raise ConfigurationError(
+            f"unknown {kind} scheme {scheme!r}; choose from {sorted(table)}"
+        )
+
+
+def column_limit(scheme: str) -> int:
+    """Largest usable column count for a CSR-element scheme.
+
+    SED leaves 31 index bits (``2**31 - 1`` columns); the byte-stealing
+    schemes leave 24 (``2**24 - 1`` columns) — paper §VI.A.
+    """
+    _check_scheme(scheme, ELEMENT_SCHEMES, "element")
+    return (1 << (32 - ELEMENT_SCHEMES[scheme])) - 1
+
+
+def rowptr_value_limit(scheme: str) -> int:
+    """Largest representable row-pointer value (i.e. nnz bound), §VI.A.1."""
+    _check_scheme(scheme, ROWPTR_SCHEMES, "rowptr")
+    return (1 << (32 - ROWPTR_SCHEMES[scheme])) - 1
+
+
+def require_fits(array: np.ndarray, limit: int, what: str) -> None:
+    """Raise :class:`ConfigurationError` when values exceed a scheme limit."""
+    if array.size and int(array.max()) > limit:
+        raise ConfigurationError(
+            f"{what} value {int(array.max())} exceeds the scheme limit {limit}"
+        )

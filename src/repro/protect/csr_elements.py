@@ -1,0 +1,336 @@
+"""Protection of CSR ``(value, column index)`` elements (paper §VI.A, Fig. 1).
+
+Each CSR element is a 96-bit structure: the float64 non-zero paired with
+its uint32 column index.  Redundancy lives in the *unused top bits of the
+index*, so the float values keep full precision and no extra storage is
+required — at the cost of a column-count limit:
+
+========== ===================== ========================== ===========
+scheme      codeword              redundancy placement       max columns
+========== ===================== ========================== ===========
+sed         one element (96 b)    index bit 31               2**31 - 1
+secded64    one element (96 b)    index bits 24..31          2**24 - 1
+secded128   two elements (192 b)  both index top bytes       2**24 - 1
+crc32c      one matrix row        top bytes of the row's     2**24 - 1
+                                  first four indices
+========== ===================== ========================== ===========
+
+The CRC32C stream layout per row of ``L`` elements is block-wise: the
+``8L`` value bytes, then the ``4L`` index bytes with the four checksum
+bytes masked out.  Top bytes of elements 4..L-1 are carried *raw* in the
+stream so flips there are still covered (they are zero for any in-limit
+matrix).  Rows are processed grouped by length, one batched CRC per
+group, which is the NumPy stand-in for the paper's SIMD/GPU parallel CRC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.float_bits import f64_to_u64
+from repro.bits.packing import pack_csr_element_lanes, unpack_csr_element_lanes
+from repro.bits.popcount import parity64
+from repro.ecc.base import CheckReport, CodewordStatus
+from repro.ecc.crc32c import crc32c_batch
+from repro.ecc.crc_correct import corrector_for, max_errors_for_mode
+from repro.ecc.profiles import csr_element_pair_secded128, csr_element_secded
+from repro.errors import ConfigurationError
+from repro.protect.base import ELEMENT_SCHEMES, column_limit, require_fits
+
+_ONE = np.uint64(1)
+_LOW24 = np.uint32(0x00FFFFFF)
+_LOW31 = np.uint32(0x7FFFFFFF)
+
+
+class ProtectedCSRElements:
+    """The protected ``(values, colidx)`` pair of a CSR matrix.
+
+    Owns (aliases) the two arrays; ``colidx`` carries embedded redundancy
+    after construction and must be read through :meth:`colidx_clean`.
+    ``values`` is never altered by encoding (only by corrections).
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        colidx: np.ndarray,
+        rowptr: np.ndarray,
+        n_cols: int,
+        scheme: str = "secded64",
+        crc_mode: str = "2EC3ED",
+    ):
+        if scheme not in ELEMENT_SCHEMES:
+            raise ConfigurationError(
+                f"unknown element scheme {scheme!r}; choose from {sorted(ELEMENT_SCHEMES)}"
+            )
+        self.scheme = scheme
+        self.crc_mode = crc_mode
+        max_errors_for_mode(crc_mode, True)  # validate eagerly
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        self.colidx = np.ascontiguousarray(colidx, dtype=np.uint32)
+        self.rowptr = np.ascontiguousarray(rowptr, dtype=np.uint32)
+        self.n_cols = int(n_cols)
+        limit = column_limit(scheme)
+        if self.n_cols > limit:
+            raise ConfigurationError(
+                f"{scheme}: matrix has {self.n_cols} columns, limit is {limit}"
+            )
+        require_fits(self.colidx, limit, "column index")
+        if scheme == "crc32c":
+            lengths = self.rowptr.astype(np.int64)
+            lengths = lengths[1:] - lengths[:-1]
+            if lengths.size and int(lengths.min()) < 4:
+                raise ConfigurationError(
+                    "crc32c row protection needs >= 4 non-zeros per row "
+                    f"(found a row with {int(lengths.min())})"
+                )
+            self._length_groups = _group_rows_by_length(lengths)
+        self.nnz = self.values.size
+        self.encode()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_codewords(self) -> int:
+        if self.scheme == "crc32c":
+            return self.rowptr.size - 1
+        if self.scheme == "secded128":
+            return (self.nnz + 1) // 2
+        return self.nnz
+
+    @property
+    def index_mask(self) -> np.uint32:
+        """Mask selecting the *data* bits of a stored column index."""
+        return _LOW31 if self.scheme == "sed" else _LOW24
+
+    def colidx_clean(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Column indices with redundancy stripped (safe to gather with)."""
+        if out is None:
+            return self.colidx & self.index_mask
+        np.bitwise_and(self.colidx, self.index_mask, out=out)
+        return out
+
+    # ------------------------------------------------------------------
+    def encode(self) -> None:
+        """(Re)compute all redundancy from current values/indices."""
+        if self.scheme == "sed":
+            data = self.colidx & _LOW31
+            p = (
+                parity64(f64_to_u64(self.values))
+                ^ (np.bitwise_count(data) & np.uint8(1))
+            ).astype(np.uint32)
+            self.colidx[:] = data | (p << np.uint32(31))
+        elif self.scheme == "secded64":
+            lanes = pack_csr_element_lanes(self.values, self.colidx)
+            csr_element_secded().encode(lanes)
+            _, self.colidx[:] = unpack_csr_element_lanes(lanes)
+        elif self.scheme == "secded128":
+            lanes, tail = self._pair_lanes()
+            csr_element_pair_secded128().encode(lanes)
+            self._store_pair_lanes(lanes)
+            if tail is not None:
+                csr_element_secded().encode(tail)
+                _, self.colidx[-1:] = unpack_csr_element_lanes(tail)
+        else:
+            self._encode_crc()
+
+    def detect(self) -> np.ndarray:
+        """Boolean corrupted-flag per codeword (detection only)."""
+        if self.scheme == "sed":
+            p = parity64(f64_to_u64(self.values)) ^ (
+                np.bitwise_count(self.colidx) & np.uint8(1)
+            )
+            return p.astype(bool)
+        if self.scheme == "secded64":
+            return csr_element_secded().detect(
+                pack_csr_element_lanes(self.values, self.colidx)
+            )
+        if self.scheme == "secded128":
+            lanes, tail = self._pair_lanes()
+            flags = csr_element_pair_secded128().detect(lanes)
+            if tail is not None:
+                flags = np.concatenate([flags, csr_element_secded().detect(tail)])
+            return flags
+        diffs = self._crc_diff_all()
+        flags = np.zeros(self.rowptr.size - 1, dtype=bool)
+        for rows, _, diff in diffs:
+            flags[rows] = diff != 0
+        return flags
+
+    def check(self, correct: bool = True) -> CheckReport:
+        """Full integrity check; corrects in place when possible."""
+        if not correct:
+            flags = self.detect()
+            return CheckReport(
+                status=np.where(
+                    flags,
+                    np.uint8(CodewordStatus.UNCORRECTABLE),
+                    np.uint8(CodewordStatus.OK),
+                )
+            )
+        if self.scheme == "sed":
+            return self.check(correct=False)  # SED cannot correct
+        if self.scheme == "secded64":
+            lanes = pack_csr_element_lanes(self.values, self.colidx)
+            report = csr_element_secded().check_and_correct(lanes)
+            self._write_back_elements(lanes, report.corrected_indices())
+            return report
+        if self.scheme == "secded128":
+            return self._check_secded128()
+        return self._check_crc()
+
+    # -- secded128 internals ------------------------------------------------
+    def _pair_lanes(self):
+        n_pairs = self.nnz // 2
+        lanes = np.empty((n_pairs, 4), dtype=np.uint64)
+        vwords = f64_to_u64(self.values)
+        lanes[:, 0] = vwords[0 : 2 * n_pairs : 2]
+        lanes[:, 1] = self.colidx[0 : 2 * n_pairs : 2].astype(np.uint64)
+        lanes[:, 2] = vwords[1 : 2 * n_pairs : 2]
+        lanes[:, 3] = self.colidx[1 : 2 * n_pairs : 2].astype(np.uint64)
+        tail = None
+        if self.nnz % 2:
+            tail = pack_csr_element_lanes(self.values[-1:], self.colidx[-1:])
+        return lanes, tail
+
+    def _store_pair_lanes(self, lanes: np.ndarray, only: np.ndarray | None = None) -> None:
+        if only is not None and only.size == 0:
+            return
+        sel = slice(None) if only is None else only
+        n_pairs = lanes.shape[0]
+        vwords = f64_to_u64(self.values)
+        even = np.arange(n_pairs)[sel] * 2 if only is not None else None
+        if only is None:
+            vwords[0 : 2 * n_pairs : 2] = lanes[:, 0]
+            self.colidx[0 : 2 * n_pairs : 2] = (lanes[:, 1] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+            vwords[1 : 2 * n_pairs : 2] = lanes[:, 2]
+            self.colidx[1 : 2 * n_pairs : 2] = (lanes[:, 3] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        else:
+            vwords[even] = lanes[sel, 0]
+            self.colidx[even] = (lanes[sel, 1] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+            vwords[even + 1] = lanes[sel, 2]
+            self.colidx[even + 1] = (lanes[sel, 3] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+
+    def _check_secded128(self) -> CheckReport:
+        lanes, tail = self._pair_lanes()
+        report = csr_element_pair_secded128().check_and_correct(lanes)
+        self._store_pair_lanes(lanes, only=report.corrected_indices())
+        if tail is not None:
+            tail_report = csr_element_secded().check_and_correct(tail)
+            if tail_report.n_corrected:
+                v, y = unpack_csr_element_lanes(tail)
+                self.values[-1:] = v
+                self.colidx[-1:] = y
+            report = CheckReport(
+                status=np.concatenate([report.status, tail_report.status])
+            )
+        return report
+
+    def _write_back_elements(self, lanes: np.ndarray, idx: np.ndarray) -> None:
+        if idx.size == 0:
+            return
+        v, y = unpack_csr_element_lanes(lanes[idx])
+        self.values[idx] = v
+        self.colidx[idx] = y
+
+    # -- crc32c internals -----------------------------------------------------
+    def _row_streams(self, rows: np.ndarray, length: int):
+        """(stream bytes, stored crc, element index matrix) for equal-length rows."""
+        starts = self.rowptr[rows].astype(np.int64)
+        elems = starts[:, None] + np.arange(length)
+        vals = np.ascontiguousarray(self.values[elems])
+        idxs = np.ascontiguousarray(self.colidx[elems])
+        masked = idxs.copy()
+        masked[:, :4] &= _LOW24
+        stream = np.concatenate(
+            [vals.view(np.uint8).reshape(len(rows), 8 * length),
+             masked.view(np.uint8).reshape(len(rows), 4 * length)],
+            axis=1,
+        )
+        stored = np.zeros(len(rows), dtype=np.uint32)
+        for j in range(4):
+            stored |= (idxs[:, j] >> np.uint32(24)) << np.uint32(8 * j)
+        return stream, stored, elems
+
+    def _encode_crc(self) -> None:
+        for rows, length in self._length_groups:
+            starts = self.rowptr[rows].astype(np.int64)
+            elems = starts[:, None] + np.arange(length)
+            # Clear the four checksum bytes, then recompute and store.
+            for j in range(4):
+                self.colidx[elems[:, j]] &= _LOW24
+            stream, _, _ = self._row_streams(rows, length)
+            crc = crc32c_batch(stream)
+            for j in range(4):
+                chunk = ((crc >> np.uint32(8 * j)) & np.uint32(0xFF)).astype(np.uint32)
+                self.colidx[elems[:, j]] |= chunk << np.uint32(24)
+
+    def _crc_diff_all(self):
+        out = []
+        for rows, length in self._length_groups:
+            stream, stored, elems = self._row_streams(rows, length)
+            diff = crc32c_batch(stream) ^ stored
+            out.append((rows, length, diff))
+        return out
+
+    def _check_crc(self) -> CheckReport:
+        status = np.zeros(self.rowptr.size - 1, dtype=np.uint8)
+        for rows, length, diff in self._crc_diff_all():
+            bad = np.flatnonzero(diff)
+            if not bad.size:
+                continue
+            corrector = corrector_for(12 * length)
+            max_errors = max_errors_for_mode(self.crc_mode, corrector.hd6)
+            if max_errors == 0:  # 5ED: detection-only operating point
+                status[rows[bad]] = CodewordStatus.UNCORRECTABLE
+                continue
+            vwords = f64_to_u64(self.values)
+            for k in bad:
+                row = rows[k]
+                start = int(self.rowptr[row])
+                located = corrector.locate(int(diff[k]), max_errors=max_errors)
+                if located is None or not all(
+                    self._crc_bit_possible(bit, length, corrector) for bit in located
+                ):
+                    status[row] = CodewordStatus.UNCORRECTABLE
+                    continue
+                for bit in located:
+                    self._crc_apply_flip(bit, start, length, corrector, vwords)
+                status[row] = CodewordStatus.CORRECTED
+        return CheckReport(status=status)
+
+    @staticmethod
+    def _crc_bit_possible(bit: int, length: int, corrector) -> bool:
+        """Reject locations pointing at the masked checksum bytes in the stream."""
+        if bit >= corrector.n_data_bits:
+            return True  # stored-checksum bit: always physical
+        b = bit - 64 * length
+        if b < 0:
+            return True  # value bits are physical
+        elem, pos = divmod(b, 32)
+        return not (elem < 4 and pos >= 24)
+
+    def _crc_apply_flip(self, bit, start, length, corrector, vwords) -> None:
+        if bit >= corrector.n_data_bits:
+            j = bit - corrector.n_data_bits  # stored checksum bit j
+            self.colidx[start + j // 8] ^= np.uint32(1) << np.uint32(24 + j % 8)
+        elif bit < 64 * length:
+            elem, pos = divmod(bit, 64)
+            vwords[start + elem] ^= _ONE << np.uint64(pos)
+        else:
+            elem, pos = divmod(bit - 64 * length, 32)
+            self.colidx[start + elem] ^= np.uint32(1) << np.uint32(pos)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProtectedCSRElements(nnz={self.nnz}, scheme={self.scheme!r}, "
+            f"codewords={self.n_codewords})"
+        )
+
+
+def _group_rows_by_length(lengths: np.ndarray):
+    """[(row indices, length), ...] for batch processing of ragged rows."""
+    groups = []
+    for length in np.unique(lengths):
+        rows = np.flatnonzero(lengths == length)
+        groups.append((rows, int(length)))
+    return groups

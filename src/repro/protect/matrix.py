@@ -1,0 +1,198 @@
+"""Whole-matrix protection: CSR elements + row pointer combined.
+
+The paper evaluates element and row-pointer schemes independently
+(Figs. 4 and 5) and then notes they "can be mixed together to fully
+protect the whole matrix, with the overhead being approximately equal to
+the sum of the overheads of the two techniques".
+:class:`ProtectedCSRMatrix` is that composition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csr.matrix import CSRMatrix
+from repro.csr.spmv import spmv
+from repro.ecc.base import CheckReport
+from repro.errors import BoundsViolationError, DetectedUncorrectableError
+from repro.protect.csr_elements import ProtectedCSRElements
+from repro.protect.row_pointer import ProtectedRowPointer
+
+
+class _UnprotectedElements:
+    """Passthrough used when only the other region is protected."""
+
+    scheme = None
+
+    def __init__(self, values: np.ndarray, colidx: np.ndarray):
+        self.values = values
+        self.colidx = colidx
+        self.nnz = values.size
+        self.n_codewords = 0
+
+    def colidx_clean(self, out: np.ndarray | None = None) -> np.ndarray:
+        if out is None:
+            return self.colidx
+        np.copyto(out, self.colidx)
+        return out
+
+    def detect(self) -> np.ndarray:
+        return np.zeros(0, dtype=bool)
+
+    def check(self, correct: bool = True) -> CheckReport:
+        return CheckReport(status=np.zeros(0, dtype=np.uint8))
+
+
+class _UnprotectedRowPointer:
+    """Passthrough row pointer (no redundancy embedded)."""
+
+    scheme = None
+
+    def __init__(self, rowptr: np.ndarray):
+        self.raw = rowptr
+        self.n_codewords = 0
+
+    def clean(self, out: np.ndarray | None = None) -> np.ndarray:
+        if out is None:
+            return self.raw
+        np.copyto(out, self.raw)
+        return out
+
+    def detect(self) -> np.ndarray:
+        return np.zeros(0, dtype=bool)
+
+    def check(self, correct: bool = True) -> CheckReport:
+        return CheckReport(status=np.zeros(0, dtype=np.uint8))
+
+
+class ProtectedCSRMatrix:
+    """A CSR matrix whose three vectors all carry embedded ECC.
+
+    Parameters
+    ----------
+    matrix:
+        Source :class:`~repro.csr.matrix.CSRMatrix`; its arrays are copied
+        so the original stays pristine (fault-injection campaigns rely on
+        comparing against it).
+    element_scheme / rowptr_scheme:
+        Any of ``sed``, ``secded64``, ``secded128``, ``crc32c`` — mixed
+        freely, as in the paper.
+    """
+
+    def __init__(
+        self,
+        matrix: CSRMatrix,
+        element_scheme: str | None = "secded64",
+        rowptr_scheme: str | None = "secded64",
+    ):
+        self.shape = matrix.shape
+        if rowptr_scheme is None:
+            self.rowptr_protected = _UnprotectedRowPointer(matrix.rowptr.copy())
+        else:
+            self.rowptr_protected = ProtectedRowPointer(matrix.rowptr, rowptr_scheme)
+        if element_scheme is None:
+            self.elements = _UnprotectedElements(
+                matrix.values.copy(), matrix.colidx.copy()
+            )
+        else:
+            self.elements = ProtectedCSRElements(
+                matrix.values.copy(),
+                matrix.colidx.copy(),
+                self.rowptr_protected.clean(),  # trusted structure at build time
+                matrix.shape[1],
+                element_scheme,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        return self.elements.values
+
+    @property
+    def colidx(self) -> np.ndarray:
+        """Stored (redundancy-carrying) column indices."""
+        return self.elements.colidx
+
+    @property
+    def rowptr(self) -> np.ndarray:
+        """Stored (redundancy-carrying) row pointer."""
+        return self.rowptr_protected.raw
+
+    @property
+    def nnz(self) -> int:
+        return self.elements.nnz
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    # ------------------------------------------------------------------
+    def check_all(self, correct: bool = True) -> dict[str, CheckReport]:
+        """Integrity-check every region; returns per-region reports."""
+        return {
+            "csr_elements": self.elements.check(correct=correct),
+            "row_pointer": self.rowptr_protected.check(correct=correct),
+        }
+
+    def check_or_raise(self, correct: bool = True) -> dict[str, CheckReport]:
+        """Like :meth:`check_all` but raises on any uncorrectable codeword."""
+        reports = self.check_all(correct=correct)
+        for region, report in reports.items():
+            if not report.ok:
+                raise DetectedUncorrectableError(
+                    region, report.uncorrectable_indices()[:8].tolist()
+                )
+        return reports
+
+    def detect_any(self) -> bool:
+        """Cheapest question: is anything corrupted right now?"""
+        return bool(self.elements.detect().any() or self.rowptr_protected.detect().any())
+
+    def bounds_check(self) -> None:
+        """The paper's range checks for skipped-integrity iterations.
+
+        Row-pointer values must stay below nnz and column indices below
+        the column count so a flipped index can never cause an
+        out-of-bounds access (§VI.A.2).  Raises
+        :class:`~repro.errors.BoundsViolationError` on violation.
+        """
+        ptr = self.rowptr_protected.clean()
+        if int(ptr.max(initial=0)) > self.nnz:
+            raise BoundsViolationError("row_pointer")
+        if np.any(np.diff(ptr.astype(np.int64)) < 0):
+            raise BoundsViolationError("row_pointer")
+        col = self.elements.colidx_clean()
+        if col.size and int(col.max()) >= self.n_cols:
+            raise BoundsViolationError("csr_elements")
+
+    # ------------------------------------------------------------------
+    def matvec_unchecked(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """SpMV on cleaned views without any integrity verification."""
+        return spmv(
+            self.elements.values,
+            self.elements.colidx_clean(),
+            self.rowptr_protected.clean(),
+            x,
+            self.n_rows,
+            out=out,
+        )
+
+    def to_csr(self) -> CSRMatrix:
+        """Decode to a plain CSR matrix (cleaned indices, same values)."""
+        return CSRMatrix(
+            self.elements.values.copy(),
+            self.elements.colidx_clean(),
+            self.rowptr_protected.clean(),
+            self.shape,
+            validate=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProtectedCSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"elements={self.elements.scheme!r}, rowptr={self.rowptr_protected.scheme!r})"
+        )

@@ -1,0 +1,67 @@
+"""ProtectedOperator: any solver, protected.
+
+The paper notes its techniques "could be used with other solver methods"
+and that the right long-term home is the solver-library level (PETSc /
+Trilinos, §VIII).  This adapter is that idea in miniature: it exposes a
+protected matrix as a plain :class:`~repro.solvers.base.LinearOperator`
+whose every ``matvec`` runs the policy-selected verification — so
+Jacobi, Chebyshev, PPCG, scipy's solvers, anything operator-based,
+becomes ABFT-protected without touching its code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protect.kernels import verify_matrix
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.policy import CheckPolicy
+from repro.solvers.base import LinearOperator
+
+
+class ProtectedOperator(LinearOperator):
+    """A policy-checked matvec view over a protected matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The protected matrix (CSR or COO wrapper — anything with
+        ``matvec_unchecked``, ``check_all`` and ``bounds_check``).
+    policy:
+        Check policy; defaults to a full check before every SpMV.
+    """
+
+    def __init__(self, matrix, policy: CheckPolicy | None = None):
+        self.matrix = matrix
+        self.policy = policy or CheckPolicy(interval=1, correct=True)
+        n = matrix.shape[0]
+        diagonal = None
+        if isinstance(matrix, ProtectedCSRMatrix):
+            diagonal = lambda: matrix.to_csr().diagonal()  # noqa: E731
+        super().__init__(self._checked_matvec, n, diagonal)
+
+    def _checked_matvec(self, x: np.ndarray) -> np.ndarray:
+        verify_matrix(self.matrix, self.policy)
+        return self.matrix.matvec_unchecked(x)
+
+    def end_of_step(self) -> None:
+        """Run the mandatory end-of-step sweep when checks were deferred."""
+        if self.policy.end_of_step():
+            verify_matrix(self.matrix, self.policy, force=True)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    def to_scipy(self):
+        """A :class:`scipy.sparse.linalg.LinearOperator` view.
+
+        Lets scipy's iterative solvers (`cg`, `gmres`, ...) run over
+        ABFT-protected storage — the paper's "implement at the library
+        level" future-work direction.
+        """
+        from scipy.sparse.linalg import LinearOperator as SciPyOperator
+
+        return SciPyOperator(
+            shape=self.shape, matvec=self._checked_matvec, dtype=np.float64
+        )

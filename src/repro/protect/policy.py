@@ -1,0 +1,81 @@
+"""Less-frequent correctness checking (paper §VI.A.2).
+
+The sparse matrix does not change during a CG solve, so an error detected
+at iteration *k* was necessarily present since it appeared — checking
+every *N* accesses instead of every access trades detection latency for
+runtime.  Between full checks a cheap *range check* still guards every
+index so a flipped bit can never fault the process, and one mandatory
+full sweep runs at the end of each time-step so no error escapes.
+
+The paper notes the trade-off: deferred checks forfeit correction (the
+corruption may have been consumed up to N-1 times already), so interval
+checking "should only be used with Error Detecting Codes" — the policy
+therefore exposes ``correct`` so callers can run EDC-style.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class PolicyStats:
+    """Counters for overhead accounting (reported by the benchmarks)."""
+
+    full_checks: int = 0
+    bounds_checks: int = 0
+    corrected: int = 0
+    uncorrectable: int = 0
+
+    def reset(self) -> None:
+        self.full_checks = 0
+        self.bounds_checks = 0
+        self.corrected = 0
+        self.uncorrectable = 0
+
+
+class CheckPolicy:
+    """Decides, per matrix access, between a full check and a range check.
+
+    Parameters
+    ----------
+    interval:
+        ``1`` checks on every access (the paper's default mode);
+        ``N > 1`` checks on every N-th access with range checks between;
+        ``0`` disables integrity checks entirely (baseline).
+    correct:
+        Attempt in-place correction during full checks.  The paper
+        recommends ``False`` (detection-only) whenever ``interval > 1``.
+    """
+
+    def __init__(self, interval: int = 1, correct: bool = True):
+        if interval < 0:
+            raise ValueError("interval must be >= 0")
+        self.interval = int(interval)
+        self.correct = bool(correct)
+        self._access = 0
+        self.stats = PolicyStats()
+
+    def should_check(self) -> bool:
+        """Advance the access counter; True when a full check is due."""
+        if self.interval == 0:
+            return False
+        due = (self._access % self.interval) == 0
+        self._access += 1
+        return due
+
+    def end_of_step(self) -> bool:
+        """True when a mandatory end-of-time-step sweep is required.
+
+        Needed whenever intermediate accesses may have skipped checks
+        (interval > 1) — "just in case N does not divide the number of
+        iterations performed".
+        """
+        return self.interval > 1
+
+    def reset(self) -> None:
+        """Restart the access phase (e.g. at the beginning of a time-step)."""
+        self._access = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckPolicy(interval={self.interval}, correct={self.correct})"

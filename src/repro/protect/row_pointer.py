@@ -1,0 +1,229 @@
+"""Protection of the CSR row-pointer vector (paper §VI.A.1, Fig. 2).
+
+The paper's novel piece: prior ABFT work left the row pointer (*x* vector)
+exposed.  Each 32-bit entry is at most ``nnz``, so its top bits are free:
+
+========== ====== ================== ========================
+scheme      group  bits/entry stolen  max representable value
+========== ====== ================== ========================
+sed          1     1 (bit 31)         2**31 - 1
+secded64     2     4 (bits 28..31)    2**28 - 1
+secded128    4     4                  2**28 - 1
+crc32c       8     4                  2**28 - 1
+========== ====== ================== ========================
+
+Multi-entry codewords amortise the redundancy ("our new scheme allows us
+to split the redundancy bits between 2, 4 and 8 elements").  A tail of
+``len % group`` entries falls back to per-entry SED in bit 31 — the top
+nibble of a tail entry is zero and covered by that parity.
+
+The CRC32C stream is the group's 32 bytes with every top nibble zeroed;
+checksum nibble ``e`` (crc bits ``4e..4e+3``) is stored in entry ``e``'s
+top nibble.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.packing import pack_u32_lanes, unpack_u32_lanes
+from repro.ecc.base import CheckReport, CodewordStatus
+from repro.ecc.crc32c import crc32c_batch
+from repro.ecc.crc_correct import corrector_for, max_errors_for_mode
+from repro.ecc.profiles import rowptr_secded64, rowptr_secded128
+from repro.errors import ConfigurationError
+from repro.protect.base import GROUPS, ROWPTR_SCHEMES, require_fits, rowptr_value_limit
+
+_LOW28 = np.uint32(0x0FFFFFFF)
+_LOW31 = np.uint32(0x7FFFFFFF)
+
+
+class ProtectedRowPointer:
+    """The protected row-pointer (*x*) vector of a CSR matrix."""
+
+    def __init__(self, rowptr: np.ndarray, scheme: str = "secded64",
+                 crc_mode: str = "2EC3ED"):
+        if scheme not in ROWPTR_SCHEMES:
+            raise ConfigurationError(
+                f"unknown rowptr scheme {scheme!r}; choose from {sorted(ROWPTR_SCHEMES)}"
+            )
+        self.scheme = scheme
+        self.crc_mode = crc_mode
+        max_errors_for_mode(crc_mode, True)  # validate eagerly
+        self.group = GROUPS["rowptr"][scheme]
+        self.raw = np.ascontiguousarray(rowptr, dtype=np.uint32).copy()
+        require_fits(self.raw, rowptr_value_limit(scheme), "row pointer")
+        self._n_grouped = (self.raw.size // self.group) * self.group
+        self.encode()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.raw.size
+
+    @property
+    def tail_size(self) -> int:
+        return self.raw.size - self._n_grouped
+
+    @property
+    def n_codewords(self) -> int:
+        return self._n_grouped // self.group + self.tail_size
+
+    @property
+    def entry_mask(self) -> np.uint32:
+        return _LOW31 if self.scheme == "sed" else _LOW28
+
+    def clean(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Row-pointer values with redundancy stripped."""
+        if out is None:
+            out = np.empty_like(self.raw)
+        np.bitwise_and(self.raw, self.entry_mask, out=out)
+        if self.tail_size:
+            out[self._n_grouped :] = self.raw[self._n_grouped :] & _LOW31
+        return out
+
+    # ------------------------------------------------------------------
+    def encode(self) -> None:
+        if self.scheme == "sed":
+            data = self.raw & _LOW31
+            p = (np.bitwise_count(data) & np.uint8(1)).astype(np.uint32)
+            self.raw[:] = data | (p << np.uint32(31))
+            return
+        if self._n_grouped:
+            body = self.raw[: self._n_grouped]
+            lanes = pack_u32_lanes(body, self.group)
+            if self.scheme == "secded64":
+                rowptr_secded64().encode(lanes)
+            elif self.scheme == "secded128":
+                rowptr_secded128().encode(lanes)
+            else:
+                self._encode_crc(lanes)
+            body[:] = unpack_u32_lanes(lanes, self.group)
+        self._encode_tail()
+
+    def _encode_tail(self) -> None:
+        if not self.tail_size:
+            return
+        tail = self.raw[self._n_grouped :]
+        data = tail & _LOW31
+        p = (np.bitwise_count(data) & np.uint8(1)).astype(np.uint32)
+        tail[:] = data | (p << np.uint32(31))
+
+    # ------------------------------------------------------------------
+    def detect(self) -> np.ndarray:
+        if self.scheme == "sed":
+            return (np.bitwise_count(self.raw) & np.uint8(1)).astype(bool)
+        flags = np.zeros(0, dtype=bool)
+        if self._n_grouped:
+            lanes = pack_u32_lanes(self.raw[: self._n_grouped], self.group)
+            if self.scheme == "secded64":
+                flags = rowptr_secded64().detect(lanes)
+            elif self.scheme == "secded128":
+                flags = rowptr_secded128().detect(lanes)
+            else:
+                flags = self._crc_diff(lanes) != 0
+        if self.tail_size:
+            tail_flags = (
+                np.bitwise_count(self.raw[self._n_grouped :]) & np.uint8(1)
+            ).astype(bool)
+            flags = np.concatenate([flags, tail_flags])
+        return flags
+
+    def check(self, correct: bool = True) -> CheckReport:
+        if not correct or self.scheme == "sed":
+            flags = self.detect()
+            return CheckReport(
+                status=np.where(
+                    flags,
+                    np.uint8(CodewordStatus.UNCORRECTABLE),
+                    np.uint8(CodewordStatus.OK),
+                )
+            )
+        status_main = np.zeros(0, dtype=np.uint8)
+        if self._n_grouped:
+            body = self.raw[: self._n_grouped]
+            lanes = pack_u32_lanes(body, self.group)
+            if self.scheme == "secded64":
+                report = rowptr_secded64().check_and_correct(lanes)
+            elif self.scheme == "secded128":
+                report = rowptr_secded128().check_and_correct(lanes)
+            else:
+                report = self._check_crc(lanes)
+            if report.n_corrected:
+                body[:] = unpack_u32_lanes(lanes, self.group)
+            status_main = report.status
+        if self.tail_size:
+            tail_flags = (
+                np.bitwise_count(self.raw[self._n_grouped :]) & np.uint8(1)
+            ).astype(bool)
+            tail_status = np.where(
+                tail_flags,
+                np.uint8(CodewordStatus.UNCORRECTABLE),
+                np.uint8(CodewordStatus.OK),
+            )
+            status_main = np.concatenate([status_main, tail_status])
+        return CheckReport(status=status_main)
+
+    # -- crc32c internals ---------------------------------------------------
+    @staticmethod
+    def _lanes_to_u32(lanes: np.ndarray) -> np.ndarray:
+        """(N, 8) uint32 view of the group entries."""
+        return (
+            np.ascontiguousarray(lanes)
+            .view(np.uint32)
+            .reshape(lanes.shape[0], 8)
+        )
+
+    def _crc_stream(self, lanes: np.ndarray) -> np.ndarray:
+        entries = self._lanes_to_u32(lanes)
+        masked = entries & _LOW28
+        return masked.view(np.uint8).reshape(lanes.shape[0], 32)
+
+    def _stored_crc(self, lanes: np.ndarray) -> np.ndarray:
+        entries = self._lanes_to_u32(lanes)
+        stored = np.zeros(lanes.shape[0], dtype=np.uint32)
+        for e in range(8):
+            nibble = entries[:, e] >> np.uint32(28)
+            stored |= nibble << np.uint32(4 * e)
+        return stored
+
+    def _crc_diff(self, lanes: np.ndarray) -> np.ndarray:
+        return crc32c_batch(self._crc_stream(lanes)) ^ self._stored_crc(lanes)
+
+    def _encode_crc(self, lanes: np.ndarray) -> None:
+        crc = crc32c_batch(self._crc_stream(lanes))
+        entries = self._lanes_to_u32(lanes)
+        for e in range(8):
+            nibble = (crc >> np.uint32(4 * e)) & np.uint32(0xF)
+            entries[:, e] = (entries[:, e] & _LOW28) | (nibble << np.uint32(28))
+        # entries is a view over `lanes`, so the update is already in place.
+
+    def _check_crc(self, lanes: np.ndarray) -> CheckReport:
+        diff = self._crc_diff(lanes)
+        status = np.zeros(lanes.shape[0], dtype=np.uint8)
+        bad = np.flatnonzero(diff)
+        if bad.size:
+            corrector = corrector_for(32)
+            entries = self._lanes_to_u32(lanes)
+            max_errors = max_errors_for_mode(self.crc_mode, corrector.hd6)
+            if max_errors == 0:  # 5ED: detection-only operating point
+                status[bad] = CodewordStatus.UNCORRECTABLE
+                return CheckReport(status=status)
+            for g in bad:
+                located = corrector.locate(int(diff[g]), max_errors=max_errors)
+                if located is None or any(
+                    bit < corrector.n_data_bits and (bit % 32) >= 28 for bit in located
+                ):
+                    status[g] = CodewordStatus.UNCORRECTABLE
+                    continue
+                for bit in located:
+                    if bit < corrector.n_data_bits:
+                        e, b = divmod(bit, 32)
+                    else:
+                        j = bit - corrector.n_data_bits
+                        e, b = j // 4, 28 + j % 4
+                    entries[g, e] ^= np.uint32(1) << np.uint32(b)
+                status[g] = CodewordStatus.CORRECTED
+        return CheckReport(status=status)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProtectedRowPointer(n={self.raw.size}, scheme={self.scheme!r})"

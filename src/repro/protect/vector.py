@@ -1,0 +1,249 @@
+"""Protected dense float64 vectors (paper §VI.B, Fig. 3).
+
+Doubles have no spare bits, so redundancy is hidden in the
+least-significant mantissa bits and **masked to zero whenever a value is
+used for computation** — the paper's framework rule that bounds the
+injected noise (relative error < 2^-44 for 8 reserved bits).
+
+Scheme layouts:
+
+========  =====  ==================  =============================
+scheme    group  reserved LSBs/elem  codeword
+========  =====  ==================  =============================
+sed        1     1                   one double, parity in bit 0
+secded64   1     8                   one double, 8 check bits
+secded128  2     5                   two doubles, 9 check bits (+1 zero)
+crc32c     4     8                   four doubles, CRC32C split 8/8/8/8
+========  =====  ==================  =============================
+
+A tail of ``len(v) % group`` elements falls back to per-element SED
+(parity in bit 0) so coverage has no holes; this is a documented
+deviation — the paper never states how non-multiple lengths are handled.
+
+Writes are whole-array ``store`` operations: the solver computes on plain
+working arrays and commits complete codewords, which is exactly the
+paper's read/write-buffering strategy for avoiding read-modify-writes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.float_bits import f64_to_u64
+from repro.bits.popcount import parity64
+from repro.ecc.base import CheckReport, CodewordStatus
+from repro.ecc.crc32c import crc32c_batch
+from repro.ecc.crc_correct import corrector_for, max_errors_for_mode
+from repro.ecc.profiles import vector_secded64, vector_secded128
+from repro.errors import ConfigurationError
+from repro.protect.base import GROUPS, VECTOR_SCHEMES
+
+_ONE = np.uint64(1)
+
+
+class ProtectedVector:
+    """A float64 vector with embedded software ECC.
+
+    Parameters
+    ----------
+    values:
+        Initial contents.  Copied; the reserved mantissa LSBs of the copy
+        are overwritten with redundancy.
+    scheme:
+        One of ``"sed"``, ``"secded64"``, ``"secded128"``, ``"crc32c"``.
+    """
+
+    def __init__(self, values: np.ndarray, scheme: str = "secded64",
+                 crc_mode: str = "2EC3ED"):
+        if scheme not in VECTOR_SCHEMES:
+            raise ConfigurationError(
+                f"unknown vector scheme {scheme!r}; choose from {sorted(VECTOR_SCHEMES)}"
+            )
+        self.scheme = scheme
+        self.crc_mode = crc_mode
+        max_errors_for_mode(crc_mode, True)  # validate eagerly
+        self.reserved_bits = VECTOR_SCHEMES[scheme]
+        self.group = GROUPS["vector"][scheme]
+        self.raw = np.array(values, dtype=np.float64, copy=True)
+        if self.raw.ndim != 1:
+            raise ConfigurationError("ProtectedVector expects a 1-D array")
+        self._n_grouped = (self.raw.size // self.group) * self.group
+        self._encode_all()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.raw.size
+
+    @property
+    def n_codewords(self) -> int:
+        """Grouped codewords plus per-element SED tail codewords."""
+        return self._n_grouped // self.group + (self.raw.size - self._n_grouped)
+
+    @property
+    def tail_size(self) -> int:
+        return self.raw.size - self._n_grouped
+
+    # -- read path ------------------------------------------------------
+    def values(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Computation-ready copy: reserved LSBs masked to zero."""
+        if out is None:
+            out = np.empty_like(self.raw)
+        words = f64_to_u64(self.raw)
+        out_words = f64_to_u64(out)
+        np.bitwise_and(words, self._data_mask_word(), out=out_words)
+        if self.tail_size:
+            tail = f64_to_u64(self.raw[self._n_grouped :])
+            out_words[self._n_grouped :] = tail & ~_ONE
+        return out
+
+    # -- write path ------------------------------------------------------
+    def store(self, new_values: np.ndarray) -> None:
+        """Overwrite the whole vector and re-encode (no read-modify-write)."""
+        new_values = np.asarray(new_values, dtype=np.float64)
+        if new_values.shape != self.raw.shape:
+            raise ValueError("store() requires a same-length vector")
+        np.copyto(self.raw, new_values)
+        self._encode_all()
+
+    # -- integrity -------------------------------------------------------
+    def detect(self) -> np.ndarray:
+        """Boolean corrupted-flag per codeword, without correction."""
+        main = self._detect_main()
+        if not self.tail_size:
+            return main
+        tail = parity64(f64_to_u64(self.raw[self._n_grouped :])).astype(bool)
+        return np.concatenate([main, tail])
+
+    def check(self, correct: bool = True) -> CheckReport:
+        """Full integrity check; single-bit errors repaired when possible."""
+        if not correct:
+            flags = self.detect()
+            status = np.where(
+                flags, np.uint8(CodewordStatus.UNCORRECTABLE), np.uint8(CodewordStatus.OK)
+            )
+            return CheckReport(status=status)
+        main = self._check_main()
+        if not self.tail_size:
+            return main
+        tail_flags = parity64(f64_to_u64(self.raw[self._n_grouped :]))
+        tail_status = np.where(
+            tail_flags.astype(bool),
+            np.uint8(CodewordStatus.UNCORRECTABLE),
+            np.uint8(CodewordStatus.OK),
+        )
+        return CheckReport(status=np.concatenate([main.status, tail_status]))
+
+    # ------------------------------------------------------------------
+    def _data_mask_word(self) -> np.uint64:
+        return np.uint64(~np.uint64((1 << self.reserved_bits) - 1))
+
+    def _grouped_lanes(self) -> np.ndarray:
+        """In-place uint64 lane view over the grouped prefix."""
+        words = f64_to_u64(self.raw)
+        return words[: self._n_grouped].reshape(-1, self.group)
+
+    def _encode_all(self) -> None:
+        if self._n_grouped:
+            lanes = self._grouped_lanes()
+            if self.scheme == "sed":
+                np.bitwise_and(lanes, ~_ONE, out=lanes)
+                p = parity64(lanes[:, 0]).astype(np.uint64)
+                lanes[:, 0] |= p
+            elif self.scheme == "secded64":
+                vector_secded64().encode(lanes)
+            elif self.scheme == "secded128":
+                vector_secded128().encode(lanes)
+            else:  # crc32c
+                self._encode_crc(lanes)
+        if self.tail_size:
+            tail = f64_to_u64(self.raw[self._n_grouped :])
+            np.bitwise_and(tail, ~_ONE, out=tail)
+            tail |= parity64(tail).astype(np.uint64)
+
+    # -- scheme internals --------------------------------------------------
+    def _detect_main(self) -> np.ndarray:
+        if not self._n_grouped:
+            return np.zeros(0, dtype=bool)
+        lanes = self._grouped_lanes()
+        if self.scheme == "sed":
+            return parity64(lanes[:, 0]).astype(bool)
+        if self.scheme == "secded64":
+            return vector_secded64().detect(lanes)
+        if self.scheme == "secded128":
+            return vector_secded128().detect(lanes)
+        return self._crc_diff(lanes) != 0
+
+    def _check_main(self) -> CheckReport:
+        lanes = self._grouped_lanes() if self._n_grouped else np.zeros((0, 1), np.uint64)
+        if self.scheme == "sed":
+            flags = parity64(lanes[:, 0]) if self._n_grouped else np.zeros(0, np.uint8)
+            status = np.where(
+                flags.astype(bool),
+                np.uint8(CodewordStatus.UNCORRECTABLE),
+                np.uint8(CodewordStatus.OK),
+            )
+            return CheckReport(status=status)
+        if self.scheme == "secded64":
+            return vector_secded64().check_and_correct(lanes)
+        if self.scheme == "secded128":
+            return vector_secded128().check_and_correct(lanes)
+        return self._check_crc(lanes)
+
+    # CRC32C over groups of four doubles: the stream is the 32 bytes of
+    # the group with byte 0 (the 8 reserved LSBs) of each double zeroed;
+    # CRC byte j is stored in byte 0 of double j.
+    def _group_bytes(self, lanes: np.ndarray) -> np.ndarray:
+        raw = np.ascontiguousarray(lanes).view(np.uint8).reshape(-1, 8 * self.group)
+        stream = raw.copy()
+        stream[:, 0::8] = 0
+        return stream
+
+    def _stored_crc(self, lanes: np.ndarray) -> np.ndarray:
+        raw = np.ascontiguousarray(lanes).view(np.uint8).reshape(-1, 8 * self.group)
+        stored = np.zeros(raw.shape[0], dtype=np.uint32)
+        for j in range(4):
+            stored |= raw[:, 8 * j].astype(np.uint32) << np.uint32(8 * j)
+        return stored
+
+    def _encode_crc(self, lanes: np.ndarray) -> None:
+        crc = crc32c_batch(self._group_bytes(lanes))
+        byte_mask = ~np.uint64(0xFF)
+        for j in range(4):
+            chunk = ((crc >> np.uint32(8 * j)) & np.uint32(0xFF)).astype(np.uint64)
+            lanes[:, j] = (lanes[:, j] & byte_mask) | chunk
+
+    def _crc_diff(self, lanes: np.ndarray) -> np.ndarray:
+        return crc32c_batch(self._group_bytes(lanes)) ^ self._stored_crc(lanes)
+
+    def _check_crc(self, lanes: np.ndarray) -> CheckReport:
+        diff = self._crc_diff(lanes)
+        status = np.zeros(lanes.shape[0], dtype=np.uint8)
+        bad = np.flatnonzero(diff)
+        if bad.size:
+            corrector = corrector_for(8 * self.group)
+            max_errors = max_errors_for_mode(self.crc_mode, corrector.hd6)
+            if max_errors == 0:  # 5ED: detection-only operating point
+                status[bad] = CodewordStatus.UNCORRECTABLE
+                return CheckReport(status=status)
+            for g in bad:
+                located = corrector.locate(int(diff[g]), max_errors=max_errors)
+                # Stream bits 0..7 of each double are always zero, so a
+                # located "flip" there cannot exist in memory: reject the
+                # whole localisation before touching anything.
+                if located is None or any(
+                    bit < corrector.n_data_bits and (bit % 64) < 8 for bit in located
+                ):
+                    status[g] = CodewordStatus.UNCORRECTABLE
+                    continue
+                for bit in located:
+                    if bit < corrector.n_data_bits:
+                        elem, b = divmod(bit, 64)
+                        lanes[g, elem] ^= _ONE << np.uint64(b)
+                    else:
+                        j = bit - corrector.n_data_bits
+                        lanes[g, j // 8] ^= _ONE << np.uint64(j % 8)
+                status[g] = CodewordStatus.CORRECTED
+        return CheckReport(status=status)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProtectedVector(n={self.raw.size}, scheme={self.scheme!r})"

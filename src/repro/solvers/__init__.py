@@ -1,0 +1,29 @@
+"""Sparse linear solvers (paper §V).
+
+The paper evaluates ABFT inside TeaLeaf's CG solve; TeaLeaf itself ships
+CG, Jacobi, Chebyshev and PPCG, and the paper notes the techniques "could
+be used with other solver methods" — so all four are provided, each over
+either a plain :class:`~repro.csr.matrix.CSRMatrix` or a protected
+operator.
+"""
+
+from repro.solvers.base import SolverResult, LinearOperator, as_operator
+from repro.solvers.cg import cg_solve, protected_cg_solve
+from repro.solvers.jacobi import jacobi_solve
+from repro.solvers.chebyshev import chebyshev_solve, estimate_eigenvalue_bounds
+from repro.solvers.ppcg import ppcg_solve
+from repro.solvers.preconditioner import JacobiPreconditioner, IdentityPreconditioner
+
+__all__ = [
+    "SolverResult",
+    "LinearOperator",
+    "as_operator",
+    "cg_solve",
+    "protected_cg_solve",
+    "jacobi_solve",
+    "chebyshev_solve",
+    "estimate_eigenvalue_bounds",
+    "ppcg_solve",
+    "JacobiPreconditioner",
+    "IdentityPreconditioner",
+]

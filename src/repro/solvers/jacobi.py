@@ -1,0 +1,47 @@
+"""Jacobi iteration (TeaLeaf's tl_use_jacobi).
+
+Slowly convergent but embarrassingly parallel; kept as the paper's host
+application offers it as an alternative solver and because its different
+kernel mix (no dot products in the hot loop) exercises a different ABFT
+cost profile in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.base import SolverResult, as_operator
+
+
+def jacobi_solve(
+    A,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    *,
+    eps: float = 1e-15,
+    max_iters: int = 10_000,
+    check_every: int = 10,
+) -> SolverResult:
+    """Solve ``A x = b`` by damped-free Jacobi sweeps.
+
+    ``x_{k+1} = x_k + D^-1 (b - A x_k)``.  The residual norm is evaluated
+    every ``check_every`` sweeps (it costs an extra SpMV-equivalent).
+    """
+    op = as_operator(A)
+    d_inv = 1.0 / op.diagonal()
+    x = np.zeros(op.n) if x0 is None else np.array(x0, dtype=np.float64)
+    r = b - op.matvec(x)
+    norms = [float(np.linalg.norm(r))]
+    converged = norms[0] ** 2 < eps
+    it = 0
+    while not converged and it < max_iters:
+        x += d_inv * r
+        it += 1
+        if it % check_every == 0 or it == max_iters:
+            r = b - op.matvec(x)
+            norms.append(float(np.linalg.norm(r)))
+            if norms[-1] ** 2 < eps:
+                converged = True
+        else:
+            r = b - op.matvec(x)
+    return SolverResult(x=x, iterations=it, converged=converged, residual_norms=norms)

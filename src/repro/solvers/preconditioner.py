@@ -1,0 +1,33 @@
+"""Preconditioners: identity and Jacobi (TeaLeaf's tl_preconditioner_type)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class IdentityPreconditioner:
+    """No-op preconditioner (TeaLeaf's default)."""
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return r
+
+
+class JacobiPreconditioner:
+    """Diagonal scaling ``M^-1 r = r / diag(A)``.
+
+    TeaLeaf's ``tl_preconditioner_type=jac_diag``; cheap and effective on
+    the diagonally dominant conduction operator.
+    """
+
+    def __init__(self, diagonal: np.ndarray):
+        diagonal = np.asarray(diagonal, dtype=np.float64)
+        if np.any(diagonal == 0.0):
+            raise ValueError("Jacobi preconditioner requires a nonzero diagonal")
+        self._inv = 1.0 / diagonal
+
+    @classmethod
+    def from_operator(cls, A) -> "JacobiPreconditioner":
+        return cls(A.diagonal())
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return r * self._inv

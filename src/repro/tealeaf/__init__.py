@@ -1,0 +1,34 @@
+"""TeaLeaf: 2-D linear heat conduction miniapp (Mantevo), the paper's host.
+
+A faithful pure-NumPy port of the parts the paper exercises: regular-grid
+implicit diffusion with a 5-point stencil, conduction coefficients from
+cell densities, one sparse solve per time-step, and a `tea.in`-style
+input deck.  Protected runs thread the ABFT machinery through the solve.
+"""
+
+from repro.tealeaf.deck import Deck, State, parse_deck, DEFAULT_DECK, BENCH_DECK
+from repro.tealeaf.state import TeaLeafState
+from repro.tealeaf.assembly import build_conductivities, build_operator
+from repro.tealeaf.driver import TeaLeafDriver, StepResult, RunSummary
+from repro.tealeaf.reference import (
+    total_energy,
+    temperature_bounds_ok,
+    analytic_decay_error,
+)
+
+__all__ = [
+    "Deck",
+    "State",
+    "parse_deck",
+    "DEFAULT_DECK",
+    "BENCH_DECK",
+    "TeaLeafState",
+    "build_conductivities",
+    "build_operator",
+    "TeaLeafDriver",
+    "StepResult",
+    "RunSummary",
+    "total_energy",
+    "temperature_bounds_ok",
+    "analytic_decay_error",
+]

@@ -1,0 +1,44 @@
+"""Operator assembly: cell conductivities -> face coefficients -> CSR.
+
+TeaLeaf's `tea_leaf_init` computes face conductivities from the two
+adjacent cells' coefficients ``w`` as ``(w_l + w_r) / (2 w_l w_r)`` — the
+reciprocal of the harmonic mean — then scales by ``dt / dx^2`` inside the
+5-point operator.  :func:`build_operator` reproduces that pipeline on top
+of :func:`repro.csr.build.five_point_operator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csr.build import five_point_operator
+from repro.csr.matrix import CSRMatrix
+from repro.tealeaf.state import TeaLeafState
+
+
+def build_conductivities(w: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Face coefficient arrays (kx, ky) from cell coefficients ``w``.
+
+    ``kx[j, i]`` couples cells ``(j, i-1)`` and ``(j, i)`` (column 0 is
+    unused/boundary); ``ky[j, i]`` couples ``(j-1, i)`` and ``(j, i)``.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    kx = np.zeros_like(w)
+    ky = np.zeros_like(w)
+    kx[:, 1:] = (w[:, :-1] + w[:, 1:]) / (2.0 * w[:, :-1] * w[:, 1:])
+    ky[1:, :] = (w[:-1, :] + w[1:, :]) / (2.0 * w[:-1, :] * w[1:, :])
+    return kx, ky
+
+
+def build_operator(state: TeaLeafState, dt: float) -> CSRMatrix:
+    """Assemble ``(I + dt * L)`` for the current state.
+
+    Uses an isotropic ``dt/dx^2`` scaling (TeaLeaf supports rectangular
+    cells; the paper's decks are square so ``rx == ry``).
+    """
+    deck = state.deck
+    if not np.isclose(deck.dx, deck.dy):
+        raise ValueError("square cells expected (paper decks use square grids)")
+    kx, ky = build_conductivities(state.conduction_coefficient())
+    r = float(dt) / (deck.dx * deck.dx)
+    return five_point_operator(deck.x_cells, deck.y_cells, kx, ky, r)

@@ -1,0 +1,172 @@
+"""`tea.in` input decks.
+
+TeaLeaf configures runs from a small key=value deck between ``*tea`` and
+``*endtea`` markers, with ``state`` lines describing initial material
+regions.  This module parses and serialises that format (the subset the
+paper's experiments need) so the examples can ship runnable decks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class State:
+    """One material region: background (state 1) or a rectangle."""
+
+    density: float
+    energy: float
+    geometry: str = "background"  # "background" or "rectangle"
+    xmin: float = 0.0
+    xmax: float = 0.0
+    ymin: float = 0.0
+    ymax: float = 0.0
+
+
+@dataclasses.dataclass
+class Deck:
+    """A parsed TeaLeaf input deck."""
+
+    x_cells: int = 64
+    y_cells: int = 64
+    xmin: float = 0.0
+    xmax: float = 10.0
+    ymin: float = 0.0
+    ymax: float = 10.0
+    initial_timestep: float = 0.004
+    end_step: int = 5
+    tl_max_iters: int = 10_000
+    tl_eps: float = 1e-15
+    solver: str = "cg"  # cg | jacobi | chebyshev | ppcg
+    use_reciprocal_conductivity: bool = True  # TeaLeaf coefficient mode
+    states: list[State] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.states:
+            # The classic tea_bm setup: cold dense background with a hot
+            # light rectangular region in the lower-left corner.
+            self.states = [
+                State(density=100.0, energy=0.0001),
+                State(
+                    density=0.1,
+                    energy=25.0,
+                    geometry="rectangle",
+                    xmin=0.0,
+                    xmax=self.xmax / 2.0,
+                    ymin=0.0,
+                    ymax=self.ymax / 5.0,
+                ),
+            ]
+
+    @property
+    def dx(self) -> float:
+        return (self.xmax - self.xmin) / self.x_cells
+
+    @property
+    def dy(self) -> float:
+        return (self.ymax - self.ymin) / self.y_cells
+
+    def to_text(self) -> str:
+        """Serialise back to `tea.in` syntax."""
+        lines = ["*tea"]
+        for k, state in enumerate(self.states, start=1):
+            parts = [f"state {k} density={state.density} energy={state.energy}"]
+            if state.geometry != "background":
+                parts.append(
+                    f"geometry={state.geometry} xmin={state.xmin} xmax={state.xmax} "
+                    f"ymin={state.ymin} ymax={state.ymax}"
+                )
+            lines.append(" ".join(parts))
+        lines += [
+            f"x_cells={self.x_cells}",
+            f"y_cells={self.y_cells}",
+            f"xmin={self.xmin}",
+            f"xmax={self.xmax}",
+            f"ymin={self.ymin}",
+            f"ymax={self.ymax}",
+            f"initial_timestep={self.initial_timestep}",
+            f"end_step={self.end_step}",
+            f"tl_max_iters={self.tl_max_iters}",
+            f"tl_eps={self.tl_eps}",
+            f"tl_use_{self.solver}",
+        ]
+        if not self.use_reciprocal_conductivity:
+            lines.append("tl_coefficient_density")
+        lines.append("*endtea")
+        return "\n".join(lines) + "\n"
+
+
+def parse_deck(text: str) -> Deck:
+    """Parse `tea.in` syntax into a :class:`Deck`.
+
+    Unknown keys are ignored (TeaLeaf has many knobs the paper never
+    touches); state lines accept the same key=value fields TeaLeaf uses.
+    """
+    deck = Deck(states=[State(density=1.0, energy=1.0)])
+    deck.states = []
+    in_block = False
+    for raw in text.splitlines():
+        line = raw.split("!", 1)[0].strip()  # TeaLeaf comments start with !
+        if not line:
+            continue
+        low = line.lower()
+        if low.startswith("*tea"):
+            in_block = True
+            continue
+        if low.startswith("*endtea"):
+            break
+        if not in_block:
+            continue
+        if low.startswith("state"):
+            deck.states.append(_parse_state(line))
+            continue
+        if low == "tl_coefficient_density":
+            deck.use_reciprocal_conductivity = False
+            continue
+        if low.startswith("tl_use_"):
+            deck.solver = low.removeprefix("tl_use_")
+            continue
+        if "=" in line:
+            key, value = (part.strip() for part in line.split("=", 1))
+            _assign(deck, key.lower(), value)
+    if not deck.states:
+        deck.states = Deck().states
+    return deck
+
+
+def _parse_state(line: str) -> State:
+    fields = {}
+    for token in line.split()[2:]:  # skip "state <k>"
+        if "=" in token:
+            key, value = token.split("=", 1)
+            fields[key.lower()] = value
+    state = State(
+        density=float(fields.get("density", 1.0)),
+        energy=float(fields.get("energy", 1.0)),
+        geometry=fields.get("geometry", "background"),
+    )
+    for key in ("xmin", "xmax", "ymin", "ymax"):
+        if key in fields:
+            setattr(state, key, float(fields[key]))
+    return state
+
+
+_INT_KEYS = {"x_cells", "y_cells", "end_step", "tl_max_iters"}
+_FLOAT_KEYS = {"xmin", "xmax", "ymin", "ymax", "initial_timestep", "tl_eps"}
+
+
+def _assign(deck: Deck, key: str, value: str) -> None:
+    if key in _INT_KEYS:
+        setattr(deck, key, int(float(value)))
+    elif key in _FLOAT_KEYS:
+        setattr(deck, key, float(value))
+    # anything else: silently ignored, mirroring TeaLeaf's tolerant parser
+
+
+#: Small deck for tests and examples (seconds, not minutes).
+DEFAULT_DECK = Deck(x_cells=64, y_cells=64, end_step=3, tl_eps=1e-15)
+
+#: The paper's benchmark configuration: 2048x2048 cells, 5 time-steps.
+#: (Benchmarks scale it down via the harness; kept verbatim for reference.)
+BENCH_DECK = Deck(x_cells=2048, y_cells=2048, end_step=5, tl_eps=1e-15)

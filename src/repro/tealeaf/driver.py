@@ -1,0 +1,169 @@
+"""The TeaLeaf time-step driver, plain or fully protected.
+
+Each time-step solves ``(I + dt L) u_new = u_old`` with the deck-selected
+solver.  The matrix does not change within a step — the property the
+"less frequent checking" optimisation exploits — and is reassembled per
+step (TeaLeaf reassembles when the conductivity field changes; for the
+linear problem it is constant, but we keep the per-step assembly to match
+the miniapp's structure and the paper's 5-step benchmark runs).
+
+Protected mode builds a :class:`~repro.protect.matrix.ProtectedCSRMatrix`
+per step and runs :func:`~repro.solvers.cg.protected_cg_solve`; a
+mandatory full-matrix sweep closes every step when checks are deferred.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.policy import CheckPolicy
+from repro.solvers.cg import cg_solve, protected_cg_solve
+from repro.solvers.chebyshev import chebyshev_solve, estimate_eigenvalue_bounds
+from repro.solvers.jacobi import jacobi_solve
+from repro.solvers.ppcg import ppcg_solve
+from repro.tealeaf.assembly import build_operator
+from repro.tealeaf.deck import Deck
+from repro.tealeaf.state import TeaLeafState
+
+
+@dataclasses.dataclass
+class StepResult:
+    """Per-time-step record."""
+
+    step: int
+    iterations: int
+    residual: float
+    converged: bool
+    wall_time: float
+    info: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class RunSummary:
+    """Whole-run record (the paper's measurement unit)."""
+
+    steps: list[StepResult]
+    field_summary: dict[str, float]
+    wall_time: float
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(s.iterations for s in self.steps)
+
+
+@dataclasses.dataclass
+class Protection:
+    """ABFT configuration for a protected TeaLeaf run.
+
+    ``element_scheme`` / ``rowptr_scheme`` may be ``None`` to leave that
+    region unprotected (used to isolate Fig. 4 vs Fig. 5 overheads);
+    ``vector_scheme=None`` leaves the dense vectors unprotected.
+    """
+
+    element_scheme: str | None = "secded64"
+    rowptr_scheme: str | None = "secded64"
+    vector_scheme: str | None = None
+    check_interval: int = 1
+    correct: bool = True
+
+    @property
+    def protects_matrix(self) -> bool:
+        return self.element_scheme is not None or self.rowptr_scheme is not None
+
+
+class TeaLeafDriver:
+    """Runs a deck to completion, optionally under ABFT protection."""
+
+    def __init__(self, deck: Deck, protection: Protection | None = None):
+        self.deck = deck
+        self.state = TeaLeafState(deck)
+        self.protection = protection
+        self._eig_bounds = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunSummary:
+        t0 = time.perf_counter()
+        steps = [self.step() for _ in range(self.deck.end_step)]
+        return RunSummary(
+            steps=steps,
+            field_summary=self.state.field_summary(),
+            wall_time=time.perf_counter() - t0,
+        )
+
+    def step(self) -> StepResult:
+        t0 = time.perf_counter()
+        dt = self.deck.initial_timestep
+        matrix = build_operator(self.state, dt)
+        b = self.state.u.ravel().copy()
+        if self.protection is not None and self.protection.protects_matrix:
+            result = self._protected_solve(matrix, b)
+        else:
+            result = self._plain_solve(matrix, b)
+        self.state.update_from_temperature(result.x)
+        self.state.step += 1
+        self.state.time += dt
+        return StepResult(
+            step=self.state.step,
+            iterations=result.iterations,
+            residual=result.final_residual,
+            converged=result.converged,
+            wall_time=time.perf_counter() - t0,
+            info=result.info,
+        )
+
+    # ------------------------------------------------------------------
+    def _plain_solve(self, matrix, b):
+        deck = self.deck
+        if deck.solver == "cg":
+            return cg_solve(matrix, b, b, eps=deck.tl_eps, max_iters=deck.tl_max_iters)
+        if deck.solver == "jacobi":
+            return jacobi_solve(matrix, b, b, eps=deck.tl_eps, max_iters=deck.tl_max_iters)
+        if deck.solver == "chebyshev":
+            if self._eig_bounds is None:
+                self._eig_bounds = estimate_eigenvalue_bounds(matrix)
+            lo, hi = self._eig_bounds
+            return chebyshev_solve(
+                matrix, b, b, eig_min=lo, eig_max=hi,
+                eps=deck.tl_eps, max_iters=deck.tl_max_iters,
+            )
+        if deck.solver == "ppcg":
+            if self._eig_bounds is None:
+                self._eig_bounds = estimate_eigenvalue_bounds(matrix)
+            return ppcg_solve(
+                matrix, b, b, eps=deck.tl_eps, max_iters=deck.tl_max_iters,
+                eig_bounds=self._eig_bounds,
+            )
+        raise ValueError(f"unknown solver {self.deck.solver!r}")
+
+    def _protected_solve(self, matrix, b):
+        prot = self.protection
+        pmat = ProtectedCSRMatrix(matrix, prot.element_scheme, prot.rowptr_scheme)
+        policy = CheckPolicy(interval=prot.check_interval, correct=prot.correct)
+        if self.deck.solver == "cg":
+            # The paper's path: protected CG with (optionally) ABFT vectors.
+            return protected_cg_solve(
+                pmat, b, b,
+                eps=self.deck.tl_eps,
+                max_iters=self.deck.tl_max_iters,
+                policy=policy,
+                vector_scheme=prot.vector_scheme,
+            )
+        # Other solvers run over a ProtectedOperator (matrix-only ABFT -
+        # their vector protection is future work, as in the paper).
+        if prot.vector_scheme is not None:
+            raise ValueError(
+                "vector protection is only implemented for the CG solver"
+            )
+        from repro.protect.operator import ProtectedOperator
+
+        op = ProtectedOperator(pmat, policy)
+        result = self._plain_solve(op, b)
+        op.end_of_step()
+        result.info.update(
+            full_checks=policy.stats.full_checks,
+            bounds_checks=policy.stats.bounds_checks,
+            corrected=policy.stats.corrected,
+        )
+        return result

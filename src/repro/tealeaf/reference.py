@@ -1,0 +1,66 @@
+"""Physics oracles for TeaLeaf runs.
+
+Three independent checks validate the miniapp end to end:
+
+* **conservation** — with zero-flux boundaries the implicit operator has
+  zero column sums, so total temperature ``sum(u)`` is invariant across
+  a solve (up to solver tolerance);
+* **maximum principle** — pure diffusion never over/undershoots the
+  initial extrema;
+* **analytic decay** — on a uniform-conductivity grid a single Fourier
+  mode decays by exactly ``1 / (1 + dt * lambda_k)`` per implicit step,
+  with ``lambda_k`` the discrete-Laplacian eigenvalue of the mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tealeaf.state import TeaLeafState
+
+
+def total_energy(state: TeaLeafState) -> float:
+    """Total temperature integral (the conserved quantity)."""
+    return float(state.u.sum() * state.deck.dx * state.deck.dy)
+
+
+def temperature_bounds_ok(u_before: np.ndarray, u_after: np.ndarray, rtol: float = 1e-9) -> bool:
+    """Discrete maximum principle for the implicit step."""
+    lo, hi = u_before.min(), u_before.max()
+    span = hi - lo if hi > lo else 1.0
+    return bool(
+        u_after.min() >= lo - rtol * span and u_after.max() <= hi + rtol * span
+    )
+
+
+def fourier_mode(nx: int, ny: int, kx: int, ky: int) -> np.ndarray:
+    """Neumann-compatible cosine mode on cell centres, shape (ny, nx)."""
+    i = (np.arange(nx) + 0.5) / nx
+    j = (np.arange(ny) + 0.5) / ny
+    return np.cos(np.pi * ky * j)[:, None] * np.cos(np.pi * kx * i)[None, :]
+
+
+def mode_eigenvalue(nx: int, ny: int, kx: int, ky: int, r: float) -> float:
+    """Eigenvalue of ``r * L`` (5-point, unit conductivity, Neumann) for a mode."""
+    lam_x = 2.0 * (1.0 - np.cos(np.pi * kx / nx))
+    lam_y = 2.0 * (1.0 - np.cos(np.pi * ky / ny))
+    return r * (lam_x + lam_y)
+
+
+def analytic_decay_error(
+    u0: np.ndarray, u1: np.ndarray, kx: int, ky: int, r: float
+) -> float:
+    """Relative error of one implicit step against the exact mode decay.
+
+    ``u0`` must be ``mean + amplitude * mode``; returns the max relative
+    deviation of ``u1`` from the analytic ``mean + amp/(1+lam) * mode``.
+    """
+    ny, nx = u0.shape
+    mode = fourier_mode(nx, ny, kx, ky)
+    mean = u0.mean()
+    # Project out the amplitude (modes are L2-orthogonal on the grid).
+    amp = float((u0 - mean).ravel() @ mode.ravel() / (mode.ravel() @ mode.ravel()))
+    lam = mode_eigenvalue(nx, ny, kx, ky, r)
+    expected = mean + amp / (1.0 + lam) * mode
+    scale = np.abs(expected).max()
+    return float(np.abs(u1 - expected).max() / scale)

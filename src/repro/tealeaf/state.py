@@ -1,0 +1,69 @@
+"""Field state: density, energy and temperature on the regular grid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tealeaf.deck import Deck
+
+
+class TeaLeafState:
+    """Cell-centred fields of one TeaLeaf run.
+
+    ``density`` and ``energy`` (specific internal energy) are set from
+    the deck's material states; the solved variable is the temperature
+    ``u = density * energy`` (TeaLeaf's convention for the linear solve).
+    All fields have shape ``(ny, nx)``, C order, row ``j`` = y index —
+    flattening matches the operator's row numbering ``j * nx + i``.
+    """
+
+    def __init__(self, deck: Deck):
+        self.deck = deck
+        ny, nx = deck.y_cells, deck.x_cells
+        self.density = np.empty((ny, nx), dtype=np.float64)
+        self.energy = np.empty((ny, nx), dtype=np.float64)
+        self._apply_states()
+        self.u = self.density * self.energy
+        self.step = 0
+        self.time = 0.0
+
+    def _apply_states(self) -> None:
+        deck = self.deck
+        background = deck.states[0]
+        self.density[:] = background.density
+        self.energy[:] = background.energy
+        # Cell-centre coordinates.
+        xs = deck.xmin + (np.arange(deck.x_cells) + 0.5) * deck.dx
+        ys = deck.ymin + (np.arange(deck.y_cells) + 0.5) * deck.dy
+        X, Y = np.meshgrid(xs, ys)
+        for state in deck.states[1:]:
+            if state.geometry != "rectangle":
+                raise ValueError(f"unsupported geometry {state.geometry!r}")
+            inside = (
+                (X >= state.xmin) & (X < state.xmax)
+                & (Y >= state.ymin) & (Y < state.ymax)
+            )
+            self.density[inside] = state.density
+            self.energy[inside] = state.energy
+
+    # ------------------------------------------------------------------
+    def conduction_coefficient(self) -> np.ndarray:
+        """Cell conductivity: 1/rho (TeaLeaf's RECIP_CONDUCTIVITY) or rho."""
+        if self.deck.use_reciprocal_conductivity:
+            return 1.0 / self.density
+        return self.density.copy()
+
+    def update_from_temperature(self, u_flat: np.ndarray) -> None:
+        """Commit a solved temperature field and back out the energy."""
+        self.u = u_flat.reshape(self.u.shape).copy()
+        self.energy = self.u / self.density
+
+    def field_summary(self) -> dict[str, float]:
+        """TeaLeaf's end-of-run summary quantities."""
+        vol = self.deck.dx * self.deck.dy
+        return {
+            "volume": vol * self.u.size,
+            "mass": float(self.density.sum() * vol),
+            "ie": float((self.density * self.energy).sum() * vol),
+            "temp": float(self.u.sum() * vol),
+        }

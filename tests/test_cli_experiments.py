@@ -1,0 +1,68 @@
+"""CLI experiment commands and report-formatting edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.harness.experiments import ExperimentRow
+from repro.harness.report import format_interval_series, format_table
+
+
+class TestCLIExperimentCommands:
+    def test_overheads_single_figure(self, capsys):
+        assert main(["overheads", "--figures", "fig5", "--grid", "48",
+                     "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "host" in out
+
+    def test_intervals_single_figure(self, capsys):
+        assert main(["intervals", "--figures", "fig6", "--grid", "48",
+                     "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "N=" in out
+
+    def test_parser_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["overheads", "--figures", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tealeaf_deck_file(self, capsys, tmp_path):
+        deck = tmp_path / "tiny.in"
+        deck.write_text(
+            "*tea\nstate 1 density=1.0 energy=1.0\n"
+            "x_cells=8\ny_cells=8\nend_step=1\ntl_use_cg\n*endtea\n"
+        )
+        assert main(["tealeaf", str(deck)]) == 0
+        assert "field summary" in capsys.readouterr().out
+
+
+class TestReportEdgeCases:
+    def test_format_table_missing_cells(self):
+        rows = [
+            ExperimentRow("figX", "a", "sed", 0.1, "model", paper_value=0.12),
+            ExperimentRow("figX", "b", "crc32c", 0.5, "measured"),
+        ]
+        table = format_table(rows)
+        assert "sed" in table and "crc32c" in table
+        assert "    -%" in table  # the missing cells render as dashes
+
+    def test_format_table_without_title(self):
+        rows = [ExperimentRow("figX", "a", "sed", 0.1, "model")]
+        assert not format_table(rows).startswith("\n")
+
+    def test_format_interval_sparse_series(self):
+        rows = [
+            ExperimentRow("figY", "a", "1", 0.5, "model"),
+            ExperimentRow("figY", "a", "8", 0.1, "model"),
+            ExperimentRow("figY", "b", "8", 0.2, "measured"),
+        ]
+        table = format_interval_series(rows, "T")
+        assert table.startswith("T")
+        assert "-%" in table  # series b has no N=1 point
+
+    def test_percent_scaling(self):
+        rows = [ExperimentRow("f", "s", "sed", 0.305, "model")]
+        assert "30.5%" in format_table(rows).replace(" ", "")

@@ -1,0 +1,48 @@
+"""Deck-file integration: the shipped example deck drives a real run."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.tealeaf import TeaLeafDriver, parse_deck, total_energy
+
+DECK_PATH = pathlib.Path(__file__).parent.parent / "examples" / "decks" / "tea_bm_short.in"
+
+
+class TestShippedDeck:
+    def test_parses(self):
+        deck = parse_deck(DECK_PATH.read_text())
+        assert deck.x_cells == 128 and deck.y_cells == 128
+        assert deck.end_step == 3
+        assert deck.solver == "cg"
+        assert deck.tl_eps == 1e-15
+        assert len(deck.states) == 2
+        assert deck.states[1].density == 0.1
+
+    def test_comment_lines_ignored(self):
+        deck = parse_deck(DECK_PATH.read_text())
+        # The "! The paper's configuration..." comment must not leak in.
+        assert deck.tl_max_iters == 10000
+
+    def test_runs_scaled_down(self):
+        deck = parse_deck(DECK_PATH.read_text())
+        deck.x_cells = deck.y_cells = 32  # keep the test fast
+        driver = TeaLeafDriver(deck)
+        e0 = total_energy(driver.state)
+        summary = driver.run()
+        assert all(s.converged for s in summary.steps)
+        assert total_energy(driver.state) == pytest.approx(e0, rel=1e-9)
+        # Heat spreads: the cold region warms up.
+        assert driver.state.u.min() > 0
+
+    def test_roundtrip_preserves_run(self):
+        deck = parse_deck(DECK_PATH.read_text())
+        deck.x_cells = deck.y_cells = 16
+        deck.end_step = 1
+        twin = parse_deck(deck.to_text())
+        a = TeaLeafDriver(deck)
+        b = TeaLeafDriver(twin)
+        a.run()
+        b.run()
+        assert np.array_equal(a.state.u, b.state.u)

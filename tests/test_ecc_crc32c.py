@@ -1,0 +1,171 @@
+"""CRC32C tests: reference vectors, implementation agreement, correction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.crc32c import (
+    crc32c,
+    crc32c_batch,
+    crc32c_bitwise,
+    crc32c_slicing16,
+    crc32c_table,
+)
+from repro.ecc.crc_correct import CRCCorrector, corrector_for
+
+# Published CRC32C test vectors (RFC 3720 / Intel SSE4.2 semantics).
+KNOWN_VECTORS = [
+    (b"", 0x00000000),
+    (b"a", 0xC1D04330),
+    (b"123456789", 0xE3069283),
+    (b"The quick brown fox jumps over the lazy dog", 0x22620404),
+    (bytes(32), 0x8A9136AA),
+    (bytes([0xFF] * 32), 0x62A8AB43),
+]
+
+
+class TestKnownVectors:
+    @pytest.mark.parametrize("data,expected", KNOWN_VECTORS)
+    def test_bitwise(self, data, expected):
+        assert crc32c_bitwise(data) == expected
+
+    @pytest.mark.parametrize("data,expected", KNOWN_VECTORS)
+    def test_table(self, data, expected):
+        assert crc32c_table(data) == expected
+
+    @pytest.mark.parametrize("data,expected", KNOWN_VECTORS)
+    def test_slicing16(self, data, expected):
+        assert crc32c_slicing16(data) == expected
+
+    @pytest.mark.parametrize("data,expected", KNOWN_VECTORS)
+    def test_batch(self, data, expected):
+        if not data:
+            pytest.skip("batch kernel needs at least one byte column")
+        m = np.frombuffer(data, dtype=np.uint8).reshape(1, -1)
+        assert crc32c_batch(m)[0] == expected
+
+
+@given(st.binary(min_size=0, max_size=300))
+@settings(max_examples=80, deadline=None)
+def test_implementations_agree(data):
+    ref = crc32c_bitwise(data)
+    assert crc32c_table(data) == ref
+    assert crc32c_slicing16(data) == ref
+
+
+@given(st.binary(min_size=1, max_size=80), st.integers(1, 7))
+@settings(max_examples=40, deadline=None)
+def test_batch_matches_scalar_across_rows(row, n_rows):
+    m = np.tile(np.frombuffer(row, dtype=np.uint8), (n_rows, 1))
+    # Make rows distinct to exercise independent lanes.
+    m[:, 0] = (m[:, 0].astype(np.uint16) + np.arange(n_rows)) % 256
+    got = crc32c_batch(m)
+    expected = [crc32c_slicing16(m[i].tobytes()) for i in range(n_rows)]
+    assert np.array_equal(got, expected)
+
+
+class TestBatchKernel:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            crc32c_batch(np.zeros(8, dtype=np.uint8))
+
+    def test_large_batch_smoke(self):
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 256, (4096, 60)).astype(np.uint8)
+        crcs = crc32c_batch(m)
+        # Spot-check a few rows against the scalar path.
+        for i in (0, 17, 4095):
+            assert crcs[i] == crc32c(m[i].tobytes())
+
+
+class TestBurstAndOddDetection:
+    """The (x+1) factor: all odd-weight and <=32-bit-burst errors detected."""
+
+    def test_odd_weight_errors_always_detected(self):
+        rng = np.random.default_rng(1)
+        data = bytearray(rng.integers(0, 256, 60).astype(np.uint8).tobytes())
+        ref = crc32c(bytes(data))
+        for weight in (1, 3, 5, 7, 9):
+            for _ in range(20):
+                corrupted = bytearray(data)
+                for bit in rng.choice(60 * 8, size=weight, replace=False):
+                    corrupted[bit // 8] ^= 1 << (bit % 8)
+                assert crc32c(bytes(corrupted)) != ref
+
+    def test_bursts_up_to_32_bits_detected(self):
+        rng = np.random.default_rng(2)
+        data = bytearray(rng.integers(0, 256, 60).astype(np.uint8).tobytes())
+        ref = crc32c(bytes(data))
+        for burst_len in (2, 8, 17, 32):
+            for _ in range(20):
+                start = int(rng.integers(0, 60 * 8 - burst_len))
+                pattern = rng.integers(1, 2**burst_len)
+                # Force both endpoints set so the burst really spans burst_len.
+                pattern |= 1 | (1 << (burst_len - 1))
+                corrupted = bytearray(data)
+                for k in range(burst_len):
+                    if (int(pattern) >> k) & 1:
+                        bit = start + k
+                        corrupted[bit // 8] ^= 1 << (bit % 8)
+                assert crc32c(bytes(corrupted)) != ref
+
+
+class TestCorrector:
+    def test_single_bit_location_exhaustive(self):
+        """Every data and checksum bit of a 60-byte codeword localises."""
+        n_bytes = 60  # a 5-element CSR row: 5 * (8 + 4) bytes
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, n_bytes).astype(np.uint8).tobytes()
+        stored = crc32c(data)
+        corr = CRCCorrector(n_bytes)
+        for bit in range(n_bytes * 8):
+            corrupted = bytearray(data)
+            corrupted[bit // 8] ^= 1 << (bit % 8)
+            diff = crc32c(bytes(corrupted)) ^ stored
+            assert corr.locate_single(diff) == bit
+        for j in range(32):
+            diff = 1 << j  # flip in the stored checksum itself
+            assert corr.locate_single(diff) == n_bytes * 8 + j
+
+    def test_double_bit_location(self):
+        n_bytes = 60
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 256, n_bytes).astype(np.uint8).tobytes()
+        stored = crc32c(data)
+        corr = CRCCorrector(n_bytes)
+        assert corr.hd6
+        for _ in range(40):
+            a, b = sorted(rng.choice(n_bytes * 8, size=2, replace=False))
+            corrupted = bytearray(data)
+            corrupted[a // 8] ^= 1 << (a % 8)
+            corrupted[b // 8] ^= 1 << (b % 8)
+            diff = crc32c(bytes(corrupted)) ^ stored
+            assert corr.locate_single(diff) is None  # not aliased to 1 bit
+            assert corr.locate_double(diff) == (int(a), int(b))
+
+    def test_locate_cascade(self):
+        corr = corrector_for(60)
+        sig_a = corr.signature(10)
+        sig_b = corr.signature(100)
+        assert corr.locate(sig_a) == (10,)
+        assert corr.locate(sig_a ^ sig_b) == (10, 100)
+        assert corr.locate(sig_a ^ sig_b, max_errors=1) is None
+
+    def test_zero_diff_means_clean(self):
+        corr = corrector_for(60)
+        assert corr.locate_single(0) is None
+        assert corr.locate_double(0) is None
+
+    def test_hd6_window(self):
+        assert CRCCorrector(60).hd6          # 512 bits
+        assert CRCCorrector(19).hd6          # 184 bits
+        assert not CRCCorrector(18).hd6      # 176 bits < 178
+        assert not CRCCorrector(1000).hd6    # way beyond 5243
+
+    def test_corrector_cache_returns_same_object(self):
+        assert corrector_for(44) is corrector_for(44)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            CRCCorrector(0)

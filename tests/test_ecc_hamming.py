@@ -1,0 +1,187 @@
+"""SECDED engine tests: exhaustive single-bit correction, double detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import SECDEDCode
+from repro.ecc.base import CodewordStatus
+from repro.ecc.profiles import (
+    csr_element_secded,
+    rowptr_secded64,
+    rowptr_secded128,
+    vector_secded64,
+    vector_secded128,
+)
+from repro.errors import ConfigurationError
+
+ALL_PROFILES = [
+    csr_element_secded,
+    rowptr_secded64,
+    rowptr_secded128,
+    vector_secded64,
+    vector_secded128,
+]
+
+
+def _random_codewords(code, n, seed=0):
+    """Random encoded codewords with data bits populated, checks valid."""
+    rng = np.random.default_rng(seed)
+    lanes = rng.integers(0, 2**63, (n, code.n_lanes)).astype(np.uint64)
+    # Zero everything outside the codeword (padding) and let encode own
+    # the check slots.
+    keep = np.zeros(code.n_lanes, dtype=np.uint64)
+    for p in code.data_positions:
+        keep[p // 64] |= np.uint64(1) << np.uint64(p % 64)
+    lanes &= keep
+    code.encode(lanes)
+    return lanes
+
+
+def _flip(lanes, idx, pos):
+    lanes[idx, pos // 64] ^= np.uint64(1) << np.uint64(pos % 64)
+
+
+@pytest.mark.parametrize("factory", ALL_PROFILES)
+class TestProfiles:
+    def test_budget_matches_paper(self, factory):
+        code = factory()
+        budget = code.n_syndrome_bits + 1
+        if "128" in code.name:
+            assert budget == 9
+        else:
+            assert budget == 8
+
+    def test_encoded_words_check_clean(self, factory):
+        code = factory()
+        lanes = _random_codewords(code, 100)
+        assert not code.detect(lanes).any()
+        report = code.check_and_correct(lanes)
+        assert report.clean
+
+    def test_every_single_bit_flip_corrected(self, factory):
+        """Exhaustive: each position in the codeword corrects back exactly."""
+        code = factory()
+        positions = sorted(
+            code.data_positions + code.syndrome_slots + [code.parity_slot]
+        )
+        lanes = _random_codewords(code, len(positions), seed=1)
+        original = lanes.copy()
+        for i, pos in enumerate(positions):
+            _flip(lanes, i, pos)
+        report = code.check_and_correct(lanes)
+        assert report.n_corrected == len(positions)
+        assert report.n_uncorrectable == 0
+        assert np.array_equal(lanes, original)
+
+    def test_every_double_bit_flip_detected_not_corrected(self, factory):
+        """Randomised pairs: parity stays even, syndrome nonzero -> DUE."""
+        code = factory()
+        rng = np.random.default_rng(2)
+        positions = sorted(
+            code.data_positions + code.syndrome_slots + [code.parity_slot]
+        )
+        n = 200
+        lanes = _random_codewords(code, n, seed=3)
+        corrupted = lanes.copy()
+        for i in range(n):
+            a, b = rng.choice(len(positions), size=2, replace=False)
+            _flip(corrupted, i, positions[a])
+            _flip(corrupted, i, positions[b])
+        report = code.check_and_correct(corrupted)
+        assert report.n_uncorrectable == n
+        assert report.n_corrected == 0
+
+    def test_detect_flags_without_modifying(self, factory):
+        code = factory()
+        lanes = _random_codewords(code, 10, seed=4)
+        _flip(lanes, 3, code.data_positions[0])
+        snapshot = lanes.copy()
+        flags = code.detect(lanes)
+        assert np.array_equal(lanes, snapshot)
+        assert flags[3] and flags.sum() == 1
+
+    def test_padding_bits_outside_code_are_ignored(self, factory):
+        code = factory()
+        n_bits = 64 * code.n_lanes
+        outside = set(range(n_bits)) - set(
+            code.data_positions + code.syndrome_slots + [code.parity_slot]
+        )
+        if not outside:
+            pytest.skip("profile covers all physical bits")
+        lanes = _random_codewords(code, 1, seed=5)
+        _flip(lanes, 0, min(outside))
+        assert not code.detect(lanes).any()
+
+
+class TestEngineConstruction:
+    def test_csr_element_is_exact_fit(self):
+        code = csr_element_secded()
+        assert code.n_codeword_bits == 96
+        assert code.n_data_bits == 88
+        assert code.n_syndrome_bits == 7
+        assert not code.surplus_slots
+
+    def test_secded128_surplus_slots_become_data(self):
+        code = rowptr_secded128()
+        assert code.n_syndrome_bits == 8
+        assert len(code.surplus_slots) == 16 - 9
+        # Surplus slots are protected: flipping one is corrected.
+        lanes = np.zeros((1, 2), dtype=np.uint64)
+        code.encode(lanes)
+        pos = code.surplus_slots[0]
+        lanes[0, pos // 64] ^= np.uint64(1) << np.uint64(pos % 64)
+        report = code.check_and_correct(lanes)
+        assert report.n_corrected == 1
+
+    def test_too_few_check_slots_raises(self):
+        with pytest.raises(ConfigurationError):
+            SECDEDCode(1, range(64), check_positions=range(5))
+
+    def test_duplicate_positions_raise(self):
+        with pytest.raises(ConfigurationError):
+            SECDEDCode(1, [0, 0, 1], check_positions=[0])
+
+    def test_check_positions_must_be_in_codeword(self):
+        with pytest.raises(ConfigurationError):
+            SECDEDCode(1, range(32), check_positions=[40] + list(range(7)))
+
+    def test_lane_count_validation(self):
+        code = vector_secded64()
+        with pytest.raises(ValueError):
+            code.encode(np.zeros((3, 2), dtype=np.uint64))
+
+    def test_triple_flip_never_silent(self):
+        """3 flips have odd parity: SECDED sees *something* (may miscorrect)."""
+        code = vector_secded64()
+        rng = np.random.default_rng(6)
+        positions = sorted(
+            code.data_positions + code.syndrome_slots + [code.parity_slot]
+        )
+        lanes = _random_codewords(code, 300, seed=7)
+        for i in range(300):
+            for p in rng.choice(len(positions), size=3, replace=False):
+                _flip(lanes, i, positions[p])
+        report = code.check_and_correct(lanes)
+        # Never reported clean: every codeword is corrected (possibly to a
+        # wrong word - the documented SECDED failure mode) or flagged.
+        assert (
+            report.n_corrected + report.n_uncorrectable == 300
+        )
+
+
+@given(st.integers(0, 2**63 - 1), st.integers(0, 63))
+@settings(max_examples=60, deadline=None)
+def test_vector64_roundtrip_and_single_correction(word, pos):
+    """Property: encode -> flip any bit -> check restores the word."""
+    code = vector_secded64()
+    lanes = np.array([[word]], dtype=np.uint64)
+    # encode owns the 8 LSB check slots; keep data in the upper 56 bits.
+    lanes &= ~np.uint64(0xFF)
+    code.encode(lanes)
+    original = lanes.copy()
+    lanes[0, 0] ^= np.uint64(1) << np.uint64(pos)
+    report = code.check_and_correct(lanes)
+    assert report.n_corrected == 1
+    assert np.array_equal(lanes, original)

@@ -1,0 +1,103 @@
+"""Poisson fault process and the faulty-solve driver."""
+
+import numpy as np
+import pytest
+
+from repro.csr import five_point_operator
+from repro.faults import PoissonProcess, faulty_cg_solve
+from repro.protect import CheckPolicy, ProtectedCSRMatrix
+
+
+def make_matrix(seed=0):
+    rng = np.random.default_rng(seed)
+    return five_point_operator(
+        10, 10, rng.uniform(0.5, 2.0, (10, 10)), rng.uniform(0.5, 2.0, (10, 10)), 0.3
+    )
+
+
+class TestPoissonProcess:
+    def test_zero_rate_no_events(self):
+        proc = PoissonProcess(0.0)
+        assert proc.advance(10**9) == 0
+
+    def test_rate_scales_event_count(self):
+        proc = PoissonProcess(1e-6, rng=np.random.default_rng(1))
+        counts = [proc.advance(10**6) for _ in range(200)]
+        assert 0.7 < np.mean(counts) < 1.3  # lambda = 1
+
+    def test_sample_region_targets_all_arrays(self):
+        matrix = make_matrix()
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        proc = PoissonProcess(1e-3, rng=np.random.default_rng(2))
+        events = proc.sample_region(pmat)
+        regions = {region.value for region, _ in events}
+        assert {"values", "colidx"} <= regions  # rowptr is tiny, may miss
+
+    def test_exposure_scales(self):
+        proc = PoissonProcess(1e-6, rng=np.random.default_rng(3))
+        counts = [proc.advance(10**6, exposure=5.0) for _ in range(200)]
+        assert 4.3 < np.mean(counts) < 5.7
+
+
+class TestFaultyCGSolve:
+    def test_no_faults_converges_normally(self):
+        matrix = make_matrix()
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        b = np.random.default_rng(4).standard_normal(matrix.n_rows)
+        report = faulty_cg_solve(pmat, b, PoissonProcess(0.0), eps=1e-20)
+        assert report.result is not None and report.result.converged
+        assert report.injected == 0
+        assert report.all_accounted
+
+    def test_secded_corrects_under_light_rate(self):
+        matrix = make_matrix()
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        b = np.random.default_rng(5).standard_normal(matrix.n_rows)
+        proc = PoissonProcess(3e-6, rng=np.random.default_rng(6))
+        report = faulty_cg_solve(pmat, b, proc, eps=1e-20)
+        assert report.injected > 0
+        assert report.corrected > 0
+        assert report.all_accounted  # nothing silent at the end
+
+    def test_sed_detects_and_recovers_by_reencode(self):
+        matrix = make_matrix()
+        pmat = ProtectedCSRMatrix(matrix, "sed", "sed")
+        b = np.random.default_rng(7).standard_normal(matrix.n_rows)
+        proc = PoissonProcess(3e-6, rng=np.random.default_rng(8))
+        report = faulty_cg_solve(pmat, b, proc, eps=1e-20, on_due="reencode")
+        assert report.injected > 0
+        assert report.detected_uncorrectable > 0
+        assert report.result is not None and report.result.converged
+        assert report.all_accounted
+
+    def test_abort_mode_stops(self):
+        matrix = make_matrix()
+        pmat = ProtectedCSRMatrix(matrix, "sed", "sed")
+        b = np.ones(matrix.n_rows)
+        proc = PoissonProcess(5e-6, rng=np.random.default_rng(9))
+        report = faulty_cg_solve(pmat, b, proc, eps=1e-30, max_iters=200,
+                                 on_due="abort")
+        assert report.detected_uncorrectable >= 1
+        assert report.result is None
+
+    def test_deferred_policy_end_of_step_sweep_catches(self):
+        """With interval-N checks an error can lurk; the mandatory sweep
+        at the end must still account for it (paper §VI.A.2)."""
+        matrix = make_matrix()
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        b = np.random.default_rng(10).standard_normal(matrix.n_rows)
+        proc = PoissonProcess(2e-6, rng=np.random.default_rng(11))
+        policy = CheckPolicy(interval=16, correct=True)
+        report = faulty_cg_solve(pmat, b, proc, eps=1e-20, policy=policy)
+        assert report.injected > 0
+        assert report.all_accounted
+
+    def test_injection_iterations_recorded(self):
+        matrix = make_matrix()
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        b = np.ones(matrix.n_rows)
+        proc = PoissonProcess(3e-6, rng=np.random.default_rng(12))
+        report = faulty_cg_solve(pmat, b, proc, eps=1e-20)
+        if report.injected:
+            assert report.injection_iterations
+            assert all(i >= 0 for i in report.injection_iterations)

@@ -1,0 +1,130 @@
+"""Edge cases and cross-cutting invariants not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.csr import csr_from_dense, five_point_operator
+from repro.ecc.base import CheckReport, CodewordStatus
+from repro.protect import (
+    ProtectedCSRMatrix,
+    ProtectedVector,
+)
+from repro.solvers.base import LinearOperator, SolverResult
+from repro.tealeaf.reference import fourier_mode, mode_eigenvalue
+
+
+class TestCheckReport:
+    def test_merge_takes_worst_status(self):
+        a = CheckReport(status=np.array([0, 1, 0], dtype=np.uint8))
+        b = CheckReport(status=np.array([0, 0, 2], dtype=np.uint8))
+        merged = a.merge(b)
+        assert list(merged.status) == [0, 1, 2]
+        assert merged.n_corrected == 1
+        assert merged.n_uncorrectable == 1
+
+    def test_indices_accessors(self):
+        report = CheckReport(
+            status=np.array(
+                [CodewordStatus.OK, CodewordStatus.CORRECTED,
+                 CodewordStatus.UNCORRECTABLE], dtype=np.uint8,
+            )
+        )
+        assert list(report.corrected_indices()) == [1]
+        assert list(report.uncorrectable_indices()) == [2]
+        assert not report.clean
+        assert not report.ok
+
+
+class TestSolverPlumbing:
+    def test_final_residual_nan_when_empty(self):
+        res = SolverResult(x=np.zeros(2), iterations=0, converged=False)
+        assert np.isnan(res.final_residual)
+
+    def test_operator_without_diagonal_raises(self):
+        op = LinearOperator(lambda x: x, 4)
+        with pytest.raises(NotImplementedError):
+            op.diagonal()
+
+    def test_operator_diagonal_plain_array(self):
+        op = LinearOperator(lambda x: x, 2, diagonal=np.array([1.0, 2.0]))
+        assert np.array_equal(op.diagonal(), [1.0, 2.0])
+
+
+class TestFullyUnprotectedMatrix:
+    def test_both_regions_none_is_passthrough(self):
+        A = five_point_operator(4, 4, np.ones((4, 4)), np.ones((4, 4)), 0.2)
+        pmat = ProtectedCSRMatrix(A, None, None)
+        x = np.random.default_rng(0).standard_normal(16)
+        assert np.array_equal(pmat.matvec_unchecked(x), A.matvec(x))
+        assert not pmat.detect_any()
+        reports = pmat.check_all()
+        assert all(r.clean for r in reports.values())
+        pmat.bounds_check()  # raw structures are valid
+
+
+class TestVectorEdgeCases:
+    def test_all_tail_vector(self):
+        """Shorter than one group: everything is SED-tail protected."""
+        vec = ProtectedVector(np.array([1.5, -2.5, 3.5]), "crc32c")
+        assert vec.tail_size == 3
+        assert vec.n_codewords == 3
+        assert not vec.detect().any()
+        np.copyto(vec.raw, vec.raw)  # touching raw does not corrupt
+        assert not vec.detect().any()
+
+    def test_empty_vector(self):
+        vec = ProtectedVector(np.zeros(0), "secded64")
+        assert len(vec) == 0
+        assert not vec.detect().any()
+        assert vec.check().clean
+
+    def test_noise_does_not_accumulate_over_store_cycles(self):
+        """store(values()) is idempotent: repeated cycles stay put."""
+        rng = np.random.default_rng(1)
+        vec = ProtectedVector(rng.standard_normal(64), "crc32c")
+        first = vec.values()
+        for _ in range(20):
+            vec.store(vec.values())
+        assert np.array_equal(vec.values(), first)
+
+    def test_special_float_values_protected(self):
+        special = np.array([0.0, -0.0, np.inf, -np.inf, np.nan, 1e-308, 1e308])
+        vec = ProtectedVector(special, "secded64")
+        assert not vec.detect().any()
+        out = vec.values()
+        assert np.isnan(out[4])
+        assert np.isinf(out[2]) and out[2] > 0
+        # NaN payload bits are data like any other: flips are corrected.
+        from repro.bits.float_bits import f64_to_u64
+
+        f64_to_u64(vec.raw)[4] ^= np.uint64(1) << np.uint64(30)
+        assert vec.check().n_corrected == 1
+
+
+class TestReferenceOracles:
+    def test_fourier_modes_orthogonal(self):
+        nx = ny = 16
+        m1 = fourier_mode(nx, ny, 1, 2).ravel()
+        m2 = fourier_mode(nx, ny, 3, 1).ravel()
+        assert abs(np.dot(m1, m2)) < 1e-10
+
+    def test_mode_zero_is_constant(self):
+        mode = fourier_mode(8, 8, 0, 0)
+        assert np.allclose(mode, 1.0)
+        assert mode_eigenvalue(8, 8, 0, 0, 1.0) == 0.0
+
+    def test_eigenvalue_increases_with_frequency(self):
+        lams = [mode_eigenvalue(32, 32, k, 0, 1.0) for k in range(5)]
+        assert all(a < b for a, b in zip(lams, lams[1:]))
+
+
+class TestDiagonalDuplicates:
+    def test_diagonal_with_explicit_duplicates(self):
+        # Boundary rows of the 5-point operator store clamped duplicates.
+        A = five_point_operator(3, 3, np.ones((3, 3)), np.ones((3, 3)), 0.5)
+        dense = A.to_dense()
+        assert np.allclose(A.diagonal(), np.diag(dense))
+
+    def test_diagonal_simple(self):
+        A = csr_from_dense(np.array([[2.0, 1.0], [0.0, 3.0]]))
+        assert np.array_equal(A.diagonal(), [2.0, 3.0])

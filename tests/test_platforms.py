@@ -1,0 +1,122 @@
+"""Platform model tests: anchors, orderings, interval behaviour."""
+
+import pytest
+
+from repro.platforms import (
+    PAPER_ANCHORS,
+    PLATFORMS,
+    combined_full_protection,
+    figure4_table,
+    figure5_table,
+    figure9_table,
+    interval_figure,
+    predict_overhead,
+)
+from repro.platforms.model import rangecheck_floor
+from repro.platforms.specs import VECTOR_SED_RANGE
+
+
+class TestAnchors:
+    @pytest.mark.parametrize(
+        "anchor", [a for a in PAPER_ANCHORS if a.region != "hw_ecc"],
+        ids=lambda a: f"{a.platform}-{a.region}-{a.scheme}-N{a.interval}",
+    )
+    def test_model_reproduces_paper_number(self, anchor):
+        interval = anchor.interval if anchor.interval != 999 else 128
+        pred = predict_overhead(anchor.platform, anchor.region, anchor.scheme, interval)
+        if anchor.mode == "le":
+            assert pred <= anchor.value * 1.05
+        else:
+            assert abs(pred - anchor.value) <= max(0.015, 0.3 * anchor.value)
+
+    def test_k40_hw_ecc_target(self):
+        assert PLATFORMS["k40"].hw_ecc_overhead == pytest.approx(0.081)
+
+
+class TestQualitativeShape:
+    def test_sed_cheapest_everywhere(self):
+        """SED has the lowest overhead of all schemes on every platform."""
+        for table in (figure4_table(), figure5_table(), figure9_table()):
+            for platform, by_scheme in table.items():
+                others = [v for k, v in by_scheme.items() if k != "sed"]
+                assert by_scheme["sed"] <= min(others), platform
+
+    def test_k40_worst_for_abft(self):
+        """The paper's occupancy story: ABFT overheads are poor on the K40."""
+        fig4 = figure4_table()
+        for scheme in ("sed", "secded64", "secded128"):
+            for other in ("broadwell", "gtx1080ti", "p100"):
+                assert fig4["k40"][scheme] > fig4[other][scheme]
+
+    def test_pascal_cheap_secded(self):
+        fig4 = figure4_table()
+        for gpu in ("gtx1080ti", "p100"):
+            assert fig4[gpu]["secded64"] < 0.01
+
+    def test_software_crc_expensive_without_isa(self):
+        """On Pascal, software CRC32C dominates SECDED (except the P100's
+        massively parallel path); on the K40 *everything* is expensive,
+        which test_k40_worst_for_abft covers."""
+        fig4 = figure4_table()
+        assert fig4["gtx1080ti"]["crc32c"] > 10 * fig4["gtx1080ti"]["secded64"]
+        assert fig4["k40"]["crc32c"] > 0.5  # impractically expensive
+
+    def test_secded128_never_beats_secded64_resilience_story(self):
+        """Fig. 5 finding: SECDED128 offers no benefit over SECDED64.
+
+        In the model it is slightly cheaper per element (amortisation)
+        but the paper's point is resiliency-per-cost; assert the costs
+        are comparable (within 2x) so neither dominates.
+        """
+        fig5 = figure5_table()
+        for platform, by_scheme in fig5.items():
+            ratio = by_scheme["secded128"] / by_scheme["secded64"]
+            assert 0.5 <= ratio <= 2.0, platform
+
+    def test_vector_sed_range_matches_paper(self):
+        values = [figure9_table()[p]["sed"] for p in PLATFORMS]
+        lo, hi = VECTOR_SED_RANGE
+        assert min(values) >= lo * 0.5
+        assert max(values) <= hi * 1.5
+        assert max(values) > lo and min(values) < hi
+
+    def test_full_protection_near_target(self):
+        """~11% full protection vs the 8.1% hardware target (P100)."""
+        full = combined_full_protection("p100")
+        assert 0.08 <= full <= 0.14
+
+
+class TestIntervalCurves:
+    @pytest.mark.parametrize("platform,scheme", [
+        ("broadwell", "sed"), ("thunderx", "secded64"), ("gtx1080ti", "crc32c"),
+    ])
+    def test_monotone_decreasing_to_floor(self, platform, scheme):
+        curve = interval_figure(platform, scheme)
+        values = [curve[n] for n in sorted(curve)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        floor = rangecheck_floor(platform)
+        assert values[-1] >= floor * 0.5  # cannot beat the range checks
+
+    def test_fig8_endpoints(self):
+        """88% at N=1 down to ~1% at N=128."""
+        curve = interval_figure("gtx1080ti", "crc32c")
+        assert curve[1] == pytest.approx(0.88, abs=0.02)
+        assert curve[128] < 0.02
+
+    def test_fig6_diminishing_returns(self):
+        """Broadwell SED: N=2 helps, beyond that gains vanish (floor)."""
+        curve = interval_figure("broadwell", "sed")
+        gain_2 = curve[1] - curve[2]
+        gain_tail = curve[32] - curve[128]
+        assert gain_2 > gain_tail
+        assert curve[128] == pytest.approx(0.04, abs=0.015)
+
+    def test_interval_ignored_for_vectors(self):
+        """Vectors change every iteration: deferral does not apply."""
+        assert predict_overhead("broadwell", "vector", "sed", 64) == pytest.approx(
+            predict_overhead("broadwell", "vector", "sed", 1)
+        )
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(ValueError):
+            predict_overhead("broadwell", "diagonal", "sed")

@@ -1,0 +1,198 @@
+"""ProtectedCSRMatrix, CheckPolicy and protected kernels."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bits.float_bits import f64_to_u64
+from repro.csr import five_point_operator
+from repro.errors import BoundsViolationError, DetectedUncorrectableError
+from repro.protect import (
+    CheckPolicy,
+    ProtectedCSRMatrix,
+    ProtectedVector,
+    protected_axpy,
+    protected_dot,
+    protected_spmv,
+)
+
+ELEMENT = ["sed", "secded64", "secded128", "crc32c"]
+ROWPTR = ["sed", "secded64", "secded128", "crc32c"]
+
+
+def make_matrix(nx=6, ny=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return five_point_operator(
+        nx, ny, rng.uniform(0.5, 2.0, (ny, nx)), rng.uniform(0.5, 2.0, (ny, nx)), 0.3
+    )
+
+
+class TestCombinations:
+    @pytest.mark.parametrize("es,rs", list(itertools.product(ELEMENT, ROWPTR)))
+    def test_all_mixes_spmv_exact(self, es, rs):
+        """Every element x rowptr mix reproduces the unprotected SpMV bit-exactly."""
+        op = make_matrix()
+        prot = ProtectedCSRMatrix(op, es, rs)
+        x = np.random.default_rng(1).standard_normal(op.n_cols)
+        assert np.array_equal(prot.matvec_unchecked(x), op.matvec(x))
+
+    def test_to_csr_roundtrip(self):
+        op = make_matrix()
+        prot = ProtectedCSRMatrix(op, "secded64", "crc32c")
+        back = prot.to_csr()
+        assert np.array_equal(back.values, op.values)
+        assert np.array_equal(back.colidx, op.colidx)
+        assert np.array_equal(back.rowptr, op.rowptr)
+
+    def test_source_matrix_untouched(self):
+        op = make_matrix()
+        vals0, idx0, ptr0 = op.values.copy(), op.colidx.copy(), op.rowptr.copy()
+        ProtectedCSRMatrix(op, "crc32c", "crc32c")
+        assert np.array_equal(op.values, vals0)
+        assert np.array_equal(op.colidx, idx0)
+        assert np.array_equal(op.rowptr, ptr0)
+
+
+class TestChecks:
+    def test_check_all_clean(self):
+        prot = ProtectedCSRMatrix(make_matrix(), "secded64", "secded64")
+        reports = prot.check_all()
+        assert reports["csr_elements"].clean
+        assert reports["row_pointer"].clean
+        assert not prot.detect_any()
+
+    def test_element_corruption_detected_and_corrected(self):
+        prot = ProtectedCSRMatrix(make_matrix(), "secded64", "secded64")
+        f64_to_u64(prot.values)[10] ^= np.uint64(1) << np.uint64(30)
+        assert prot.detect_any()
+        reports = prot.check_all()
+        assert reports["csr_elements"].n_corrected == 1
+        assert not prot.detect_any()
+
+    def test_rowptr_corruption_detected(self):
+        prot = ProtectedCSRMatrix(make_matrix(), "secded64", "secded64")
+        prot.rowptr[4] ^= np.uint32(4)
+        reports = prot.check_all()
+        assert reports["row_pointer"].n_corrected == 1
+
+    def test_check_or_raise(self):
+        prot = ProtectedCSRMatrix(make_matrix(), "sed", "sed")
+        prot.values[3] = 99.0  # SED detects, cannot correct
+        with pytest.raises(DetectedUncorrectableError) as err:
+            prot.check_or_raise()
+        assert err.value.region == "csr_elements"
+
+    def test_bounds_check_passes_clean(self):
+        prot = ProtectedCSRMatrix(make_matrix(), "secded64", "secded64")
+        prot.bounds_check()  # no raise
+
+    def test_bounds_check_catches_huge_colidx(self):
+        prot = ProtectedCSRMatrix(make_matrix(), "secded64", "secded64")
+        prot.colidx[7] = (prot.colidx[7] & np.uint32(0xFF000000)) | np.uint32(
+            0x00FFFFFF
+        )
+        with pytest.raises(BoundsViolationError):
+            prot.bounds_check()
+
+    def test_bounds_check_catches_rowptr_overflow(self):
+        prot = ProtectedCSRMatrix(make_matrix(), "secded64", "secded64")
+        prot.rowptr[3] = np.uint32(0x0FFFFFFF)
+        with pytest.raises(BoundsViolationError):
+            prot.bounds_check()
+
+    def test_bounds_check_catches_non_monotone_rowptr(self):
+        prot = ProtectedCSRMatrix(make_matrix(), "secded64", "secded64")
+        clean = prot.rowptr_protected.clean()
+        prot.rowptr[5] = clean[7]
+        prot.rowptr[7] = clean[5]
+        with pytest.raises(BoundsViolationError):
+            prot.bounds_check()
+
+
+class TestPolicy:
+    def test_interval_one_checks_every_access(self):
+        policy = CheckPolicy(interval=1)
+        assert all(policy.should_check() for _ in range(5))
+
+    def test_interval_n_pattern(self):
+        policy = CheckPolicy(interval=4)
+        pattern = [policy.should_check() for _ in range(9)]
+        assert pattern == [True, False, False, False, True, False, False, False, True]
+
+    def test_interval_zero_never_checks(self):
+        policy = CheckPolicy(interval=0)
+        assert not any(policy.should_check() for _ in range(5))
+        assert not policy.end_of_step()
+
+    def test_end_of_step_required_only_with_deferral(self):
+        assert not CheckPolicy(interval=1).end_of_step()
+        assert CheckPolicy(interval=8).end_of_step()
+
+    def test_reset_restarts_phase(self):
+        policy = CheckPolicy(interval=3)
+        policy.should_check()
+        policy.should_check()
+        policy.reset()
+        assert policy.should_check()
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CheckPolicy(interval=-1)
+
+
+class TestKernels:
+    def test_protected_spmv_counts_checks(self):
+        op = make_matrix()
+        prot = ProtectedCSRMatrix(op, "secded64", "secded64")
+        policy = CheckPolicy(interval=2)
+        x = np.ones(op.n_cols)
+        for _ in range(6):
+            protected_spmv(prot, x, policy)
+        assert policy.stats.full_checks == 3
+        assert policy.stats.bounds_checks == 3
+
+    def test_protected_spmv_corrects_and_matches(self):
+        op = make_matrix()
+        prot = ProtectedCSRMatrix(op, "secded64", "secded64")
+        x = np.random.default_rng(2).standard_normal(op.n_cols)
+        expected = op.matvec(x)
+        f64_to_u64(prot.values)[8] ^= np.uint64(1) << np.uint64(44)
+        policy = CheckPolicy(interval=1, correct=True)
+        got = protected_spmv(prot, x, policy)
+        assert np.array_equal(got, expected)
+        assert policy.stats.corrected == 1
+
+    def test_protected_spmv_raises_on_due(self):
+        op = make_matrix()
+        prot = ProtectedCSRMatrix(op, "sed", "sed")
+        prot.values[0] = 123.0
+        with pytest.raises(DetectedUncorrectableError):
+            protected_spmv(prot, np.ones(op.n_cols), CheckPolicy(interval=1))
+
+    def test_protected_spmv_with_protected_vector(self):
+        op = make_matrix()
+        prot = ProtectedCSRMatrix(op, "secded64", "secded64")
+        xv = np.random.default_rng(3).standard_normal(op.n_cols)
+        px = ProtectedVector(xv, "secded64")
+        got = protected_spmv(prot, px, CheckPolicy(interval=1))
+        assert np.allclose(got, op.matvec(xv), rtol=1e-12)
+
+    def test_protected_dot_and_axpy(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.standard_normal(32), rng.standard_normal(32)
+        pa = ProtectedVector(a, "secded64")
+        pb = ProtectedVector(b, "secded64")
+        assert np.isclose(protected_dot(pa, pb), np.dot(pa.values(), pb.values()))
+        expected = 2.5 * pa.values() + pb.values()
+        protected_axpy(2.5, pa, pb)
+        # Stored result is the masked version of `expected`.
+        assert np.allclose(pb.values(), expected, rtol=1e-12)
+        assert pb.check().clean
+
+    def test_axpy_raises_on_corrupt_input(self):
+        pa = ProtectedVector(np.ones(8), "sed")
+        pb = ProtectedVector(np.ones(8), "sed")
+        f64_to_u64(pa.raw)[2] ^= np.uint64(1) << np.uint64(20)
+        with pytest.raises(DetectedUncorrectableError):
+            protected_axpy(1.0, pa, pb)

@@ -1,0 +1,102 @@
+"""System-level hypothesis properties across the whole protection stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.float_bits import f64_to_u64
+from repro.csr import csr_from_coo, five_point_operator
+from repro.protect import ProtectedCSRMatrix, ProtectedVector
+from repro.solvers import cg_solve, protected_cg_solve
+
+ELEMENT_SCHEMES = st.sampled_from(["sed", "secded64", "secded128", "crc32c"])
+VECTOR_SCHEMES = st.sampled_from(["sed", "secded64", "secded128", "crc32c"])
+
+
+@given(
+    st.integers(2, 7), st.integers(2, 7),
+    ELEMENT_SCHEMES, ELEMENT_SCHEMES,
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_protection_never_changes_spmv(nx, ny, es, rs, seed):
+    """Protecting a matrix is arithmetically invisible (values untouched,
+    indices cleaned exactly) on arbitrary grids."""
+    rng = np.random.default_rng(seed)
+    A = five_point_operator(
+        nx, ny, rng.uniform(0.1, 3.0, (ny, nx)), rng.uniform(0.1, 3.0, (ny, nx)),
+        rng.uniform(0.05, 1.0),
+    )
+    pmat = ProtectedCSRMatrix(A, es, rs)
+    x = rng.standard_normal(A.n_cols)
+    assert np.array_equal(pmat.matvec_unchecked(x), A.matvec(x))
+
+
+@given(
+    VECTOR_SCHEMES,
+    st.lists(
+        st.floats(min_value=-1e100, max_value=1e100,
+                  allow_nan=False, allow_infinity=False,
+                  allow_subnormal=False),
+        min_size=1, max_size=40,
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_vector_mask_error_bound(scheme, values):
+    """values() differs from the input by at most 2**-44 relative for
+    *normal* floats (subnormals lack the implicit leading 1, so the
+    relative bound doesn't apply there — see float_bits docs)."""
+    x = np.array(values)
+    vec = ProtectedVector(x, scheme)
+    got = vec.values()
+    nonzero = x != 0.0
+    if nonzero.any():
+        rel = np.abs(got[nonzero] - x[nonzero]) / np.abs(x[nonzero])
+        assert rel.max() < 2.0**-43
+    assert np.array_equal(got[~nonzero], x[~nonzero])
+
+
+@given(
+    ELEMENT_SCHEMES,
+    st.integers(0, 2**32 - 1),
+    st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_corrected_matrix_solves_identically(scheme, seed, data):
+    """After a correctable flip + check, the protected solve equals the
+    unperturbed one bit-for-bit (correction is exact, not approximate)."""
+    if scheme == "sed":
+        return  # SED cannot correct
+    rng = np.random.default_rng(seed)
+    A = five_point_operator(
+        5, 5, rng.uniform(0.5, 2.0, (5, 5)), rng.uniform(0.5, 2.0, (5, 5)), 0.3
+    )
+    b = rng.standard_normal(A.n_rows)
+    reference = protected_cg_solve(
+        ProtectedCSRMatrix(A, scheme, scheme), b, eps=1e-22, vector_scheme=None
+    )
+    pmat = ProtectedCSRMatrix(A, scheme, scheme)
+    elem = data.draw(st.integers(0, pmat.nnz - 1))
+    bit = data.draw(st.integers(0, 63))
+    f64_to_u64(pmat.values)[elem] ^= np.uint64(1) << np.uint64(bit)
+    repaired = protected_cg_solve(pmat, b, eps=1e-22, vector_scheme=None)
+    assert np.array_equal(repaired.x, reference.x)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(3, 20))
+@settings(max_examples=25, deadline=None)
+def test_random_spd_systems_protected_cg(seed, n):
+    """Random (dense-ish) SPD systems, not just stencils: build via
+    B^T B + n I, protect, solve, compare against plain CG."""
+    rng = np.random.default_rng(seed)
+    B = rng.standard_normal((n, n))
+    dense = B.T @ B + n * np.eye(n)
+    rows, cols = np.nonzero(dense)
+    A = csr_from_coo(rows, cols, dense[rows, cols], (n, n))
+    b = rng.standard_normal(n)
+    plain = cg_solve(A, b, eps=1e-24, max_iters=20 * n)
+    prot = protected_cg_solve(
+        ProtectedCSRMatrix(A, "secded64", "secded64"), b,
+        eps=1e-24, max_iters=20 * n, vector_scheme=None,
+    )
+    assert np.allclose(prot.x, plain.x, rtol=1e-8, atol=1e-10)

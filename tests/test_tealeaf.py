@@ -1,0 +1,244 @@
+"""TeaLeaf miniapp tests: deck parsing, physics oracles, protected runs."""
+
+import numpy as np
+import pytest
+
+from repro.tealeaf import (
+    Deck,
+    State,
+    TeaLeafDriver,
+    TeaLeafState,
+    analytic_decay_error,
+    build_conductivities,
+    build_operator,
+    parse_deck,
+    temperature_bounds_ok,
+    total_energy,
+)
+from repro.tealeaf.driver import Protection
+from repro.tealeaf.reference import fourier_mode
+
+SMALL = Deck(x_cells=24, y_cells=24, end_step=2, tl_eps=1e-18)
+
+
+class TestDeck:
+    def test_roundtrip_through_text(self):
+        deck = Deck(x_cells=128, y_cells=96, end_step=7, initial_timestep=0.01)
+        parsed = parse_deck(deck.to_text())
+        assert parsed.x_cells == 128
+        assert parsed.y_cells == 96
+        assert parsed.end_step == 7
+        assert parsed.initial_timestep == 0.01
+        assert parsed.solver == "cg"
+        assert len(parsed.states) == 2
+
+    def test_parse_real_world_syntax(self):
+        text = """
+        *tea
+        state 1 density=100.0 energy=0.0001
+        state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=5.0 ymin=0.0 ymax=2.0
+        x_cells=32 ! inline comment
+        y_cells=16
+        initial_timestep=0.5
+        end_step=3
+        tl_use_ppcg
+        tl_eps=1e-12
+        unknown_knob=whatever
+        *endtea
+        """
+        deck = parse_deck(text)
+        assert deck.x_cells == 32 and deck.y_cells == 16
+        assert deck.solver == "ppcg"
+        assert deck.tl_eps == 1e-12
+        assert deck.states[1].geometry == "rectangle"
+        assert deck.states[1].xmax == 5.0
+
+    def test_default_states_applied(self):
+        deck = Deck()
+        assert deck.states[0].density == 100.0
+        assert deck.states[1].energy == 25.0
+
+    def test_cell_sizes(self):
+        deck = Deck(x_cells=10, xmin=0.0, xmax=5.0)
+        assert deck.dx == 0.5
+
+
+class TestState:
+    def test_rectangle_region_applied(self):
+        state = TeaLeafState(SMALL)
+        # Hot region occupies the lower-left: x < 5, y < 2.
+        assert state.energy[0, 0] == 25.0
+        assert state.energy[-1, -1] == 0.0001
+        assert state.density[0, 0] == 0.1
+
+    def test_temperature_is_density_times_energy(self):
+        state = TeaLeafState(SMALL)
+        assert np.allclose(state.u, state.density * state.energy)
+
+    def test_conduction_coefficient_modes(self):
+        state = TeaLeafState(SMALL)
+        recip = state.conduction_coefficient()
+        assert np.allclose(recip, 1.0 / state.density)
+        deck2 = Deck(x_cells=8, y_cells=8, use_reciprocal_conductivity=False)
+        state2 = TeaLeafState(deck2)
+        assert np.allclose(state2.conduction_coefficient(), state2.density)
+
+    def test_unsupported_geometry(self):
+        deck = Deck(x_cells=4, y_cells=4)
+        deck.states.append(State(1.0, 1.0, geometry="circle"))
+        with pytest.raises(ValueError):
+            TeaLeafState(deck)
+
+
+class TestAssembly:
+    def test_face_coefficients_harmonic(self):
+        w = np.array([[1.0, 2.0], [4.0, 4.0]])
+        kx, ky = build_conductivities(w)
+        assert kx[0, 1] == pytest.approx((1 + 2) / (2 * 1 * 2))
+        assert ky[1, 0] == pytest.approx((1 + 4) / (2 * 1 * 4))
+        assert kx[:, 0].sum() == 0.0 and ky[0, :].sum() == 0.0
+
+    def test_operator_is_spd(self):
+        state = TeaLeafState(Deck(x_cells=6, y_cells=6))
+        A = build_operator(state, 0.004)
+        dense = A.to_dense()
+        assert np.allclose(dense, dense.T)
+        assert np.linalg.eigvalsh(dense).min() > 0
+
+    def test_rejects_non_square_cells(self):
+        deck = Deck(x_cells=10, y_cells=10, xmax=10.0, ymax=20.0)
+        with pytest.raises(ValueError):
+            build_operator(TeaLeafState(deck), 0.1)
+
+
+class TestPhysics:
+    def test_energy_conserved_across_run(self):
+        driver = TeaLeafDriver(SMALL)
+        e0 = total_energy(driver.state)
+        driver.run()
+        assert total_energy(driver.state) == pytest.approx(e0, rel=1e-10)
+
+    def test_maximum_principle(self):
+        driver = TeaLeafDriver(SMALL)
+        u0 = driver.state.u.copy()
+        driver.step()
+        assert temperature_bounds_ok(u0, driver.state.u)
+
+    def test_heat_flows_hot_to_cold(self):
+        driver = TeaLeafDriver(SMALL)
+        hot0 = driver.state.u.max()
+        driver.run()
+        assert driver.state.u.max() < hot0
+
+    def test_analytic_mode_decay(self):
+        """Single Fourier mode decays by exactly 1/(1 + dt*lambda)."""
+        nx = ny = 32
+        deck = Deck(x_cells=nx, y_cells=ny, initial_timestep=0.05,
+                    xmax=1.0, ymax=1.0, tl_eps=1e-26)
+        deck.states = [State(density=1.0, energy=1.0)]
+        driver = TeaLeafDriver(deck)
+        u0 = 1.0 + 0.25 * fourier_mode(nx, ny, 3, 2)
+        driver.state.u = u0.copy()
+        driver.state.energy = u0 / driver.state.density
+        driver.step()
+        r = deck.initial_timestep / (deck.dx * deck.dx)
+        # Unit density => unit conductivity faces => standard Laplacian.
+        err = analytic_decay_error(u0, driver.state.u, 3, 2, r)
+        assert err < 1e-8
+
+    def test_field_summary_keys(self):
+        driver = TeaLeafDriver(SMALL)
+        summary = driver.run().field_summary
+        assert set(summary) == {"volume", "mass", "ie", "temp"}
+
+
+class TestDriver:
+    @pytest.mark.parametrize("solver", ["cg", "jacobi", "chebyshev", "ppcg"])
+    def test_all_solvers_agree(self, solver):
+        deck = Deck(x_cells=12, y_cells=12, end_step=1, tl_eps=1e-22)
+        deck.solver = solver
+        driver = TeaLeafDriver(deck)
+        summary = driver.run()
+        assert all(s.converged for s in summary.steps)
+        if solver == "cg":
+            TestDriver._reference_u = driver.state.u.copy()
+        else:
+            assert np.allclose(driver.state.u, TestDriver._reference_u, atol=1e-7)
+
+    def test_step_results_recorded(self):
+        driver = TeaLeafDriver(SMALL)
+        summary = driver.run()
+        assert len(summary.steps) == SMALL.end_step
+        assert summary.total_iterations > 0
+        assert all(s.wall_time >= 0 for s in summary.steps)
+
+    def test_unknown_solver(self):
+        deck = Deck(x_cells=4, y_cells=4)
+        deck.solver = "multigrid"
+        with pytest.raises(ValueError):
+            TeaLeafDriver(deck).step()
+
+
+class TestProtectedRuns:
+    def test_protected_run_matches_plain(self):
+        """Paper: solution norm essentially unaffected by LSB redundancy.
+
+        The paper reports deviations within 2.0e-11 % (2e-13 relative) on
+        its configuration; our measured plateau is ~3e-12 relative —
+        the same "noise floor, far below solver tolerance" regime.  The
+        asserted bound is 1e-10 to stay seed-robust; EXPERIMENTS.md
+        records the measured value against the paper's.
+        """
+        plain = TeaLeafDriver(SMALL)
+        plain.run()
+        prot = TeaLeafDriver(
+            SMALL,
+            Protection(element_scheme="secded64", rowptr_scheme="secded64",
+                       vector_scheme="secded64"),
+        )
+        prot.run()
+        norm_plain = np.linalg.norm(plain.state.u)
+        norm_prot = np.linalg.norm(prot.state.u)
+        assert abs(norm_prot - norm_plain) / norm_plain < 1.0e-10
+
+    def test_protected_iteration_overhead_under_one_percent(self):
+        plain = TeaLeafDriver(SMALL).run()
+        prot = TeaLeafDriver(
+            SMALL,
+            Protection(element_scheme="secded64", rowptr_scheme="secded64",
+                       vector_scheme="secded64"),
+        ).run()
+        assert prot.total_iterations <= int(plain.total_iterations * 1.01) + 1
+
+    def test_check_interval_run(self):
+        prot = TeaLeafDriver(
+            SMALL,
+            Protection(element_scheme="sed", rowptr_scheme="sed",
+                       check_interval=16, correct=False),
+        )
+        summary = prot.run()
+        assert all(s.converged for s in summary.steps)
+        # Deferred mode: bounds checks dominate full checks.
+        step = summary.steps[0]
+        assert step.info["bounds_checks"] > step.info["full_checks"]
+
+    @pytest.mark.parametrize("solver", ["jacobi", "chebyshev", "ppcg"])
+    def test_protected_other_solvers_via_operator(self, solver):
+        """Matrix-only protection works for every solver (ProtectedOperator)."""
+        deck = Deck(x_cells=12, y_cells=12, end_step=1, tl_eps=1e-20)
+        deck.solver = solver
+        plain = TeaLeafDriver(Deck(x_cells=12, y_cells=12, end_step=1,
+                                   tl_eps=1e-20))
+        plain.run()
+        driver = TeaLeafDriver(deck, Protection(vector_scheme=None))
+        summary = driver.run()
+        assert all(s.converged for s in summary.steps)
+        assert summary.steps[0].info["full_checks"] > 0
+        assert np.allclose(driver.state.u, plain.state.u, atol=1e-7)
+
+    def test_vector_protection_requires_cg(self):
+        deck = Deck(x_cells=8, y_cells=8)
+        deck.solver = "jacobi"
+        driver = TeaLeafDriver(deck, Protection(vector_scheme="secded64"))
+        with pytest.raises(ValueError):
+            driver.step()
