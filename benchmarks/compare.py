@@ -1,0 +1,96 @@
+"""Benchmark regression gate for the protected-CG suite.
+
+Diffs a fresh ``pytest --benchmark-json`` output against the committed
+baseline (``benchmarks/BENCH_t1.json``) and exits non-zero when any
+gated benchmark's mean time regressed by more than the threshold
+(default 20 %).  Only groups matching ``--groups`` are gated — by
+default the ``t1-full-protection*`` groups, i.e. the headline
+deferred-verification numbers this repo exists to keep fast.
+
+Usage (exactly what CI runs)::
+
+    python benchmarks/compare.py bench.json
+    python benchmarks/compare.py bench.json --baseline benchmarks/BENCH_t1.json \
+        --threshold 0.20 --groups "t1-full-protection*"
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = pathlib.Path(__file__).parent / "BENCH_t1.json"
+DEFAULT_GROUPS = ("t1-full-protection*",)
+
+
+def load_means(path: pathlib.Path, groups: tuple[str, ...]) -> dict[str, float]:
+    """Map benchmark name -> mean seconds for the gated groups."""
+    data = json.loads(path.read_text())
+    means = {}
+    for bench in data.get("benchmarks", []):
+        group = bench.get("group") or ""
+        if any(fnmatch.fnmatch(group, pattern) for pattern in groups):
+            means[bench["name"]] = float(bench["stats"]["mean"])
+    return means
+
+
+def compare(
+    new: dict[str, float], old: dict[str, float], threshold: float
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, failure lines)."""
+    lines, failures = [], []
+    for name in sorted(old):
+        if name not in new:
+            lines.append(f"  MISSING  {name}: in baseline but not in this run")
+            failures.append(name)
+            continue
+        ratio = new[name] / old[name] if old[name] else float("inf")
+        verdict = "OK"
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSED"
+            failures.append(name)
+        lines.append(
+            f"  {verdict:10s}{name}: {old[name] * 1e3:9.2f} ms -> "
+            f"{new[name] * 1e3:9.2f} ms  ({ratio - 1.0:+.1%} vs baseline)"
+        )
+    for name in sorted(set(new) - set(old)):
+        lines.append(f"  NEW      {name}: {new[name] * 1e3:9.2f} ms (no baseline)")
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new_json", type=pathlib.Path,
+                        help="benchmark JSON produced by this run")
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional mean-time regression (default 0.20)")
+    parser.add_argument("--groups", nargs="*", default=list(DEFAULT_GROUPS),
+                        help="benchmark group glob(s) to gate")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"compare: baseline {args.baseline} missing — nothing to gate")
+        return 0
+    groups = tuple(args.groups)
+    old = load_means(args.baseline, groups)
+    new = load_means(args.new_json, groups)
+    if not old:
+        print(f"compare: baseline has no benchmarks in groups {groups}")
+        return 0
+
+    print(f"Benchmark regression gate (threshold {args.threshold:.0%}, groups {groups}):")
+    lines, failures = compare(new, old, args.threshold)
+    print("\n".join(lines))
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed past the threshold")
+        return 1
+    print("\nPASS: no protected-CG benchmark regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,11 +8,27 @@ to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 import pytest
 
 from _common import BENCH_N
 from repro.harness.overhead import tealeaf_like_matrix
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ belongs to the `bench` tier.
+
+    The fast CI tier deselects it with ``-m "not bench"`` so tier-1 never
+    pays for pytest-benchmark calibration rounds; the benchmark job runs
+    it alone with ``-m bench``.  (This hook sees the whole session's
+    items, so scope the marker to this directory.)
+    """
+    bench_root = pathlib.Path(__file__).parent
+    for item in items:
+        if bench_root in item.path.parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

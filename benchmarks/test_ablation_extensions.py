@@ -10,7 +10,6 @@
 import numpy as np
 import pytest
 
-from _common import BENCH_N
 from repro.bits.float_bits import f64_to_u64
 from repro.csr.coo import COOMatrix
 from repro.protect import (

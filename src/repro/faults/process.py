@@ -122,6 +122,10 @@ def faulty_cg_solve(
             injection_iters.append(it)
             for region, spec in events:
                 injected += inject_into_matrix(matrix, region, [spec])
+            # The SpMV consumes cached clean index views; drop them so the
+            # injected corruption is live in this iteration's compute, as
+            # the campaign semantics require.
+            matrix.invalidate_clean_views()
         try:
             verify_matrix(matrix, policy)
             w = matrix.matvec_unchecked(p)
@@ -187,3 +191,4 @@ def _reencode_from(matrix: ProtectedCSRMatrix, pristine) -> None:
     if hasattr(rp, "encode"):
         np.copyto(rp.raw, pristine.rowptr)
         rp.encode()
+    matrix.invalidate_clean_views()

@@ -146,6 +146,15 @@ def run_t1(n: int = 192, repeats: int = 3) -> list[ExperimentRow]:
             source="measured",
         )
     )
+    for interval, value in hov.measure_deferred_full_protection(
+        n=n, repeats=repeats, intervals=(8, 16)
+    ).items():
+        rows.append(
+            ExperimentRow(
+                figure="t1", series="host", key=f"full-secded64-deferred{interval}",
+                overhead=value, source="measured",
+            )
+        )
     return rows
 
 

@@ -10,7 +10,10 @@ The public surface of the paper's contribution:
 * :class:`~repro.protect.row_pointer.ProtectedRowPointer` — the row
   pointer with redundancy in its top bits (Fig. 2);
 * :class:`~repro.protect.matrix.ProtectedCSRMatrix` — the full matrix;
-* :class:`~repro.protect.policy.CheckPolicy` — less-frequent checking;
+* :class:`~repro.protect.policy.CheckPolicy` — less-frequent checking,
+  per region;
+* :class:`~repro.protect.engine.DeferredVerificationEngine` — dirty
+  windows, cached decode-free reads and amortised check scheduling;
 * :mod:`repro.protect.kernels` — SpMV / dot / axpy over protected data.
 """
 
@@ -25,7 +28,8 @@ from repro.protect.vector import ProtectedVector
 from repro.protect.csr_elements import ProtectedCSRElements
 from repro.protect.row_pointer import ProtectedRowPointer
 from repro.protect.matrix import ProtectedCSRMatrix
-from repro.protect.policy import CheckPolicy
+from repro.protect.policy import CheckPolicy, PolicyStats
+from repro.protect.engine import DeferredVerificationEngine
 from repro.protect.kernels import protected_spmv, protected_dot, protected_axpy
 from repro.protect.coo_elements import ProtectedCOOElements, ProtectedCOOMatrix
 from repro.protect.csr64 import ProtectedCSRElements64, ProtectedRowPointer64
@@ -47,6 +51,8 @@ __all__ = [
     "ProtectedRowPointer",
     "ProtectedCSRMatrix",
     "CheckPolicy",
+    "PolicyStats",
+    "DeferredVerificationEngine",
     "protected_spmv",
     "protected_dot",
     "protected_axpy",

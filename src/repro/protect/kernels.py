@@ -11,6 +11,14 @@ check policy into each kernel:
   mask, compute, re-encode on write (write buffering: whole codewords are
   committed at once, so no read-modify-write is ever needed).
 
+Every kernel accepts an optional
+:class:`~repro.protect.engine.DeferredVerificationEngine`; with one, the
+per-access check/re-encode is replaced by the engine's amortised
+schedule — reads come from cached plain views, writes buffer into dirty
+windows, and verification happens at the engine's scheduled points (from
+which :class:`~repro.errors.DetectedUncorrectableError` still
+propagates).
+
 All kernels raise :class:`~repro.errors.DetectedUncorrectableError` when
 a check finds damage it cannot repair — the application layer (e.g. the
 CG driver) decides whether to restart, recompute or abort, which the
@@ -27,6 +35,30 @@ from repro.protect.policy import CheckPolicy
 from repro.protect.vector import ProtectedVector
 
 
+def full_matrix_check(
+    matrix: ProtectedCSRMatrix,
+    policy: CheckPolicy,
+    name: str | None = None,
+) -> None:
+    """Full check of every matrix region, accounted against the policy.
+
+    The one place that runs ``check_all``, folds the reports into the
+    policy counters and raises on uncorrectable damage — shared by the
+    per-access :func:`verify_matrix` path and the engine's scheduled
+    checks (which pass the registered region ``name`` for the error).
+    """
+    reports = matrix.check_all(correct=policy.correct)
+    policy.stats.full_checks += 1
+    for region, report in reports.items():
+        policy.stats.corrected += report.n_corrected
+        policy.stats.uncorrectable += report.n_uncorrectable
+        if not report.ok:
+            region_name = f"{name}:{region}" if name else region
+            raise DetectedUncorrectableError(
+                region_name, report.uncorrectable_indices()[:8].tolist()
+            )
+
+
 def verify_matrix(
     matrix: ProtectedCSRMatrix, policy: CheckPolicy | None, *, force: bool = False
 ) -> None:
@@ -34,15 +66,7 @@ def verify_matrix(
     if policy is None:
         policy = CheckPolicy(interval=1, correct=True)
     if force or policy.should_check():
-        reports = matrix.check_all(correct=policy.correct)
-        policy.stats.full_checks += 1
-        for region, report in reports.items():
-            policy.stats.corrected += report.n_corrected
-            policy.stats.uncorrectable += report.n_uncorrectable
-            if not report.ok:
-                raise DetectedUncorrectableError(
-                    region, report.uncorrectable_indices()[:8].tolist()
-                )
+        full_matrix_check(matrix, policy)
     elif policy.interval:
         matrix.bounds_check()
         policy.stats.bounds_checks += 1
@@ -53,12 +77,16 @@ def protected_spmv(
     x: np.ndarray | ProtectedVector,
     policy: CheckPolicy | None = None,
     out: np.ndarray | None = None,
+    engine=None,
 ) -> np.ndarray:
     """``A @ x`` with policy-driven matrix verification.
 
     ``x`` may be a plain array (already masked/trusted) or a
-    :class:`ProtectedVector`, which is checked and masked first.
+    :class:`ProtectedVector`, which is checked and masked first.  With an
+    ``engine`` the verification follows its amortised schedule instead.
     """
+    if engine is not None:
+        return engine.spmv(matrix, x, out=out)
     verify_matrix(matrix, policy)
     if isinstance(x, ProtectedVector):
         x = load_vector(x)
@@ -75,17 +103,30 @@ def load_vector(vector: ProtectedVector, *, correct: bool = True) -> np.ndarray:
     return vector.values()
 
 
-def protected_dot(a: ProtectedVector, b: ProtectedVector | np.ndarray) -> float:
-    """Dot product with check-on-read semantics."""
+def protected_dot(
+    a: ProtectedVector, b: ProtectedVector | np.ndarray, engine=None
+) -> float:
+    """Dot product: check-on-read, or fused decode-free reads via engine."""
+    if engine is not None:
+        av = engine.read(a) if isinstance(a, ProtectedVector) else np.asarray(a)
+        bv = engine.read(b) if isinstance(b, ProtectedVector) else np.asarray(b)
+        return float(np.dot(av, bv))
     av = load_vector(a)
     bv = load_vector(b) if isinstance(b, ProtectedVector) else np.asarray(b)
     return float(np.dot(av, bv))
 
 
 def protected_axpy(
-    alpha: float, x: ProtectedVector | np.ndarray, y: ProtectedVector
+    alpha: float, x: ProtectedVector | np.ndarray, y: ProtectedVector, engine=None
 ) -> None:
-    """``y <- alpha * x + y`` committed as whole re-encoded codewords."""
+    """``y <- alpha * x + y`` committed as whole re-encoded codewords.
+
+    With an ``engine`` the commit is a buffered dirty-window write.
+    """
+    if engine is not None:
+        xv = engine.read(x) if isinstance(x, ProtectedVector) else np.asarray(x)
+        engine.write(y, alpha * xv + engine.read(y))
+        return
     xv = load_vector(x) if isinstance(x, ProtectedVector) else np.asarray(x)
     yv = load_vector(y)
     y.store(alpha * xv + yv)

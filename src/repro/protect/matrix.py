@@ -102,6 +102,7 @@ class ProtectedCSRMatrix:
                 matrix.shape[1],
                 element_scheme,
             )
+        self._clean_views: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -132,7 +133,12 @@ class ProtectedCSRMatrix:
 
     # ------------------------------------------------------------------
     def check_all(self, correct: bool = True) -> dict[str, CheckReport]:
-        """Integrity-check every region; returns per-region reports."""
+        """Integrity-check every region; returns per-region reports.
+
+        The cached clean index views are dropped so the next SpMV decodes
+        from the (possibly just corrected) stored arrays.
+        """
+        self._clean_views = None
         return {
             "csr_elements": self.elements.check(correct=correct),
             "row_pointer": self.rowptr_protected.check(correct=correct),
@@ -170,12 +176,33 @@ class ProtectedCSRMatrix:
             raise BoundsViolationError("csr_elements")
 
     # ------------------------------------------------------------------
+    def clean_views(self) -> tuple[np.ndarray, np.ndarray]:
+        """Decode-free SpMV structure: cached ``(colidx, rowptr)`` cleaned views.
+
+        Rebuilt lazily after every :meth:`check_all` (which may have
+        corrected the stored arrays) and on :meth:`invalidate_clean_views`.
+        Between checks the SpMV therefore runs over the last-verified
+        index snapshot at plain-NumPy speed; the value array is always
+        used live, so value corruption stays observable.
+        """
+        if self._clean_views is None:
+            self._clean_views = (
+                self.elements.colidx_clean(),
+                self.rowptr_protected.clean(),
+            )
+        return self._clean_views
+
+    def invalidate_clean_views(self) -> None:
+        """Drop the cached cleaned index views (e.g. after re-encoding)."""
+        self._clean_views = None
+
     def matvec_unchecked(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """SpMV on cleaned views without any integrity verification."""
+        colidx, rowptr = self.clean_views()
         return spmv(
             self.elements.values,
-            self.elements.colidx_clean(),
-            self.rowptr_protected.clean(),
+            colidx,
+            rowptr,
             x,
             self.n_rows,
             out=out,

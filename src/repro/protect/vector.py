@@ -20,9 +20,16 @@ A tail of ``len(v) % group`` elements falls back to per-element SED
 (parity in bit 0) so coverage has no holes; this is a documented
 deviation — the paper never states how non-multiple lengths are handled.
 
-Writes are whole-array ``store`` operations: the solver computes on plain
-working arrays and commits complete codewords, which is exactly the
+Writes are whole-codeword ``store`` operations: the solver computes on
+plain working arrays and commits complete codewords, which is exactly the
 paper's read/write-buffering strategy for avoiding read-modify-writes.
+``store`` additionally supports *dirty windows*: a windowed store
+re-encodes only the codeword lanes the window touches, and a deferred
+store buffers the new values in the plain cache and re-encodes the
+accumulated dirty window in one batch at :meth:`flush` — the
+deferred-verification engine's write-buffering mode.  Reads between
+scheduled checks come from :meth:`view`, a cached plain-``float64`` view
+that costs nothing once populated.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ from repro.ecc.base import CheckReport, CodewordStatus
 from repro.ecc.crc32c import crc32c_batch
 from repro.ecc.crc_correct import corrector_for, max_errors_for_mode
 from repro.ecc.profiles import vector_secded64, vector_secded128
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DetectedUncorrectableError
 from repro.protect.base import GROUPS, VECTOR_SCHEMES
 
 _ONE = np.uint64(1)
@@ -68,6 +75,9 @@ class ProtectedVector:
         if self.raw.ndim != 1:
             raise ConfigurationError("ProtectedVector expects a 1-D array")
         self._n_grouped = (self.raw.size // self.group) * self.group
+        self._cache: np.ndarray | None = None
+        self._cache_ro: np.ndarray | None = None
+        self._dirty: tuple[int, int] | None = None
         self._encode_all()
 
     # ------------------------------------------------------------------
@@ -83,11 +93,24 @@ class ProtectedVector:
     def tail_size(self) -> int:
         return self.raw.size - self._n_grouped
 
+    @property
+    def dirty_window(self) -> tuple[int, int] | None:
+        """Element range ``[lo, hi)`` buffered but not yet re-encoded."""
+        return self._dirty
+
     # -- read path ------------------------------------------------------
     def values(self, out: np.ndarray | None = None) -> np.ndarray:
-        """Computation-ready copy: reserved LSBs masked to zero."""
+        """Computation-ready copy: reserved LSBs masked to zero.
+
+        While a deferred write is buffered (``dirty_window`` is set) the
+        cache is the authoritative content, so its values are returned
+        verbatim (they have not been rounded into codewords yet).
+        """
         if out is None:
             out = np.empty_like(self.raw)
+        if self._dirty is not None:
+            np.copyto(out, self._cache)
+            return out
         words = f64_to_u64(self.raw)
         out_words = f64_to_u64(out)
         np.bitwise_and(words, self._data_mask_word(), out=out_words)
@@ -96,26 +119,119 @@ class ProtectedVector:
             out_words[self._n_grouped :] = tail & ~_ONE
         return out
 
+    def view(self) -> np.ndarray:
+        """Read-only cached plain view — the decode-free read path.
+
+        The cache is verified once when populated (see
+        :meth:`_ensure_cache`) and kept in sync by
+        :meth:`store`/:meth:`flush`; between those points it is *not*
+        re-verified (the deferred-verification engine schedules the
+        checks).  Corrections applied by :meth:`check` invalidate it via
+        :meth:`invalidate_cache`.
+        """
+        self._ensure_cache()
+        return self._cache_ro
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached plain view (e.g. after an in-place correction)."""
+        if self._dirty is not None:
+            raise RuntimeError("cannot invalidate the cache with a dirty window pending")
+        self._cache = None
+        self._cache_ro = None
+
     # -- write path ------------------------------------------------------
-    def store(self, new_values: np.ndarray) -> None:
-        """Overwrite the whole vector and re-encode (no read-modify-write)."""
+    def store(
+        self,
+        new_values: np.ndarray,
+        window: tuple[int, int] | None = None,
+        defer: bool = False,
+    ) -> None:
+        """Overwrite values and re-encode (no read-modify-write).
+
+        Parameters
+        ----------
+        window:
+            ``(lo, hi)`` element range to overwrite.  ``new_values`` may
+            be the window slice (length ``hi - lo``) or a full-length
+            vector from which the slice is taken.  Only the codeword
+            lanes covering the window are re-encoded; ``None`` keeps the
+            whole-vector encode as the fallback.
+        defer:
+            Buffer the write in the plain cache and merely widen the
+            dirty window; the actual re-encode happens at :meth:`flush`.
+        """
         new_values = np.asarray(new_values, dtype=np.float64)
-        if new_values.shape != self.raw.shape:
-            raise ValueError("store() requires a same-length vector")
-        np.copyto(self.raw, new_values)
-        self._encode_all()
+        if window is None:
+            lo, hi = 0, self.raw.size
+            if new_values.shape != self.raw.shape:
+                raise ValueError("store() requires a same-length vector")
+        else:
+            lo, hi = int(window[0]), int(window[1])
+            if not (0 <= lo <= hi <= self.raw.size):
+                raise ValueError(f"window {window!r} out of range for size {self.raw.size}")
+            if new_values.size == self.raw.size:
+                new_values = new_values[lo:hi]
+            elif new_values.size != hi - lo:
+                raise ValueError("store() window slice has the wrong length")
+        if defer:
+            self._ensure_cache(trusted=window is None)
+            self._cache[lo:hi] = new_values
+            self._mark_dirty(lo, hi)
+            return
+        if self._dirty is not None:
+            self.flush()
+        if window is None:
+            np.copyto(self.raw, new_values)
+            self._encode_all()
+        else:
+            self._guard_partial_lanes(lo, hi)
+            self.raw[lo:hi] = new_values
+            lo, hi = self._encode_window(lo, hi)
+        if self._cache is not None:
+            self._refresh_cache_slice(lo, hi)
+
+    def flush(self) -> tuple[int, int] | None:
+        """Commit the buffered dirty window: re-encode only those lanes.
+
+        Returns the lane-aligned element range that was re-encoded, or
+        ``None`` when nothing was dirty.  Raw storage inside the window
+        is overwritten from the cache (any bit flip that landed there
+        held dead data); storage outside stays untouched, so flips there
+        remain detectable by the next check.
+        """
+        if self._dirty is None:
+            return None
+        lo, hi = self._align_window(*self._dirty)
+        self._dirty = None
+        self.raw[lo:hi] = self._cache[lo:hi]
+        self._encode_window(lo, hi)
+        self._refresh_cache_slice(lo, hi)
+        return (lo, hi)
 
     # -- integrity -------------------------------------------------------
     def detect(self) -> np.ndarray:
-        """Boolean corrupted-flag per codeword, without correction."""
-        main = self._detect_main()
-        if not self.tail_size:
-            return main
-        tail = parity64(f64_to_u64(self.raw[self._n_grouped :])).astype(bool)
-        return np.concatenate([main, tail])
+        """Boolean corrupted-flag per codeword, without correction.
+
+        A pending dirty window is flushed first so the verdict describes
+        the vector's logical content, not a stale snapshot.
+        """
+        self.flush()
+        return self._detect_raw()
 
     def check(self, correct: bool = True) -> CheckReport:
-        """Full integrity check; single-bit errors repaired when possible."""
+        """Full integrity check; single-bit errors repaired when possible.
+
+        In-place corrections invalidate the cached plain view so the next
+        :meth:`view` observes the repaired values.
+        """
+        self.flush()
+        report = self._check_impl(correct)
+        if self._cache is not None and report.n_corrected:
+            self._cache = None
+            self._cache_ro = None
+        return report
+
+    def _check_impl(self, correct: bool) -> CheckReport:
         if not correct:
             flags = self.detect()
             status = np.where(
@@ -142,23 +258,136 @@ class ProtectedVector:
         words = f64_to_u64(self.raw)
         return words[: self._n_grouped].reshape(-1, self.group)
 
-    def _encode_all(self) -> None:
-        if self._n_grouped:
-            lanes = self._grouped_lanes()
-            if self.scheme == "sed":
-                np.bitwise_and(lanes, ~_ONE, out=lanes)
-                p = parity64(lanes[:, 0]).astype(np.uint64)
-                lanes[:, 0] |= p
-            elif self.scheme == "secded64":
-                vector_secded64().encode(lanes)
-            elif self.scheme == "secded128":
-                vector_secded128().encode(lanes)
-            else:  # crc32c
-                self._encode_crc(lanes)
-        if self.tail_size:
-            tail = f64_to_u64(self.raw[self._n_grouped :])
+    def _ensure_cache(self, trusted: bool = False) -> None:
+        """Populate the plain cache from storage, verifying lineage first.
+
+        Once populated, the cache is served decode-free and committed
+        back to storage by :meth:`flush`, so corrupted stored data must
+        never seed it silently — detection here is what stops a flip
+        from being laundered into a fresh valid codeword by a later
+        deferred partial-window commit.  ``trusted=True`` skips the
+        verification when the caller is about to overwrite the entire
+        cache anyway.
+        """
+        if self._cache is not None:
+            return
+        if not trusted:
+            flags = self._detect_raw()
+            if flags.any():
+                raise DetectedUncorrectableError(
+                    "vector", np.flatnonzero(flags)[:8].tolist()
+                )
+        self._cache = self.values()
+        self._cache_ro = self._cache.view()
+        self._cache_ro.flags.writeable = False
+
+    def _detect_raw(self) -> np.ndarray:
+        """Per-codeword corrupted flags over raw storage (no flush)."""
+        main = self._detect_main()
+        if not self.tail_size:
+            return main
+        tail = parity64(f64_to_u64(self.raw[self._n_grouped :])).astype(bool)
+        return np.concatenate([main, tail])
+
+    def _guard_partial_lanes(self, lo: int, hi: int) -> None:
+        """Refuse to re-bless unverified lane-mates of a partial write.
+
+        A windowed store re-encodes whole codeword lanes; elements of a
+        boundary lane the window does not overwrite contribute their
+        current stored bits to the fresh checkword, which would convert
+        a flip already sitting there into a valid codeword.  Those lanes
+        are detect-checked first; corruption anywhere in them raises
+        (conservatively — even a flip in the part being overwritten).
+        """
+        if self.group == 1:
+            return  # single-element lanes are always fully overwritten
+        alo, ahi = self._align_window(lo, hi)
+        boundaries = []
+        if alo < lo:
+            boundaries.append(alo)
+        if hi < self._n_grouped and ahi > hi:
+            last = ahi - self.group
+            if last not in boundaries:
+                boundaries.append(last)
+        bad = []
+        words = f64_to_u64(self.raw)
+        for start in boundaries:
+            lane = words[start : start + self.group].reshape(1, self.group)
+            if self._detect_lanes(lane):
+                bad.append(start // self.group)
+        if bad:
+            raise DetectedUncorrectableError("vector", bad)
+
+    def _detect_lanes(self, lanes: np.ndarray) -> bool:
+        if self.scheme == "sed":
+            return bool(parity64(lanes[:, 0]).any())
+        if self.scheme == "secded64":
+            return bool(vector_secded64().detect(lanes).any())
+        if self.scheme == "secded128":
+            return bool(vector_secded128().detect(lanes).any())
+        return bool((self._crc_diff(lanes) != 0).any())
+
+    def _mark_dirty(self, lo: int, hi: int) -> None:
+        if self._dirty is None:
+            self._dirty = (lo, hi)
+        else:
+            self._dirty = (min(self._dirty[0], lo), max(self._dirty[1], hi))
+
+    def _align_window(self, lo: int, hi: int) -> tuple[int, int]:
+        """Expand an element range to codeword-lane boundaries.
+
+        Tail elements are 1-wide SED codewords, so only the grouped
+        prefix needs alignment.
+        """
+        g = self.group
+        if lo < self._n_grouped:
+            lo = (lo // g) * g
+        if hi <= self._n_grouped:
+            hi = -(-hi // g) * g
+        return lo, hi
+
+    def _encode_window(self, lo: int, hi: int) -> tuple[int, int]:
+        """Re-encode the codeword lanes covering elements ``[lo, hi)``."""
+        lo, hi = self._align_window(lo, hi)
+        ghi = min(hi, self._n_grouped)
+        if lo < ghi:
+            words = f64_to_u64(self.raw)
+            self._encode_lanes(words[lo:ghi].reshape(-1, self.group))
+        tlo = max(lo, self._n_grouped)
+        if tlo < hi:
+            tail = f64_to_u64(self.raw[tlo:hi])
             np.bitwise_and(tail, ~_ONE, out=tail)
             tail |= parity64(tail).astype(np.uint64)
+        return lo, hi
+
+    def _encode_all(self) -> None:
+        if self.raw.size:
+            self._encode_window(0, self.raw.size)
+
+    def _encode_lanes(self, lanes: np.ndarray) -> None:
+        if self.scheme == "sed":
+            np.bitwise_and(lanes, ~_ONE, out=lanes)
+            p = parity64(lanes[:, 0]).astype(np.uint64)
+            lanes[:, 0] |= p
+        elif self.scheme == "secded64":
+            vector_secded64().encode(lanes)
+        elif self.scheme == "secded128":
+            vector_secded128().encode(lanes)
+        else:  # crc32c
+            self._encode_crc(lanes)
+
+    def _refresh_cache_slice(self, lo: int, hi: int) -> None:
+        """Mirror the masked decode of ``raw[lo:hi]`` into the cache."""
+        if self._cache is None:
+            return
+        words = f64_to_u64(self.raw)
+        cache_words = f64_to_u64(self._cache)
+        ghi = min(hi, self._n_grouped)
+        if lo < ghi:
+            cache_words[lo:ghi] = words[lo:ghi] & self._data_mask_word()
+        tlo = max(lo, self._n_grouped)
+        if tlo < hi:
+            cache_words[tlo:hi] = words[tlo:hi] & ~_ONE
 
     # -- scheme internals --------------------------------------------------
     def _detect_main(self) -> np.ndarray:

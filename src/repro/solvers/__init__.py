@@ -11,7 +11,7 @@ from repro.solvers.base import SolverResult, LinearOperator, as_operator
 from repro.solvers.cg import cg_solve, protected_cg_solve
 from repro.solvers.jacobi import jacobi_solve
 from repro.solvers.chebyshev import chebyshev_solve, estimate_eigenvalue_bounds
-from repro.solvers.ppcg import ppcg_solve
+from repro.solvers.ppcg import ppcg_solve, protected_ppcg_solve
 from repro.solvers.preconditioner import JacobiPreconditioner, IdentityPreconditioner
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "chebyshev_solve",
     "estimate_eigenvalue_bounds",
     "ppcg_solve",
+    "protected_ppcg_solve",
     "JacobiPreconditioner",
     "IdentityPreconditioner",
 ]

@@ -7,9 +7,12 @@ Two drivers:
 * :func:`protected_cg_solve` — the fully-ABFT variant: the matrix is a
   :class:`~repro.protect.matrix.ProtectedCSRMatrix` verified per the
   check policy before each SpMV, and the solver state vectors (x, r, p)
-  live in :class:`~repro.protect.vector.ProtectedVector` containers —
-  checked when first read each iteration, re-encoded when written
-  (write-buffered whole codewords; no read-modify-write).
+  live in :class:`~repro.protect.vector.ProtectedVector` containers.
+  All protected traffic flows through a
+  :class:`~repro.protect.engine.DeferredVerificationEngine`: reads are
+  cached decode-free views, writes are (optionally dirty-window
+  buffered) whole-codeword commits, and integrity checks run on the
+  policy's amortised schedule with a mandatory end-of-step sweep.
 
 The protected variant also keeps the CG *alpha/beta* scalars out of
 protected storage, exactly as the kernels in the paper do (scalars live
@@ -20,7 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.protect.kernels import load_vector, verify_matrix
+from repro.errors import ConfigurationError
+from repro.protect.engine import DeferredVerificationEngine
+from repro.protect.kernels import verify_matrix
 from repro.protect.matrix import ProtectedCSRMatrix
 from repro.protect.policy import CheckPolicy
 from repro.protect.vector import ProtectedVector
@@ -72,6 +77,30 @@ def cg_solve(
     return SolverResult(x=x, iterations=it, converged=converged, residual_norms=norms)
 
 
+def _resolve_schedule(
+    policy: CheckPolicy | None, engine: DeferredVerificationEngine | None
+) -> tuple[CheckPolicy, DeferredVerificationEngine]:
+    """One policy object drives everything: scheduling, stats, sweeps.
+
+    A caller-supplied engine brings its own policy; accepting a second,
+    different policy alongside it would split the counters between two
+    objects, so that is rejected outright.
+    """
+    if engine is not None:
+        if policy is not None and policy is not engine.policy:
+            raise ConfigurationError(
+                "pass either a policy or an engine (whose policy is used), "
+                "not two different schedules"
+            )
+        policy = engine.policy
+    else:
+        if policy is None:
+            policy = CheckPolicy(interval=1, correct=True)
+        engine = DeferredVerificationEngine(policy)
+    policy.reset()
+    return policy, engine
+
+
 def protected_cg_solve(
     matrix: ProtectedCSRMatrix,
     b: np.ndarray,
@@ -81,55 +110,66 @@ def protected_cg_solve(
     max_iters: int = 10_000,
     policy: CheckPolicy | None = None,
     vector_scheme: str | None = "secded64",
+    engine: DeferredVerificationEngine | None = None,
 ) -> SolverResult:
     """Fully protected CG: ABFT matrix + (optionally) ABFT state vectors.
 
     Parameters
     ----------
     policy:
-        Matrix check policy; defaults to a full check before every SpMV.
+        Per-region check schedule; defaults to a full check before every
+        SpMV and a vector check every iteration.  ``interval > 1`` (and
+        ``vector_interval > 1``) amortises the checks across iterations
+        via the deferred-verification engine.
     vector_scheme:
         Scheme for the solver's dense vectors, or ``None`` to leave the
         vectors unprotected (the Fig. 4-8 configurations protect only the
         matrix; Fig. 9 adds the vectors).
+    engine:
+        Supply a pre-built :class:`DeferredVerificationEngine` (e.g. to
+        share a schedule across solves); its policy then drives the
+        whole solve, so ``policy`` must be left ``None`` or be the same
+        object.
 
     Returns the result with ``info`` carrying the policy counters; the
-    end-of-step sweep (mandatory when the policy defers checks) is
-    included before returning.
+    end-of-step sweep (mandatory when the policy defers checks or
+    buffers writes) is included before returning.
     """
-    if policy is None:
-        policy = CheckPolicy(interval=1, correct=True)
-    policy.reset()
+    policy, engine = _resolve_schedule(policy, engine)
     n = matrix.n_rows
     x_plain = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
 
     protect_vectors = vector_scheme is not None
 
-    def wrap(v: np.ndarray):
-        return ProtectedVector(v, vector_scheme) if protect_vectors else v.copy()
+    def wrap(v: np.ndarray, name: str):
+        if protect_vectors:
+            return engine.register(ProtectedVector(v, vector_scheme), name)
+        return v.copy()
 
     def read(v):
-        return load_vector(v) if protect_vectors else v
+        return engine.read(v) if protect_vectors else v
 
     def write(container, v: np.ndarray):
         if protect_vectors:
-            container.store(v)
+            engine.write(container, v)
             return container
         return v
 
+    engine.register(matrix, "matrix")
     verify_matrix(matrix, policy, force=policy.interval != 0)
-    x = wrap(x_plain)
+    x = wrap(x_plain, "x")
     r0 = b - matrix.matvec_unchecked(read(x))
-    r = wrap(r0)
-    p = wrap(r0)
+    r = wrap(r0, "r")
+    p = wrap(r0, "p")
     rr = float(np.dot(read(r), read(r)))
     norms = [float(np.sqrt(rr))]
     converged = rr < eps
     it = 0
     while not converged and it < max_iters:
+        if protect_vectors:
+            engine.begin_iteration()
         p_val = read(p)
-        verify_matrix(matrix, policy)
-        w = matrix.matvec_unchecked(p_val)
+        w = engine.spmv(matrix, p_val)
         pw = float(np.dot(p_val, w))
         if pw == 0.0:
             break
@@ -147,16 +187,24 @@ def protected_cg_solve(
         rr = rr_new
 
     # Mandatory end-of-step sweep when checks were deferred (§VI.A.2).
-    if policy.end_of_step():
-        verify_matrix(matrix, policy, force=True)
+    engine.finalize()
 
     info = {
         "full_checks": policy.stats.full_checks,
         "bounds_checks": policy.stats.bounds_checks,
+        "vector_checks": policy.stats.vector_checks,
+        "cached_reads": policy.stats.cached_reads,
+        "deferred_stores": policy.stats.deferred_stores,
+        "dirty_flushes": policy.stats.dirty_flushes,
         "corrected": policy.stats.corrected,
         "vector_scheme": vector_scheme,
     }
-    x_final = read(x) if protect_vectors else x
+    x_final = x.values() if protect_vectors else x
+    if protect_vectors:
+        # Release this solve's transient state so a shared engine doesn't
+        # accumulate dead vectors across solves (the matrix stays).
+        for vec in (x, r, p):
+            engine.unregister(vec)
     return SolverResult(
         x=x_final, iterations=it, converged=converged,
         residual_norms=norms, info=info,

@@ -3,21 +3,35 @@
 CG whose preconditioner is a fixed number of Chebyshev smoothing steps —
 TeaLeaf's communication-avoiding option.  The polynomial application is
 SPD for any inner step count, so outer CG theory holds.
+
+:func:`protected_ppcg_solve` is the ABFT variant: the outer iteration's
+matrix and state vectors are protected and scheduled through the
+:class:`~repro.protect.engine.DeferredVerificationEngine`, while the
+polynomial preconditioner runs sandboxed on plain working arrays (its
+input is a verified read and its output is committed through the engine,
+the "opaque preconditioner" treatment) with every inner SpMV still
+counted against the matrix check schedule.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.protect.engine import DeferredVerificationEngine
+from repro.protect.kernels import verify_matrix
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.policy import CheckPolicy
+from repro.protect.vector import ProtectedVector
 from repro.solvers.base import SolverResult, as_operator
+from repro.solvers.cg import _resolve_schedule
 from repro.solvers.chebyshev import estimate_eigenvalue_bounds
 
 
 class _ChebyshevPolyPreconditioner:
     """Applies x ~= A^-1 r with `steps` Chebyshev iterations from zero."""
 
-    def __init__(self, op, eig_min: float, eig_max: float, steps: int):
-        self.op = op
+    def __init__(self, matvec, eig_min: float, eig_max: float, steps: int):
+        self.matvec = matvec
         self.theta = (eig_max + eig_min) / 2.0
         self.delta = (eig_max - eig_min) / 2.0
         self.sigma = self.theta / self.delta
@@ -30,7 +44,7 @@ class _ChebyshevPolyPreconditioner:
         d = r / self.theta
         for _ in range(self.steps):
             x += d
-            r = rhs - self.op.matvec(x)
+            r = rhs - self.matvec(x)
             rho_new = 1.0 / (2.0 * self.sigma - rho)
             d = rho_new * rho * d + (2.0 * rho_new / self.delta) * r
             rho = rho_new
@@ -52,7 +66,7 @@ def ppcg_solve(
     if eig_bounds is None:
         eig_bounds = estimate_eigenvalue_bounds(op)
     eig_min, eig_max = eig_bounds
-    M = _ChebyshevPolyPreconditioner(op, eig_min, eig_max, inner_steps)
+    M = _ChebyshevPolyPreconditioner(op.matvec, eig_min, eig_max, inner_steps)
 
     x = np.zeros(op.n) if x0 is None else np.array(x0, dtype=np.float64)
     r = b - op.matvec(x)
@@ -82,4 +96,106 @@ def ppcg_solve(
     return SolverResult(
         x=x, iterations=it, converged=converged, residual_norms=norms,
         info={"inner_steps": inner_steps, "eig_bounds": eig_bounds},
+    )
+
+
+def protected_ppcg_solve(
+    matrix: ProtectedCSRMatrix,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    *,
+    eps: float = 1e-15,
+    max_iters: int = 10_000,
+    inner_steps: int = 4,
+    eig_bounds: tuple[float, float] | None = None,
+    policy: CheckPolicy | None = None,
+    vector_scheme: str | None = "secded64",
+    engine: DeferredVerificationEngine | None = None,
+) -> SolverResult:
+    """Fully protected PPCG driven by the deferred-verification engine.
+
+    The outer state vectors (x, r, p) are ABFT-protected; the Chebyshev
+    polynomial is applied to plain working arrays, but each of its inner
+    SpMVs goes through the engine so the matrix schedule (full check or
+    range check per access) still covers the preconditioner's traffic.
+    """
+    policy, engine = _resolve_schedule(policy, engine)
+    engine.register(matrix, "matrix")
+    # Verify before anything decodes the matrix: the eigenvalue estimate
+    # tunes the Chebyshev polynomial for the whole solve, so it must not
+    # be poisoned by a correctable flip the forced check would have fixed.
+    verify_matrix(matrix, policy, force=policy.interval != 0)
+    if eig_bounds is None:
+        eig_bounds = estimate_eigenvalue_bounds(as_operator(matrix.to_csr()))
+    eig_min, eig_max = eig_bounds
+    M = _ChebyshevPolyPreconditioner(
+        lambda v: engine.spmv(matrix, v), eig_min, eig_max, inner_steps
+    )
+    n = matrix.n_rows
+    x_plain = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+
+    protect_vectors = vector_scheme is not None
+
+    def wrap(v: np.ndarray, name: str):
+        if protect_vectors:
+            return engine.register(ProtectedVector(v, vector_scheme), name)
+        return v.copy()
+
+    def read(v):
+        return engine.read(v) if protect_vectors else v
+
+    def write(container, v: np.ndarray):
+        if protect_vectors:
+            engine.write(container, v)
+            return container
+        return v
+
+    x = wrap(x_plain, "x")
+    r0 = b - matrix.matvec_unchecked(read(x))
+    z0 = M.apply(r0)
+    r = wrap(r0, "r")
+    p = wrap(z0, "p")
+    rz = float(np.dot(r0, z0))
+    norms = [float(np.linalg.norm(r0))]
+    converged = norms[0] ** 2 < eps
+    it = 0
+    while not converged and it < max_iters:
+        if protect_vectors:
+            engine.begin_iteration()
+        p_val = read(p)
+        w = engine.spmv(matrix, p_val)
+        pw = float(np.dot(p_val, w))
+        if pw == 0.0:
+            break
+        alpha = rz / pw
+        x = write(x, read(x) + alpha * p_val)
+        r_val = read(r) - alpha * w
+        r = write(r, r_val)
+        norms.append(float(np.linalg.norm(r_val)))
+        it += 1
+        if norms[-1] ** 2 < eps:
+            converged = True
+            break
+        z = M.apply(r_val)
+        rz_new = float(np.dot(r_val, z))
+        p = write(p, z + (rz_new / rz) * p_val)
+        rz = rz_new
+
+    engine.finalize()
+    info = {
+        "inner_steps": inner_steps,
+        "eig_bounds": eig_bounds,
+        "full_checks": policy.stats.full_checks,
+        "bounds_checks": policy.stats.bounds_checks,
+        "vector_checks": policy.stats.vector_checks,
+        "corrected": policy.stats.corrected,
+        "vector_scheme": vector_scheme,
+    }
+    x_final = x.values() if protect_vectors else x
+    if protect_vectors:
+        for vec in (x, r, p):
+            engine.unregister(vec)
+    return SolverResult(
+        x=x_final, iterations=it, converged=converged,
+        residual_norms=norms, info=info,
     )

@@ -1,6 +1,5 @@
 """CLI experiment commands and report-formatting edge cases."""
 
-import numpy as np
 import pytest
 
 from repro.__main__ import build_parser, main

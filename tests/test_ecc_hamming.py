@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ecc import SECDEDCode
-from repro.ecc.base import CodewordStatus
 from repro.ecc.profiles import (
     csr_element_secded,
     rowptr_secded64,

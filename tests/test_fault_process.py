@@ -1,7 +1,6 @@
 """Poisson fault process and the faulty-solve driver."""
 
 import numpy as np
-import pytest
 
 from repro.csr import five_point_operator
 from repro.faults import PoissonProcess, faulty_cg_solve

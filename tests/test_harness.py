@@ -1,6 +1,5 @@
 """Harness tests: timing, host overhead measurement, experiment registry."""
 
-import numpy as np
 import pytest
 
 from repro.harness import (
