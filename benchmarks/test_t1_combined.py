@@ -10,8 +10,11 @@ The headline `t1-full-protection` group benchmarks SECDED CG through the
 deferred-verification engine (check window of 16 iterations, the paper's
 interval model) next to the unprotected baseline; the eager
 check-on-every-access configuration is kept as a separate benchmark for
-the amortisation ratio.  ``benchmarks/compare.py`` gates regressions of
-this group against the committed ``BENCH_t1.json`` baseline.
+the amortisation ratio.  Everything runs through the unified
+``repro.solve`` registry path — the same entry point the TeaLeaf driver
+and the campaigns use — so the gate also covers the dispatch layer.
+``benchmarks/compare.py`` gates regressions of this group against the
+committed ``BENCH_t1.json`` baseline.
 """
 
 import numpy as np
@@ -19,15 +22,18 @@ import numpy as np
 from _common import BENCH_N, write_report
 from repro.harness.experiments import run_experiment
 from repro.harness.report import format_table
+from repro.protect.config import ProtectionConfig
 from repro.protect.matrix import ProtectedCSRMatrix
-from repro.protect.policy import CheckPolicy
-from repro.solvers.cg import cg_solve, protected_cg_solve
+from repro.solvers.registry import solve
+
+DEFERRED16 = ProtectionConfig.deferred(window=16)
+EAGER = ProtectionConfig.paper_default().replace(correct=False)
 
 
 def test_full_protection_cg_baseline(benchmark, bench_matrix):
     benchmark.group = "t1-full-protection"
     b = np.random.default_rng(13).standard_normal(bench_matrix.n_rows)
-    benchmark(lambda: cg_solve(bench_matrix, b, eps=1e-12, max_iters=40))
+    benchmark(lambda: solve(bench_matrix, b, method="cg", eps=1e-12, max_iters=40))
 
 
 def test_full_protection_cg_secded(benchmark, bench_matrix):
@@ -37,11 +43,8 @@ def test_full_protection_cg_secded(benchmark, bench_matrix):
     pmat = ProtectedCSRMatrix(bench_matrix, "secded64", "secded64")
 
     def run():
-        protected_cg_solve(
-            pmat, b, eps=1e-12, max_iters=40,
-            policy=CheckPolicy(interval=16, correct=False),
-            vector_scheme="secded64",
-        )
+        solve(pmat, b, method="cg", protection=DEFERRED16,
+              eps=1e-12, max_iters=40)
 
     benchmark(run)
 
@@ -53,11 +56,7 @@ def test_full_protection_cg_secded_eager(benchmark, bench_matrix):
     pmat = ProtectedCSRMatrix(bench_matrix, "secded64", "secded64")
 
     def run():
-        protected_cg_solve(
-            pmat, b, eps=1e-12, max_iters=40,
-            policy=CheckPolicy(interval=1, correct=False),
-            vector_scheme="secded64",
-        )
+        solve(pmat, b, method="cg", protection=EAGER, eps=1e-12, max_iters=40)
 
     benchmark(run)
 
@@ -81,10 +80,10 @@ def test_t1_convergence_impact(benchmark, bench_matrix):
     b = np.random.default_rng(14).standard_normal(bench_matrix.n_rows)
 
     def run():
-        plain = cg_solve(bench_matrix, b, eps=1e-18, max_iters=300)
-        prot = protected_cg_solve(
-            ProtectedCSRMatrix(bench_matrix, "secded64", "secded64"),
-            b, eps=1e-18, max_iters=300, vector_scheme="secded64",
+        plain = solve(bench_matrix, b, method="cg", eps=1e-18, max_iters=300)
+        prot = solve(
+            bench_matrix, b, method="cg", eps=1e-18, max_iters=300,
+            protection=ProtectionConfig.paper_default(),
         )
         return plain, prot
 

@@ -54,12 +54,15 @@ def main() -> None:
         res = run_vector_campaign(vector, scheme, SingleBitFlip(), n_trials=TRIALS)
         print("  " + res.row())
 
-    print("\nend-to-end: corrupt the matrix, run a fully protected CG solve:")
+    print("\nend-to-end: corrupt the matrix, run a fully protected solve")
+    print("(method-parametric via the solver registry):")
     b = rng.standard_normal(matrix.n_rows)
-    for scheme in ("sed", "secded64"):
-        res = run_solver_campaign(matrix, b, scheme, scheme, n_trials=40)
-        rec = res.info["recovered"]
-        print(f"  {res.row()}  recovered-by-reencode={rec}")
+    for method in ("cg", "jacobi"):
+        for scheme in ("sed", "secded64"):
+            res = run_solver_campaign(matrix, b, scheme, scheme, n_trials=40,
+                                      method=method)
+            rec = res.info["recovered"]
+            print(f"  [{method:>6}] {res.row()}  recovered-by-reencode={rec}")
     print("\n(SECDED solves continue transparently; SED detects, the app "
           "re-encodes and retries - no checkpoint/restart, the paper's point.)")
 

@@ -1,8 +1,9 @@
 """Production pipeline: the extension surface end to end.
 
 1. write/read a Matrix Market file (how production matrices arrive);
-2. protect it and run *any* solver unmodified via ProtectedOperator —
-   CG, Jacobi, Chebyshev and even scipy's cg over ABFT storage;
+2. run it protected through the unified registry (`repro.solve` handles
+   every registered method), and through ProtectedOperator for solvers
+   the registry does not own — e.g. scipy's cg over ABFT storage;
 3. the COO format (prior-work surface) and 64-bit indices
    (the paper's >2**32-columns extension note) with live corrections.
 
@@ -17,14 +18,15 @@ from repro.bits.float_bits import f64_to_u64
 from repro.csr import five_point_operator
 from repro.csr.coo import COOMatrix
 from repro.csr.io import read_matrix_market, write_matrix_market
+import repro
 from repro.protect import (
     CheckPolicy,
     ProtectedCOOMatrix,
     ProtectedCSRElements64,
     ProtectedCSRMatrix,
     ProtectedOperator,
+    ProtectionConfig,
 )
-from repro.solvers import cg_solve, jacobi_solve
 
 
 def main() -> None:
@@ -41,15 +43,21 @@ def main() -> None:
     loaded = read_matrix_market(buf.getvalue())
     print(f"MatrixMarket round trip: shape={loaded.shape}, nnz={loaded.nnz}")
 
-    # 2. Any solver, protected, unmodified ------------------------------
-    policy = CheckPolicy(interval=1, correct=True)
-    op = ProtectedOperator(ProtectedCSRMatrix(loaded, "secded64", "secded64"), policy)
-    res_cg = cg_solve(op, b, eps=1e-22)
-    res_jac = jacobi_solve(op, b, eps=1e-22, max_iters=20000)
+    # 2. Any solver, protected ------------------------------------------
+    # Registered methods go through the one API (engine-threaded, vector
+    # protection available)...
+    config = ProtectionConfig.paper_default()
+    res_cg = repro.solve(loaded, b, method="cg", eps=1e-22, protection=config)
+    res_jac = repro.solve(loaded, b, method="jacobi", eps=1e-22,
+                          max_iters=20000, protection=config)
     print(f"protected CG:     {res_cg.iterations} iters, "
           f"err={np.linalg.norm(res_cg.x - x_true):.2e}")
     print(f"protected Jacobi: {res_jac.iterations} iters, "
           f"err={np.linalg.norm(res_jac.x - x_true):.2e}")
+    # ...while ProtectedOperator still adapts solvers the registry does
+    # not own (scipy et al.) to checked ABFT storage.
+    policy = CheckPolicy(interval=1, correct=True)
+    op = ProtectedOperator(ProtectedCSRMatrix(loaded, "secded64", "secded64"), policy)
     try:
         from scipy.sparse.linalg import cg as scipy_cg
 

@@ -13,8 +13,8 @@ import sys
 
 import numpy as np
 
+from repro.protect import ProtectionConfig
 from repro.tealeaf import Deck, TeaLeafDriver, parse_deck, total_energy
-from repro.tealeaf.driver import Protection
 
 
 def run_one(deck, protection, label):
@@ -47,8 +47,7 @@ def main() -> None:
     plain_driver, plain = run_one(deck, None, "unprotected")
     prot_driver, prot = run_one(
         deck,
-        Protection(element_scheme="secded64", rowptr_scheme="secded64",
-                   vector_scheme="secded64"),
+        ProtectionConfig.paper_default(),
         "fully protected (SECDED64 matrix + vectors)",
     )
 

@@ -3,16 +3,35 @@
 Reproduction of Pawelczak, McIntosh-Smith, Price & Martineau,
 IEEE CLUSTER 2017 (DOI 10.1109/CLUSTER.2017.49).
 
+The one protection API (see README's "One API" section):
+
+* :class:`repro.ProtectionConfig` — what is protected, and when it is
+  verified (presets: ``off()``, ``paper_default()``, ``deferred()``);
+* :func:`repro.solve` — any registered method (``cg`` / ``ppcg`` /
+  ``jacobi`` / ``chebyshev``) under any protection;
+* :class:`repro.ProtectionSession` — one deferred-verification engine
+  shared across many solves/time-steps.
+
 Public surface (see README.md for a guided tour):
 
 * :mod:`repro.protect` — the protected containers and kernels;
-* :mod:`repro.solvers` — CG (plain/protected), Jacobi, Chebyshev, PPCG;
+* :mod:`repro.solvers` — the solver registry and per-method runners;
 * :mod:`repro.tealeaf` — the TeaLeaf heat-conduction miniapp;
 * :mod:`repro.faults` — fault models, injection, campaigns;
 * :mod:`repro.platforms` — the calibrated cross-platform cost model;
 * :mod:`repro.harness` — per-figure experiment runners.
 """
 
-__version__ = "1.0.0"
+from repro.protect.config import ProtectionConfig
+from repro.protect.session import ProtectionSession
+from repro.solvers.registry import available_methods, solve
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "ProtectionConfig",
+    "ProtectionSession",
+    "available_methods",
+    "solve",
+]

@@ -18,18 +18,29 @@ import sys
 
 def _cmd_tealeaf(args) -> int:
     from repro.tealeaf import Deck, TeaLeafDriver, parse_deck
-    from repro.tealeaf.driver import Protection
 
     if args.deck:
         deck = parse_deck(open(args.deck).read())
+        # Explicit CLI sizes override the deck (handy for smoke runs).
+        if args.grid is not None:
+            deck.x_cells = deck.y_cells = args.grid
+        if args.steps is not None:
+            deck.end_step = args.steps
     else:
-        deck = Deck(x_cells=args.grid, y_cells=args.grid, end_step=args.steps)
+        deck = Deck(
+            x_cells=args.grid or 96, y_cells=args.grid or 96,
+            end_step=args.steps if args.steps is not None else 3,
+        )
     protection = None
     if args.protect:
-        protection = Protection(
+        # The deck's tl_check_interval / tl_vector_interval /
+        # tl_defer_writes knobs drive the engine schedule; --interval
+        # overrides the deck when given.
+        if args.interval is not None:
+            deck.tl_check_interval = args.interval
+        protection = deck.protection_config(
             element_scheme=args.scheme, rowptr_scheme=args.scheme,
-            vector_scheme=args.scheme, check_interval=args.interval,
-            correct=args.interval == 1,
+            vector_scheme=args.scheme,
         )
     driver = TeaLeafDriver(deck, protection)
     summary = driver.run()
@@ -112,11 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tealeaf", help="run the TeaLeaf miniapp")
     p.add_argument("deck", nargs="?", help="tea.in deck file")
-    p.add_argument("--grid", type=int, default=96)
-    p.add_argument("--steps", type=int, default=3)
+    p.add_argument("--grid", type=int, default=None,
+                   help="cells per side (overrides the deck; default 96 without one)")
+    p.add_argument("--steps", type=int, default=None,
+                   help="time-steps (overrides the deck; default 3 without one)")
     p.add_argument("--protect", action="store_true")
     p.add_argument("--scheme", default="secded64")
-    p.add_argument("--interval", type=int, default=1)
+    p.add_argument("--interval", type=int, default=None,
+                   help="check interval (overrides the deck's tl_check_interval)")
     p.set_defaults(func=_cmd_tealeaf)
 
     p = sub.add_parser("overheads", help="Figs. 4/5/9 tables")

@@ -25,13 +25,16 @@ class ABFTError(Exception):
     """Base class for every error raised by the :mod:`repro` framework."""
 
 
-class ConfigurationError(ABFTError):
+class ConfigurationError(ABFTError, ValueError):
     """A protection scheme was configured with invalid parameters.
 
     Raised e.g. when a matrix exceeds the column/nnz limits imposed by
     re-purposing index bits (SED: ``2**31 - 1`` columns, SECDED/CRC32C:
-    ``2**24 - 1`` columns), or when a CRC32C row codeword would not have
-    the four elements needed to store the 32 redundancy bits.
+    ``2**24 - 1`` columns), when a CRC32C row codeword would not have
+    the four elements needed to store the 32 redundancy bits, or when
+    the solver registry is asked for an unknown method/scheme.  Also a
+    :class:`ValueError`: bad-configuration call sites predating the
+    unified API catch that.
     """
 
 

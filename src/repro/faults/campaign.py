@@ -32,10 +32,10 @@ from repro.errors import (
 )
 from repro.faults.injector import Region, inject_into_matrix, inject_into_vector
 from repro.faults.models import FaultModel
+from repro.protect.config import ProtectionConfig
 from repro.protect.matrix import ProtectedCSRMatrix
-from repro.protect.policy import CheckPolicy
 from repro.protect.vector import ProtectedVector
-from repro.solvers.cg import protected_cg_solve
+from repro.solvers.registry import solve
 
 
 @dataclasses.dataclass
@@ -195,22 +195,32 @@ def run_solver_campaign(
     n_trials: int = 50,
     seed: int = 0,
     eps: float = 1e-20,
+    method: str = "cg",
+    max_iters: int = 10_000,
 ) -> CampaignResult:
-    """End-to-end: corrupt the matrix, then run a fully protected CG solve.
+    """End-to-end: corrupt the matrix, then run a fully protected solve.
 
-    Demonstrates the paper's recovery story: correctable errors are fixed
-    transparently mid-solve; uncorrectable ones raise, the application
-    re-encodes from pristine data and *continues without checkpoint
-    restart* (counted in ``info["recovered"]``).
+    Method-parametric via the solver registry (``method`` accepts any
+    registered name — cg, ppcg, jacobi, chebyshev).  Demonstrates the
+    paper's recovery story: correctable errors are fixed transparently
+    mid-solve; uncorrectable ones raise, the application re-encodes from
+    pristine data and *continues without checkpoint restart* (counted in
+    ``info["recovered"]``).
     """
     from repro.faults.models import SingleBitFlip
 
     model = model or SingleBitFlip()
     rng = np.random.default_rng(seed)
-    reference = protected_cg_solve(
-        ProtectedCSRMatrix(matrix, element_scheme, rowptr_scheme),
-        b, eps=eps, vector_scheme=None,
+    config = ProtectionConfig(
+        element_scheme=element_scheme, rowptr_scheme=rowptr_scheme,
+        vector_scheme=None, interval=1, correct=True,
     )
+
+    def run_protected(pmat):
+        return solve(pmat, b, method=method, protection=config,
+                     eps=eps, max_iters=max_iters)
+
+    reference = run_protected(ProtectedCSRMatrix(matrix, element_scheme, rowptr_scheme))
     outcomes = []
     recovered = 0
     for _ in range(n_trials):
@@ -218,15 +228,12 @@ def run_solver_campaign(
         n_elements = pmat.nnz if region is not Region.ROWPTR else pmat.rowptr.size
         faults = model.sample(rng, n_elements, region.bits_per_element)
         inject_into_matrix(pmat, region, faults)
-        policy = CheckPolicy(interval=1, correct=True)
         try:
-            result = protected_cg_solve(
-                pmat, b, eps=eps, policy=policy, vector_scheme=None
-            )
+            result = run_protected(pmat)
             solution_ok = bool(
                 np.allclose(result.x, reference.x, rtol=1e-8, atol=1e-10)
             )
-            if policy.stats.corrected:
+            if result.info.get("corrected", 0):
                 outcomes.append(
                     Outcome.CORRECTED if solution_ok else Outcome.MISCORRECTED
                 )
@@ -235,9 +242,8 @@ def run_solver_campaign(
         except DetectedUncorrectableError:
             outcomes.append(Outcome.DETECTED)
             # ABFT recovery: rebuild the operator and redo the solve.
-            retry = protected_cg_solve(
-                ProtectedCSRMatrix(matrix, element_scheme, rowptr_scheme),
-                b, eps=eps, vector_scheme=None,
+            retry = run_protected(
+                ProtectedCSRMatrix(matrix, element_scheme, rowptr_scheme)
             )
             if retry.converged:
                 recovered += 1
@@ -249,5 +255,5 @@ def run_solver_campaign(
         model=model.name,
         n_trials=n_trials,
         counts=_tally(outcomes),
-        info={"recovered": recovered},
+        info={"recovered": recovered, "method": method},
     )

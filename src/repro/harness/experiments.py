@@ -142,12 +142,12 @@ def run_t1(n: int = 192, repeats: int = 3) -> list[ExperimentRow]:
     rows.append(
         ExperimentRow(
             figure="t1", series="host", key="full-secded64",
-            overhead=hov.measure_full_protection(n=n, repeats=repeats),
+            overhead=hov.measure_full_protection(n=n, repeats=repeats, method="cg"),
             source="measured",
         )
     )
     for interval, value in hov.measure_deferred_full_protection(
-        n=n, repeats=repeats, intervals=(8, 16)
+        n=n, repeats=repeats, intervals=(8, 16), method="cg"
     ).items():
         rows.append(
             ExperimentRow(

@@ -166,30 +166,35 @@ def measure_interval_curve(
 def measure_full_protection(
     n: int = 192, scheme: str = "secded64", repeats: int = 3,
     interval: int = 1, vector_interval: int | None = None,
+    method: str = "cg",
 ) -> float:
-    """T1(b) on the host: whole matrix + all vectors protected, via CG.
+    """T1(b) on the host: whole matrix + all vectors protected.
 
     ``interval``/``vector_interval`` select the deferred-verification
     schedule; the default of 1 is the paper's check-on-every-access mode.
+    ``method`` picks any registered solver (the registry threads all of
+    them through the engine, so the ablation covers Jacobi/Chebyshev's
+    different kernel mixes too).
     """
-    from repro.solvers.cg import cg_solve, protected_cg_solve
+    from repro.protect.config import ProtectionConfig
+    from repro.solvers.registry import solve
 
     matrix = tealeaf_like_matrix(n)
     b = np.random.default_rng(5).standard_normal(matrix.n_rows)
     eps, iters = 1e-12, 60
+    config = ProtectionConfig(
+        element_scheme=scheme, rowptr_scheme=scheme, vector_scheme=scheme,
+        interval=interval, vector_interval=vector_interval, correct=False,
+    )
 
     t_base = time_callable(
-        lambda: cg_solve(matrix, b, eps=eps, max_iters=iters), repeats=repeats
+        lambda: solve(matrix, b, method=method, eps=eps, max_iters=iters),
+        repeats=repeats,
     )
     pmat = ProtectedCSRMatrix(matrix, scheme, scheme)
     t_prot = time_callable(
-        lambda: protected_cg_solve(
-            pmat, b, eps=eps, max_iters=iters,
-            policy=CheckPolicy(
-                interval=interval, correct=False, vector_interval=vector_interval
-            ),
-            vector_scheme=scheme,
-        ),
+        lambda: solve(pmat, b, method=method, protection=config,
+                      eps=eps, max_iters=iters),
         repeats=repeats,
     )
     return overhead_ratio(t_prot, t_base)
@@ -197,9 +202,9 @@ def measure_full_protection(
 
 def measure_deferred_full_protection(
     n: int = 192, scheme: str = "secded64", repeats: int = 3,
-    intervals=(1, 8, 16, 32),
+    intervals=(1, 8, 16, 32), method: str = "cg",
 ) -> dict[int, float]:
-    """Full-protection CG overhead vs deferred-verification interval.
+    """Full-protection overhead vs deferred-verification interval.
 
     The engine's headline curve: how far dirty-window write buffering
     plus amortised checks push the T1(b) overhead down as the window
@@ -207,24 +212,27 @@ def measure_deferred_full_protection(
     and shared by every interval so the curve's columns differ only in
     the schedule, not in baseline jitter.
     """
-    from repro.solvers.cg import cg_solve, protected_cg_solve
+    from repro.protect.config import ProtectionConfig
+    from repro.solvers.registry import solve
 
     matrix = tealeaf_like_matrix(n)
     b = np.random.default_rng(5).standard_normal(matrix.n_rows)
     eps, iters = 1e-12, 60
 
     t_base = time_callable(
-        lambda: cg_solve(matrix, b, eps=eps, max_iters=iters), repeats=repeats
+        lambda: solve(matrix, b, method=method, eps=eps, max_iters=iters),
+        repeats=repeats,
     )
     pmat = ProtectedCSRMatrix(matrix, scheme, scheme)
     out = {}
     for interval in intervals:
+        config = ProtectionConfig(
+            element_scheme=scheme, rowptr_scheme=scheme, vector_scheme=scheme,
+            interval=int(interval), correct=False,
+        )
         t_prot = time_callable(
-            lambda iv=int(interval): protected_cg_solve(
-                pmat, b, eps=eps, max_iters=iters,
-                policy=CheckPolicy(interval=iv, correct=False),
-                vector_scheme=scheme,
-            ),
+            lambda cfg=config: solve(pmat, b, method=method, protection=cfg,
+                                     eps=eps, max_iters=iters),
             repeats=repeats,
         )
         out[int(interval)] = overhead_ratio(t_prot, t_base)

@@ -14,6 +14,10 @@ The public surface of the paper's contribution:
   per region;
 * :class:`~repro.protect.engine.DeferredVerificationEngine` — dirty
   windows, cached decode-free reads and amortised check scheduling;
+* :class:`~repro.protect.config.ProtectionConfig` — the single source of
+  truth for what is protected and when it is verified;
+* :class:`~repro.protect.session.ProtectionSession` — one engine across
+  many solves, with cross-time-step dirty windows;
 * :mod:`repro.protect.kernels` — SpMV / dot / axpy over protected data.
 """
 
@@ -30,6 +34,8 @@ from repro.protect.row_pointer import ProtectedRowPointer
 from repro.protect.matrix import ProtectedCSRMatrix
 from repro.protect.policy import CheckPolicy, PolicyStats
 from repro.protect.engine import DeferredVerificationEngine
+from repro.protect.config import ProtectionConfig
+from repro.protect.session import ProtectionSession
 from repro.protect.kernels import protected_spmv, protected_dot, protected_axpy
 from repro.protect.coo_elements import ProtectedCOOElements, ProtectedCOOMatrix
 from repro.protect.csr64 import ProtectedCSRElements64, ProtectedRowPointer64
@@ -53,6 +59,8 @@ __all__ = [
     "CheckPolicy",
     "PolicyStats",
     "DeferredVerificationEngine",
+    "ProtectionConfig",
+    "ProtectionSession",
     "protected_spmv",
     "protected_dot",
     "protected_axpy",

@@ -1,0 +1,161 @@
+"""`ProtectionConfig`: the single source of truth for ABFT configuration.
+
+The paper argues the right home for these techniques is the solver-library
+level (§VIII); selective-reliability work (Bridges et al.) shows the win
+comes from a *uniform* reliability interface over many solver methods.
+Before this module existed the configuration surface was scattered across
+``CheckPolicy`` kwargs, per-solver keyword arguments, the TeaLeaf
+``Protection`` dataclass and raw scheme strings — five incompatible ways
+to say the same thing.  ``ProtectionConfig`` replaces them all:
+
+* **what** is protected — ``element_scheme`` / ``rowptr_scheme`` for the
+  matrix regions, ``vector_scheme`` for the dense solver state;
+* **when** it is verified — ``interval`` (per matrix access),
+  ``vector_interval`` (per solver iteration), ``defer_writes``
+  (dirty-window write buffering) and ``correct``, exactly the
+  :class:`~repro.protect.policy.CheckPolicy` schedule knobs.
+
+The config is frozen (hashable, safely shareable); ``.policy()`` and
+``.engine()`` mint fresh scheduler objects from it, and the preset
+constructors name the paper's operating points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.protect.base import ELEMENT_SCHEMES, ROWPTR_SCHEMES, VECTOR_SCHEMES
+from repro.protect.engine import DeferredVerificationEngine
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.policy import CheckPolicy
+
+
+def _check_scheme(scheme: str | None, table: dict[str, int], kind: str) -> None:
+    if scheme is not None and scheme not in table:
+        raise ConfigurationError(
+            f"unknown {kind} scheme {scheme!r}; choose from {sorted(table)} or None"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtectionConfig:
+    """One immutable description of a full ABFT setup.
+
+    Parameters
+    ----------
+    element_scheme / rowptr_scheme:
+        ECC scheme for the CSR element pairs / row pointer, or ``None``
+        to leave that region unprotected (the Fig. 4 vs Fig. 5 ablation).
+    vector_scheme:
+        Scheme for the dense solver state vectors, or ``None`` for the
+        matrix-only configurations (Figs. 4-8; Fig. 9 adds the vectors).
+    interval:
+        Matrix full-check period, counted per SpMV access.  ``1`` checks
+        every access (the paper's default), ``N > 1`` amortises via the
+        deferred-verification engine, ``0`` disables matrix checks.
+    vector_interval:
+        Dense-vector check period per solver iteration; ``None`` follows
+        ``interval``.
+    defer_writes:
+        Buffer vector stores in dirty windows until the next scheduled
+        check; ``None`` means "exactly when ``vector_interval > 1``".
+    correct:
+        Attempt in-place correction at checks.  The paper recommends
+        detection-only whenever checks are deferred.
+    """
+
+    element_scheme: str | None = "secded64"
+    rowptr_scheme: str | None = "secded64"
+    vector_scheme: str | None = None
+    interval: int = 1
+    vector_interval: int | None = None
+    defer_writes: bool | None = None
+    correct: bool = True
+
+    def __post_init__(self):
+        _check_scheme(self.element_scheme, ELEMENT_SCHEMES, "element")
+        _check_scheme(self.rowptr_scheme, ROWPTR_SCHEMES, "rowptr")
+        _check_scheme(self.vector_scheme, VECTOR_SCHEMES, "vector")
+        if self.interval < 0:
+            raise ConfigurationError("interval must be >= 0")
+        if self.vector_interval is not None and self.vector_interval < 0:
+            raise ConfigurationError("vector_interval must be >= 0")
+
+    # -- presets --------------------------------------------------------
+    @classmethod
+    def off(cls) -> "ProtectionConfig":
+        """No protection at all: the unprotected baseline."""
+        return cls(element_scheme=None, rowptr_scheme=None, vector_scheme=None,
+                   interval=0)
+
+    @classmethod
+    def paper_default(cls, scheme: str = "secded64") -> "ProtectionConfig":
+        """The paper's headline mode: full protection, check on every access."""
+        return cls(element_scheme=scheme, rowptr_scheme=scheme, vector_scheme=scheme,
+                   interval=1, correct=True)
+
+    @classmethod
+    def deferred(cls, window: int = 16, scheme: str = "secded64") -> "ProtectionConfig":
+        """Full protection through the deferred-verification engine.
+
+        ``window`` is the check interval (matrix accesses and solver
+        iterations share it); correction is off, as the paper recommends
+        for interval checking ("should only be used with Error Detecting
+        Codes").
+        """
+        if window < 1:
+            raise ConfigurationError("deferred() needs a window >= 1")
+        return cls(element_scheme=scheme, rowptr_scheme=scheme, vector_scheme=scheme,
+                   interval=int(window), correct=False)
+
+    @classmethod
+    def matrix_only(cls, scheme: str = "secded64", interval: int = 1,
+                    correct: bool = True) -> "ProtectionConfig":
+        """Figs. 4-8 configuration: matrix regions only, plain vectors."""
+        return cls(element_scheme=scheme, rowptr_scheme=scheme, vector_scheme=None,
+                   interval=interval, correct=correct)
+
+    # -- derived views --------------------------------------------------
+    @property
+    def protects_matrix(self) -> bool:
+        return self.element_scheme is not None or self.rowptr_scheme is not None
+
+    @property
+    def protects_vectors(self) -> bool:
+        return self.vector_scheme is not None
+
+    @property
+    def enabled(self) -> bool:
+        """True when any region carries redundancy."""
+        return self.protects_matrix or self.protects_vectors
+
+    def replace(self, **changes) -> "ProtectionConfig":
+        """A copy with the given fields changed (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- factories ------------------------------------------------------
+    def policy(self) -> CheckPolicy:
+        """A fresh :class:`CheckPolicy` carrying this config's schedule."""
+        return CheckPolicy(
+            interval=self.interval,
+            correct=self.correct,
+            vector_interval=self.vector_interval,
+            defer_writes=self.defer_writes,
+        )
+
+    def engine(self) -> DeferredVerificationEngine:
+        """A fresh engine scheduled by :meth:`policy`."""
+        return DeferredVerificationEngine(self.policy())
+
+    def wrap_matrix(self, matrix) -> ProtectedCSRMatrix:
+        """Encode a CSR matrix per this config (idempotent on wrapped input).
+
+        An already-:class:`ProtectedCSRMatrix` argument is returned
+        unchanged — campaigns inject into a pre-wrapped matrix and then
+        hand it to the registry, which must not re-encode (and thereby
+        bless) the injected corruption.
+        """
+        if isinstance(matrix, ProtectedCSRMatrix):
+            return matrix
+        return ProtectedCSRMatrix(matrix, self.element_scheme, self.rowptr_scheme)

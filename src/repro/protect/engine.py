@@ -168,22 +168,40 @@ class DeferredVerificationEngine:
         self._read_since_check.discard(id(matrix))
         full_matrix_check(matrix, self.policy, name=name)
 
+    def verify_vector(self, vector: ProtectedVector) -> None:
+        """Flush and fully check one vector now, raising on damage.
+
+        The out-of-schedule twin of the per-round vector checks — used
+        when a region retires from the schedule early (e.g. a session
+        releasing a finished solve's state mid-window) so its last
+        verification is never skipped.
+        """
+        name = self._vectors.get(id(vector), ("vector", None))[0]
+        self._flush_vector(vector)
+        self._check_vector(name, vector)
+
     def _check_vectors(self, only_read: bool) -> None:
         for key, (name, vector) in self._vectors.items():
-            if vector.dirty_window is not None:
-                vector.flush()
-                self.policy.stats.dirty_flushes += 1
+            self._flush_vector(vector)
             if only_read and key not in self._read_since_check:
                 continue
-            report = vector.check(correct=self.policy.correct)
-            self.policy.stats.vector_checks += 1
-            self.policy.stats.corrected += report.n_corrected
-            self.policy.stats.uncorrectable += report.n_uncorrectable
-            self._read_since_check.discard(key)
-            if not report.ok:
-                raise DetectedUncorrectableError(
-                    name, report.uncorrectable_indices()[:8].tolist()
-                )
+            self._check_vector(name, vector)
+
+    def _flush_vector(self, vector: ProtectedVector) -> None:
+        if vector.dirty_window is not None:
+            vector.flush()
+            self.policy.stats.dirty_flushes += 1
+
+    def _check_vector(self, name: str, vector: ProtectedVector) -> None:
+        report = vector.check(correct=self.policy.correct)
+        self.policy.stats.vector_checks += 1
+        self.policy.stats.corrected += report.n_corrected
+        self.policy.stats.uncorrectable += report.n_uncorrectable
+        self._read_since_check.discard(id(vector))
+        if not report.ok:
+            raise DetectedUncorrectableError(
+                name, report.uncorrectable_indices()[:8].tolist()
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -103,6 +103,7 @@ class ProtectedCSRMatrix:
                 element_scheme,
             )
         self._clean_views: tuple[np.ndarray, np.ndarray] | None = None
+        self._diagonal: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -135,10 +136,12 @@ class ProtectedCSRMatrix:
     def check_all(self, correct: bool = True) -> dict[str, CheckReport]:
         """Integrity-check every region; returns per-region reports.
 
-        The cached clean index views are dropped so the next SpMV decodes
-        from the (possibly just corrected) stored arrays.
+        The cached clean index views (and the diagonal derived from them)
+        are dropped so the next SpMV decodes from the (possibly just
+        corrected) stored arrays.
         """
         self._clean_views = None
+        self._diagonal = None
         return {
             "csr_elements": self.elements.check(correct=correct),
             "row_pointer": self.rowptr_protected.check(correct=correct),
@@ -195,6 +198,23 @@ class ProtectedCSRMatrix:
     def invalidate_clean_views(self) -> None:
         """Drop the cached cleaned index views (e.g. after re-encoding)."""
         self._clean_views = None
+        self._diagonal = None
+
+    def diagonal(self) -> np.ndarray:
+        """The decoded main diagonal, cached between integrity checks.
+
+        Built by :meth:`CSRMatrix.diagonal` over a zero-copy view of the
+        cached clean indices (no whole-matrix ``to_csr`` decode) and
+        invalidated alongside them whenever a check may have corrected
+        the stored arrays.
+        """
+        if self._diagonal is None:
+            colidx, rowptr = self.clean_views()
+            view = CSRMatrix(
+                self.elements.values, colidx, rowptr, self.shape, validate=False
+            )
+            self._diagonal = view.diagonal()
+        return self._diagonal
 
     def matvec_unchecked(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """SpMV on cleaned views without any integrity verification."""

@@ -37,7 +37,10 @@ class ProtectedOperator(LinearOperator):
         n = matrix.shape[0]
         diagonal = None
         if isinstance(matrix, ProtectedCSRMatrix):
-            diagonal = lambda: matrix.to_csr().diagonal()  # noqa: E731
+            # The matrix caches the decoded diagonal (and invalidates it
+            # when a check corrects storage), so Jacobi-preconditioned
+            # setups no longer pay a full to_csr() decode per call.
+            diagonal = matrix.diagonal
         super().__init__(self._checked_matvec, n, diagonal)
 
     def _checked_matvec(self, x: np.ndarray) -> np.ndarray:

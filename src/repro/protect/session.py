@@ -1,0 +1,217 @@
+"""`ProtectionSession`: one engine, many solves, cross-step dirty windows.
+
+The deferred-verification engine amortises integrity work *within* one
+solve; a session amortises it *across* solves.  TeaLeaf-style drivers
+solve one linear system per time-step, and rebuilding the engine per step
+forfeits the schedule's memory: every step restarts the check phase and
+pays a mandatory sweep even when the window has barely opened.  A session
+instead owns a single :class:`~repro.protect.engine.DeferredVerificationEngine`
+for its whole lifetime:
+
+* :meth:`solve` wraps the matrix per the config, runs the registry's
+  engine-threaded solver, and — crucially — *skips* the per-solve
+  ``finalize``: dirty windows and check phases carry over into the next
+  solve, so a window opened near the end of time-step *k* keeps
+  accumulating through time-step *k+1*;
+* :meth:`end_step` is the paper's mandatory end-of-time-step sweep
+  (§VI.A.2): every dirty window is flushed, every region read since its
+  last check is re-verified, the regions wrapped since the previous sweep
+  are released, and the schedule phase restarts.
+
+Callers decide the sweep cadence — after every step for the paper's
+semantics, or every N steps for engine-scheduled driver windows that span
+time-steps (the TeaLeaf driver's ``tl_step_window`` deck knob).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BoundsViolationError, DetectedUncorrectableError
+from repro.protect.config import ProtectionConfig
+from repro.protect.engine import DeferredVerificationEngine
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.policy import PolicyStats
+from repro.protect.vector import ProtectedVector
+
+
+class ProtectionSession:
+    """Owns one engine across many solves; sweeps on :meth:`end_step`.
+
+    Parameters
+    ----------
+    config:
+        The :class:`ProtectionConfig` driving every solve in the session.
+        Defaults to :meth:`ProtectionConfig.paper_default`.
+    """
+
+    def __init__(self, config: ProtectionConfig | None = None):
+        self.config = config if config is not None else ProtectionConfig.paper_default()
+        self.engine: DeferredVerificationEngine | None = (
+            self.config.engine() if self.config.enabled else None
+        )
+        self._transient: list = []
+        self.steps_completed = 0
+
+    # -- introspection --------------------------------------------------
+    @property
+    def policy(self):
+        """The session-wide scheduler (``None`` when protection is off)."""
+        return self.engine.policy if self.engine is not None else None
+
+    @property
+    def stats(self) -> PolicyStats | None:
+        """Cumulative policy counters across every solve so far."""
+        return self.engine.policy.stats if self.engine is not None else None
+
+    def pending_windows(self) -> int:
+        """Dirty windows currently open across the session's regions.
+
+        Non-zero between :meth:`solve` and :meth:`end_step` is exactly the
+        cross-step deferral in action: buffered writes from a finished
+        solve that have not been re-encoded yet.
+        """
+        return sum(
+            1
+            for region in self._transient
+            if isinstance(region, ProtectedVector) and region.dirty_window is not None
+        )
+
+    # -- region lifecycle -----------------------------------------------
+    def track(self, region) -> None:
+        """Mark a region for release at the next :meth:`end_step` (once)."""
+        if all(existing is not region for existing in self._transient):
+            self._transient.append(region)
+
+    def wrap_matrix(self, matrix) -> ProtectedCSRMatrix:
+        """Encode a matrix per the config and track it for the next sweep.
+
+        Pre-wrapped matrices are used as-is but still tracked: the solve
+        registers them with the long-lived engine, so without release at
+        ``end_step`` a session looping over fresh matrices would sweep
+        (and keep) every dead one forever.  A caller reusing one matrix
+        across steps loses nothing — the next solve re-registers it.
+        """
+        if isinstance(matrix, ProtectedCSRMatrix):
+            self.track(matrix)
+            return matrix
+        pmat = self.config.wrap_matrix(matrix)
+        self.track(pmat)
+        return pmat
+
+    # -- the unified solve ----------------------------------------------
+    def solve(self, A, b: np.ndarray, x0: np.ndarray | None = None, *,
+              method: str = "cg", eps: float = 1e-15, max_iters: int = 10_000,
+              **kwargs):
+        """Run one engine-threaded solve under the session's schedule.
+
+        ``A`` may be a plain :class:`~repro.csr.matrix.CSRMatrix` (wrapped
+        per the config) or an already-protected matrix.  The solve's
+        mandatory sweep is deferred to :meth:`end_step`, so the engine's
+        dirty windows survive the solve boundary.
+
+        A solve aborted by an integrity error aborts the whole deferral
+        window: *every* tracked region is released before re-raising,
+        because once corruption is detected anywhere in the window the
+        results produced since the last sweep are unverified and must be
+        recomputed from pristine data.  Keeping any of them registered
+        would poison every later sweep; releasing them lets the paper's
+        recovery story (re-encode, retry, no checkpoint restart)
+        continue on this session.
+        """
+        from repro.solvers.registry import get_method, run_plain
+
+        runner = get_method(method)
+        if self.engine is None:
+            return run_plain(runner, A, b, x0, eps=eps, max_iters=max_iters, **kwargs)
+        try:
+            pmat = self.wrap_matrix(A)
+            return runner.protected(
+                pmat, b, x0, eps=eps, max_iters=max_iters,
+                engine=self.engine, vector_scheme=self.config.vector_scheme,
+                session=self, **kwargs,
+            )
+        except (DetectedUncorrectableError, BoundsViolationError):
+            self._release_all()
+            raise
+
+    def retire_step(self) -> None:
+        """Verify-and-release the window's finished regions early.
+
+        With sweeps deferred across steps (driver step windows), per-step
+        regions would otherwise pile up until the window sweep: memory
+        and sweep cost grow with the window length, and a late flip in
+        long-dead storage could abort the run spuriously.  Retiring runs
+        each finished region's full check *now* (the same detection
+        guarantee, delivered earlier) and unregisters it; vectors with
+        open dirty windows keep spanning the boundary until the sweep.
+        """
+        if self.engine is None:
+            return
+        kept, retired = [], []
+        for region in self._transient:
+            if isinstance(region, ProtectedVector) and region.dirty_window is not None:
+                kept.append(region)
+            else:
+                retired.append(region)
+        self._transient = kept
+        try:
+            for region in retired:
+                if isinstance(region, ProtectedCSRMatrix):
+                    if self.engine.policy.interval != 0:
+                        self.engine.verify_matrix(region)
+                else:
+                    self.engine.verify_vector(region)
+        except (DetectedUncorrectableError, BoundsViolationError):
+            self._release_all()
+            raise
+        finally:
+            for region in retired:
+                self.engine.unregister(region)
+
+    def end_step(self) -> None:
+        """The mandatory sweep: flush, verify, release, restart the phase.
+
+        The tracked regions are released even when the sweep detects
+        uncorrectable damage — a DUE here ends the window either way,
+        and keeping the dead regions registered would make every later
+        sweep re-raise from storage nothing reads any more.
+        """
+        if self.engine is None:
+            self.steps_completed += 1
+            return
+        try:
+            self.engine.finalize()
+        finally:
+            self._release_all()
+            self.engine.policy.reset()
+        self.steps_completed += 1
+
+    def _release_all(self) -> None:
+        for region in self._transient:
+            self.engine.unregister(region)
+        self._transient.clear()
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "ProtectionSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # An in-flight integrity error already aborted the step (and
+        # solve() released the failed regions); anything else — clean
+        # exit or an unrelated exception — still owes the completed
+        # solves their mandatory sweep, so earlier results the caller
+        # keeps were verified per §VI.A.2.  A DUE raised here propagates
+        # with the original exception chained.
+        if exc_type is not None and issubclass(
+            exc_type, (DetectedUncorrectableError, BoundsViolationError)
+        ):
+            return
+        self.end_step()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProtectionSession(config={self.config!r}, "
+            f"steps_completed={self.steps_completed}, "
+            f"pending_windows={self.pending_windows()})"
+        )

@@ -2,29 +2,53 @@
 
 The paper evaluates ABFT inside TeaLeaf's CG solve; TeaLeaf itself ships
 CG, Jacobi, Chebyshev and PPCG, and the paper notes the techniques "could
-be used with other solver methods" — so all four are provided, each over
-either a plain :class:`~repro.csr.matrix.CSRMatrix` or a protected
-operator.
+be used with other solver methods" — so all four are provided, each with
+a plain and an engine-threaded protected runner, registered under one
+name in :mod:`repro.solvers.registry` and dispatched by
+:func:`repro.solve`.
 """
 
 from repro.solvers.base import SolverResult, LinearOperator, as_operator
-from repro.solvers.cg import cg_solve, protected_cg_solve
-from repro.solvers.jacobi import jacobi_solve
-from repro.solvers.chebyshev import chebyshev_solve, estimate_eigenvalue_bounds
-from repro.solvers.ppcg import ppcg_solve, protected_ppcg_solve
+from repro.solvers.cg import cg_solve, protected_cg_run, protected_cg_solve
+from repro.solvers.jacobi import jacobi_solve, protected_jacobi_run
+from repro.solvers.chebyshev import (
+    chebyshev_solve,
+    estimate_eigenvalue_bounds,
+    protected_chebyshev_run,
+)
+from repro.solvers.ppcg import ppcg_solve, protected_ppcg_run, protected_ppcg_solve
 from repro.solvers.preconditioner import JacobiPreconditioner, IdentityPreconditioner
+from repro.solvers.toolkit import ProtectedIteration, resolve_schedule
+from repro.solvers.registry import (
+    SolverMethod,
+    available_methods,
+    get_method,
+    register_method,
+    solve,
+)
 
 __all__ = [
     "SolverResult",
     "LinearOperator",
     "as_operator",
     "cg_solve",
+    "protected_cg_run",
     "protected_cg_solve",
     "jacobi_solve",
+    "protected_jacobi_run",
     "chebyshev_solve",
     "estimate_eigenvalue_bounds",
+    "protected_chebyshev_run",
     "ppcg_solve",
+    "protected_ppcg_run",
     "protected_ppcg_solve",
     "JacobiPreconditioner",
     "IdentityPreconditioner",
+    "ProtectedIteration",
+    "resolve_schedule",
+    "SolverMethod",
+    "available_methods",
+    "get_method",
+    "register_method",
+    "solve",
 ]

@@ -4,33 +4,39 @@ Two drivers:
 
 * :func:`cg_solve` — textbook (optionally preconditioned) CG over any
   :class:`~repro.solvers.base.LinearOperator`;
-* :func:`protected_cg_solve` — the fully-ABFT variant: the matrix is a
+* :func:`protected_cg_run` — the fully-ABFT variant: the matrix is a
   :class:`~repro.protect.matrix.ProtectedCSRMatrix` verified per the
   check policy before each SpMV, and the solver state vectors (x, r, p)
   live in :class:`~repro.protect.vector.ProtectedVector` containers.
   All protected traffic flows through a
-  :class:`~repro.protect.engine.DeferredVerificationEngine`: reads are
-  cached decode-free views, writes are (optionally dirty-window
-  buffered) whole-codeword commits, and integrity checks run on the
-  policy's amortised schedule with a mandatory end-of-step sweep.
+  :class:`~repro.protect.engine.DeferredVerificationEngine` via the
+  shared :class:`~repro.solvers.toolkit.ProtectedIteration` context:
+  reads are cached decode-free views, writes are (optionally
+  dirty-window buffered) whole-codeword commits, and integrity checks
+  run on the policy's amortised schedule with a mandatory end-of-step
+  sweep.
 
 The protected variant also keeps the CG *alpha/beta* scalars out of
 protected storage, exactly as the kernels in the paper do (scalars live
 in registers).
+
+:func:`protected_cg_solve` survives as a deprecation shim forwarding to
+the solver registry — new code goes through ``repro.solve(A, b,
+method="cg", protection=...)`` or a ``ProtectionSession``.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.errors import ConfigurationError
 from repro.protect.engine import DeferredVerificationEngine
-from repro.protect.kernels import verify_matrix
 from repro.protect.matrix import ProtectedCSRMatrix
 from repro.protect.policy import CheckPolicy
-from repro.protect.vector import ProtectedVector
 from repro.solvers.base import SolverResult, as_operator
 from repro.solvers.preconditioner import IdentityPreconditioner
+from repro.solvers.toolkit import ProtectedIteration
 
 
 def cg_solve(
@@ -77,31 +83,7 @@ def cg_solve(
     return SolverResult(x=x, iterations=it, converged=converged, residual_norms=norms)
 
 
-def _resolve_schedule(
-    policy: CheckPolicy | None, engine: DeferredVerificationEngine | None
-) -> tuple[CheckPolicy, DeferredVerificationEngine]:
-    """One policy object drives everything: scheduling, stats, sweeps.
-
-    A caller-supplied engine brings its own policy; accepting a second,
-    different policy alongside it would split the counters between two
-    objects, so that is rejected outright.
-    """
-    if engine is not None:
-        if policy is not None and policy is not engine.policy:
-            raise ConfigurationError(
-                "pass either a policy or an engine (whose policy is used), "
-                "not two different schedules"
-            )
-        policy = engine.policy
-    else:
-        if policy is None:
-            policy = CheckPolicy(interval=1, correct=True)
-        engine = DeferredVerificationEngine(policy)
-    policy.reset()
-    return policy, engine
-
-
-def protected_cg_solve(
+def protected_cg_run(
     matrix: ProtectedCSRMatrix,
     b: np.ndarray,
     x0: np.ndarray | None = None,
@@ -111,6 +93,7 @@ def protected_cg_solve(
     policy: CheckPolicy | None = None,
     vector_scheme: str | None = "secded64",
     engine: DeferredVerificationEngine | None = None,
+    session=None,
 ) -> SolverResult:
     """Fully protected CG: ABFT matrix + (optionally) ABFT state vectors.
 
@@ -130,82 +113,72 @@ def protected_cg_solve(
         share a schedule across solves); its policy then drives the
         whole solve, so ``policy`` must be left ``None`` or be the same
         object.
+    session:
+        The owning :class:`~repro.protect.session.ProtectionSession`,
+        when the mandatory end-of-step sweep is scheduled by the caller
+        instead of this solve.
 
     Returns the result with ``info`` carrying the policy counters; the
     end-of-step sweep (mandatory when the policy defers checks or
-    buffers writes) is included before returning.
+    buffers writes) is included before returning unless a session owns
+    the schedule.
     """
-    policy, engine = _resolve_schedule(policy, engine)
-    n = matrix.n_rows
-    x_plain = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
-
-    protect_vectors = vector_scheme is not None
-
-    def wrap(v: np.ndarray, name: str):
-        if protect_vectors:
-            return engine.register(ProtectedVector(v, vector_scheme), name)
-        return v.copy()
-
-    def read(v):
-        return engine.read(v) if protect_vectors else v
-
-    def write(container, v: np.ndarray):
-        if protect_vectors:
-            engine.write(container, v)
-            return container
-        return v
-
-    engine.register(matrix, "matrix")
-    verify_matrix(matrix, policy, force=policy.interval != 0)
-    x = wrap(x_plain, "x")
-    r0 = b - matrix.matvec_unchecked(read(x))
-    r = wrap(r0, "r")
-    p = wrap(r0, "p")
-    rr = float(np.dot(read(r), read(r)))
+    ctx = ProtectedIteration(
+        matrix, policy=policy, engine=engine, vector_scheme=vector_scheme,
+        session=session,
+    )
+    engine = ctx.engine
+    x = ctx.wrap(np.zeros(ctx.n) if x0 is None else x0, "x")
+    r0 = b - matrix.matvec_unchecked(ctx.read(x))
+    r = ctx.wrap(r0, "r")
+    p = ctx.wrap(r0, "p")
+    rr = float(np.dot(ctx.read(r), ctx.read(r)))
     norms = [float(np.sqrt(rr))]
     converged = rr < eps
     it = 0
     while not converged and it < max_iters:
-        if protect_vectors:
-            engine.begin_iteration()
-        p_val = read(p)
-        w = engine.spmv(matrix, p_val)
+        ctx.begin_iteration()
+        p_val = ctx.read(p)
+        w = ctx.spmv(p_val)
         pw = float(np.dot(p_val, w))
         if pw == 0.0:
             break
         alpha = rr / pw
-        x = write(x, read(x) + alpha * p_val)
-        r_val = read(r) - alpha * w
-        r = write(r, r_val)
+        x = ctx.write(x, ctx.read(x) + alpha * p_val)
+        r_val = ctx.read(r) - alpha * w
+        r = ctx.write(r, r_val)
         rr_new = float(np.dot(r_val, r_val))
         norms.append(float(np.sqrt(rr_new)))
         it += 1
         if rr_new < eps:
             converged = True
             break
-        p = write(p, r_val + (rr_new / rr) * p_val)
+        p = ctx.write(p, r_val + (rr_new / rr) * p_val)
         rr = rr_new
 
-    # Mandatory end-of-step sweep when checks were deferred (§VI.A.2).
-    engine.finalize()
-
-    info = {
-        "full_checks": policy.stats.full_checks,
-        "bounds_checks": policy.stats.bounds_checks,
-        "vector_checks": policy.stats.vector_checks,
-        "cached_reads": policy.stats.cached_reads,
-        "deferred_stores": policy.stats.deferred_stores,
-        "dirty_flushes": policy.stats.dirty_flushes,
-        "corrected": policy.stats.corrected,
-        "vector_scheme": vector_scheme,
-    }
-    x_final = x.values() if protect_vectors else x
-    if protect_vectors:
-        # Release this solve's transient state so a shared engine doesn't
-        # accumulate dead vectors across solves (the matrix stays).
-        for vec in (x, r, p):
-            engine.unregister(vec)
+    # Mandatory end-of-step sweep when checks were deferred (§VI.A.2);
+    # a session defers it to its own end_step().
+    x_final = ctx.value_of(x)
+    ctx.finish()
     return SolverResult(
         x=x_final, iterations=it, converged=converged,
-        residual_norms=norms, info=info,
+        residual_norms=norms, info=ctx.info(),
     )
+
+
+def protected_cg_solve(matrix, b, x0=None, **kwargs) -> SolverResult:
+    """Deprecated alias for the registry's protected CG runner.
+
+    Use ``repro.solve(A, b, method="cg",
+    protection=ProtectionConfig(...))`` or a ``ProtectionSession``; this
+    shim keeps the pre-registry call sites working unchanged.
+    """
+    warnings.warn(
+        "protected_cg_solve() is deprecated; use repro.solve(A, b, method='cg', "
+        "protection=ProtectionConfig(...)) or ProtectionSession.solve()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.solvers.registry import get_method
+
+    return get_method("cg").protected(matrix, b, x0, **kwargs)

@@ -3,13 +3,23 @@
 Requires spectral bounds of the SPD operator; TeaLeaf bootstraps them
 from some CG iterations' Lanczos tridiagonal — reproduced here in
 :func:`estimate_eigenvalue_bounds`.
+
+:func:`protected_chebyshev_run` is the engine-threaded ABFT variant: the
+x/d state vectors live in protected containers, every SpMV advances the
+matrix check schedule, and the spectral bounds are estimated (when not
+supplied) only after the up-front forced verification so a correctable
+flip cannot poison the polynomial for the whole solve.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.solvers.base import SolverResult, as_operator
+from repro.protect.engine import DeferredVerificationEngine
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.policy import CheckPolicy
+from repro.solvers.base import LinearOperator, SolverResult, as_operator
+from repro.solvers.toolkit import ProtectedIteration
 
 
 def estimate_eigenvalue_bounds(A, *, iters: int = 30, seed: int = 7) -> tuple[float, float]:
@@ -98,4 +108,67 @@ def chebyshev_solve(
     return SolverResult(
         x=x, iterations=it, converged=converged, residual_norms=norms,
         info={"eig_min": eig_min, "eig_max": eig_max},
+    )
+
+
+def protected_chebyshev_run(
+    matrix: ProtectedCSRMatrix,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    *,
+    eig_min: float | None = None,
+    eig_max: float | None = None,
+    eps: float = 1e-15,
+    max_iters: int = 10_000,
+    policy: CheckPolicy | None = None,
+    vector_scheme: str | None = "secded64",
+    engine: DeferredVerificationEngine | None = None,
+    session=None,
+) -> SolverResult:
+    """Fully protected Chebyshev driven by the deferred-verification engine.
+
+    ``eig_min``/``eig_max`` may be omitted; they are then estimated from
+    the decoded (just-verified) matrix, as TeaLeaf bootstraps them.
+    """
+    ctx = ProtectedIteration(
+        matrix, policy=policy, engine=engine, vector_scheme=vector_scheme,
+        session=session,
+    )
+    if eig_min is None or eig_max is None:
+        # Estimate over the just-verified clean views — no whole-matrix
+        # to_csr() decode, the estimate only needs matvec.
+        eig_min, eig_max = estimate_eigenvalue_bounds(
+            LinearOperator(matrix.matvec_unchecked, matrix.n_rows, matrix.diagonal)
+        )
+    if not 0 < eig_min < eig_max:
+        raise ValueError("need 0 < eig_min < eig_max")
+    theta = (eig_max + eig_min) / 2.0
+    delta = (eig_max - eig_min) / 2.0
+    sigma = theta / delta
+    x = ctx.wrap(np.zeros(ctx.n) if x0 is None else x0, "x")
+    r_val = b - matrix.matvec_unchecked(ctx.read(x))
+    norms = [float(np.linalg.norm(r_val))]
+    converged = norms[0] ** 2 < eps
+    rho = 1.0 / sigma
+    d = ctx.wrap(r_val / theta, "d")
+    it = 0
+    while not converged and it < max_iters:
+        ctx.begin_iteration()
+        x_val = ctx.read(x) + ctx.read(d)
+        x = ctx.write(x, x_val)
+        r_val = b - ctx.spmv(x_val)
+        norms.append(float(np.linalg.norm(r_val)))
+        it += 1
+        if norms[-1] ** 2 < eps:
+            converged = True
+            break
+        rho_new = 1.0 / (2.0 * sigma - rho)
+        d = ctx.write(d, rho_new * rho * ctx.read(d) + (2.0 * rho_new / delta) * r_val)
+        rho = rho_new
+
+    x_final = ctx.value_of(x)
+    ctx.finish()
+    return SolverResult(
+        x=x_final, iterations=it, converged=converged, residual_norms=norms,
+        info=ctx.info(eig_min=eig_min, eig_max=eig_max),
     )

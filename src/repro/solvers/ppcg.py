@@ -4,27 +4,28 @@ CG whose preconditioner is a fixed number of Chebyshev smoothing steps —
 TeaLeaf's communication-avoiding option.  The polynomial application is
 SPD for any inner step count, so outer CG theory holds.
 
-:func:`protected_ppcg_solve` is the ABFT variant: the outer iteration's
+:func:`protected_ppcg_run` is the ABFT variant: the outer iteration's
 matrix and state vectors are protected and scheduled through the
 :class:`~repro.protect.engine.DeferredVerificationEngine`, while the
 polynomial preconditioner runs sandboxed on plain working arrays (its
 input is a verified read and its output is committed through the engine,
 the "opaque preconditioner" treatment) with every inner SpMV still
-counted against the matrix check schedule.
+counted against the matrix check schedule.  :func:`protected_ppcg_solve`
+remains as a deprecation shim forwarding to the solver registry.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.protect.engine import DeferredVerificationEngine
-from repro.protect.kernels import verify_matrix
 from repro.protect.matrix import ProtectedCSRMatrix
 from repro.protect.policy import CheckPolicy
-from repro.protect.vector import ProtectedVector
-from repro.solvers.base import SolverResult, as_operator
-from repro.solvers.cg import _resolve_schedule
+from repro.solvers.base import LinearOperator, SolverResult, as_operator
 from repro.solvers.chebyshev import estimate_eigenvalue_bounds
+from repro.solvers.toolkit import ProtectedIteration
 
 
 class _ChebyshevPolyPreconditioner:
@@ -99,7 +100,7 @@ def ppcg_solve(
     )
 
 
-def protected_ppcg_solve(
+def protected_ppcg_run(
     matrix: ProtectedCSRMatrix,
     b: np.ndarray,
     x0: np.ndarray | None = None,
@@ -111,6 +112,7 @@ def protected_ppcg_solve(
     policy: CheckPolicy | None = None,
     vector_scheme: str | None = "secded64",
     engine: DeferredVerificationEngine | None = None,
+    session=None,
 ) -> SolverResult:
     """Fully protected PPCG driven by the deferred-verification engine.
 
@@ -119,58 +121,42 @@ def protected_ppcg_solve(
     SpMVs goes through the engine so the matrix schedule (full check or
     range check per access) still covers the preconditioner's traffic.
     """
-    policy, engine = _resolve_schedule(policy, engine)
-    engine.register(matrix, "matrix")
-    # Verify before anything decodes the matrix: the eigenvalue estimate
-    # tunes the Chebyshev polynomial for the whole solve, so it must not
-    # be poisoned by a correctable flip the forced check would have fixed.
-    verify_matrix(matrix, policy, force=policy.interval != 0)
-    if eig_bounds is None:
-        eig_bounds = estimate_eigenvalue_bounds(as_operator(matrix.to_csr()))
-    eig_min, eig_max = eig_bounds
-    M = _ChebyshevPolyPreconditioner(
-        lambda v: engine.spmv(matrix, v), eig_min, eig_max, inner_steps
+    # The context force-verifies the matrix before anything decodes it:
+    # the eigenvalue estimate tunes the Chebyshev polynomial for the
+    # whole solve, so it must not be poisoned by a correctable flip the
+    # forced check would have fixed.
+    ctx = ProtectedIteration(
+        matrix, policy=policy, engine=engine, vector_scheme=vector_scheme,
+        session=session,
     )
-    n = matrix.n_rows
-    x_plain = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
-
-    protect_vectors = vector_scheme is not None
-
-    def wrap(v: np.ndarray, name: str):
-        if protect_vectors:
-            return engine.register(ProtectedVector(v, vector_scheme), name)
-        return v.copy()
-
-    def read(v):
-        return engine.read(v) if protect_vectors else v
-
-    def write(container, v: np.ndarray):
-        if protect_vectors:
-            engine.write(container, v)
-            return container
-        return v
-
-    x = wrap(x_plain, "x")
-    r0 = b - matrix.matvec_unchecked(read(x))
+    if eig_bounds is None:
+        # Estimate over the just-verified clean views — no whole-matrix
+        # to_csr() decode, the estimate only needs matvec.
+        eig_bounds = estimate_eigenvalue_bounds(
+            LinearOperator(matrix.matvec_unchecked, matrix.n_rows, matrix.diagonal)
+        )
+    eig_min, eig_max = eig_bounds
+    M = _ChebyshevPolyPreconditioner(ctx.spmv, eig_min, eig_max, inner_steps)
+    x = ctx.wrap(np.zeros(ctx.n) if x0 is None else x0, "x")
+    r0 = b - matrix.matvec_unchecked(ctx.read(x))
     z0 = M.apply(r0)
-    r = wrap(r0, "r")
-    p = wrap(z0, "p")
+    r = ctx.wrap(r0, "r")
+    p = ctx.wrap(z0, "p")
     rz = float(np.dot(r0, z0))
     norms = [float(np.linalg.norm(r0))]
     converged = norms[0] ** 2 < eps
     it = 0
     while not converged and it < max_iters:
-        if protect_vectors:
-            engine.begin_iteration()
-        p_val = read(p)
-        w = engine.spmv(matrix, p_val)
+        ctx.begin_iteration()
+        p_val = ctx.read(p)
+        w = ctx.spmv(p_val)
         pw = float(np.dot(p_val, w))
         if pw == 0.0:
             break
         alpha = rz / pw
-        x = write(x, read(x) + alpha * p_val)
-        r_val = read(r) - alpha * w
-        r = write(r, r_val)
+        x = ctx.write(x, ctx.read(x) + alpha * p_val)
+        r_val = ctx.read(r) - alpha * w
+        r = ctx.write(r, r_val)
         norms.append(float(np.linalg.norm(r_val)))
         it += 1
         if norms[-1] ** 2 < eps:
@@ -178,24 +164,29 @@ def protected_ppcg_solve(
             break
         z = M.apply(r_val)
         rz_new = float(np.dot(r_val, z))
-        p = write(p, z + (rz_new / rz) * p_val)
+        p = ctx.write(p, z + (rz_new / rz) * p_val)
         rz = rz_new
 
-    engine.finalize()
-    info = {
-        "inner_steps": inner_steps,
-        "eig_bounds": eig_bounds,
-        "full_checks": policy.stats.full_checks,
-        "bounds_checks": policy.stats.bounds_checks,
-        "vector_checks": policy.stats.vector_checks,
-        "corrected": policy.stats.corrected,
-        "vector_scheme": vector_scheme,
-    }
-    x_final = x.values() if protect_vectors else x
-    if protect_vectors:
-        for vec in (x, r, p):
-            engine.unregister(vec)
+    x_final = ctx.value_of(x)
+    ctx.finish()
     return SolverResult(
-        x=x_final, iterations=it, converged=converged,
-        residual_norms=norms, info=info,
+        x=x_final, iterations=it, converged=converged, residual_norms=norms,
+        info=ctx.info(inner_steps=inner_steps, eig_bounds=eig_bounds),
     )
+
+
+def protected_ppcg_solve(matrix, b, x0=None, **kwargs) -> SolverResult:
+    """Deprecated alias for the registry's protected PPCG runner.
+
+    Use ``repro.solve(A, b, method="ppcg",
+    protection=ProtectionConfig(...))`` or a ``ProtectionSession``.
+    """
+    warnings.warn(
+        "protected_ppcg_solve() is deprecated; use repro.solve(A, b, method='ppcg', "
+        "protection=ProtectionConfig(...)) or ProtectionSession.solve()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.solvers.registry import get_method
+
+    return get_method("ppcg").protected(matrix, b, x0, **kwargs)

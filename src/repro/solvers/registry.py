@@ -1,0 +1,162 @@
+"""The unified solver registry and the top-level ``repro.solve`` entry point.
+
+The paper's §VIII remark — that the right long-term home for these
+techniques is the solver-library level — becomes concrete here: every
+solver method registers a *plain* runner and an engine-threaded
+*protected* runner under one name, and :func:`solve` dispatches on
+``method=`` + ``protection=`` so the caller never touches per-solver
+protection plumbing:
+
+    import repro
+    res = repro.solve(A, b, method="jacobi",
+                      protection=repro.ProtectionConfig.deferred(window=16))
+
+``protection`` accepts:
+
+* ``None`` (or a disabled config) — the plain solver;
+* a :class:`~repro.protect.config.ProtectionConfig` — the matrix is
+  wrapped per the config and a fresh deferred-verification engine runs
+  the solve;
+* a :class:`~repro.protect.session.ProtectionSession` — the session's
+  long-lived engine runs the solve and keeps its dirty windows open
+  across the solve boundary (the cross-time-step mode).
+
+Runner signatures are uniform: ``plain(A, b, x0, *, eps, max_iters,
+**kw)`` and ``protected(pmat, b, x0, *, eps, max_iters, policy=None,
+vector_scheme=..., engine=None, session=None, **kw)``; method-specific
+extras (``preconditioner``, ``inner_steps``, ``eig_min``...) pass
+through ``**kw``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.protect.config import ProtectionConfig
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.session import ProtectionSession
+from repro.solvers.base import SolverResult, as_operator
+from repro.solvers.cg import cg_solve, protected_cg_run
+from repro.solvers.chebyshev import (
+    chebyshev_solve,
+    estimate_eigenvalue_bounds,
+    protected_chebyshev_run,
+)
+from repro.solvers.jacobi import jacobi_solve, protected_jacobi_run
+from repro.solvers.ppcg import ppcg_solve, protected_ppcg_run
+
+
+@dataclasses.dataclass(frozen=True)
+class SolverMethod:
+    """One registered solver: a plain and an engine-threaded runner."""
+
+    name: str
+    plain: Callable[..., SolverResult]
+    protected: Callable[..., SolverResult]
+    description: str = ""
+
+
+_METHODS: dict[str, SolverMethod] = {}
+
+
+def register_method(
+    name: str,
+    plain: Callable[..., SolverResult],
+    protected: Callable[..., SolverResult],
+    description: str = "",
+) -> SolverMethod:
+    """Add (or replace) a method in the registry and return its record."""
+    method = SolverMethod(name=name, plain=plain, protected=protected,
+                          description=description)
+    _METHODS[name] = method
+    return method
+
+
+def get_method(name: str) -> SolverMethod:
+    """Look a method up by name, with a helpful error for typos."""
+    try:
+        return _METHODS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown solver method {name!r}; choose from {sorted(_METHODS)}"
+        ) from None
+
+
+def available_methods() -> tuple[str, ...]:
+    """The registered method names, sorted."""
+    return tuple(sorted(_METHODS))
+
+
+def run_plain(runner: SolverMethod, A, b, x0=None, *,
+              eps: float = 1e-15, max_iters: int = 10_000, **kwargs) -> SolverResult:
+    """The unprotected path, shared by :func:`solve` and the session.
+
+    A pre-wrapped protected matrix is decoded so the plain runner always
+    sees CSR storage.
+    """
+    if isinstance(A, ProtectedCSRMatrix):
+        A = A.to_csr()
+    return runner.plain(A, b, x0, eps=eps, max_iters=max_iters, **kwargs)
+
+
+def _plain_chebyshev(A, b, x0=None, *, eps=1e-15, max_iters=10_000,
+                     eig_min=None, eig_max=None, **kwargs) -> SolverResult:
+    """Chebyshev with TeaLeaf's bound bootstrap when none are supplied."""
+    if eig_min is None or eig_max is None:
+        eig_min, eig_max = estimate_eigenvalue_bounds(as_operator(A))
+    return chebyshev_solve(A, b, x0, eig_min=eig_min, eig_max=eig_max,
+                           eps=eps, max_iters=max_iters, **kwargs)
+
+
+register_method("cg", cg_solve, protected_cg_run,
+                "conjugate gradient (TeaLeaf tl_use_cg)")
+register_method("ppcg", ppcg_solve, protected_ppcg_run,
+                "polynomially preconditioned CG (tl_use_ppcg)")
+register_method("jacobi", jacobi_solve, protected_jacobi_run,
+                "Jacobi sweeps (tl_use_jacobi)")
+register_method("chebyshev", _plain_chebyshev, protected_chebyshev_run,
+                "Chebyshev semi-iteration (tl_use_chebyshev)")
+
+
+def solve(
+    A,
+    b,
+    x0=None,
+    *,
+    method: str = "cg",
+    protection: ProtectionConfig | ProtectionSession | None = None,
+    eps: float = 1e-15,
+    max_iters: int = 10_000,
+    **kwargs,
+) -> SolverResult:
+    """Solve ``A x = b`` with any registered method under any protection.
+
+    Parameters
+    ----------
+    A:
+        A :class:`~repro.csr.matrix.CSRMatrix` (or operator for the
+        unprotected path).  A pre-wrapped
+        :class:`~repro.protect.matrix.ProtectedCSRMatrix` is used as-is
+        when protection is active (and decoded when it is not).
+    protection:
+        ``None`` for the plain solver, a :class:`ProtectionConfig` for a
+        one-shot protected solve, or a :class:`ProtectionSession` to run
+        under a shared cross-solve engine.
+    kwargs:
+        Method-specific extras (``preconditioner``, ``inner_steps``,
+        ``eig_bounds``, ``eig_min``/``eig_max``, ``check_every``).
+    """
+    if isinstance(protection, ProtectionSession):
+        return protection.solve(A, b, x0, method=method, eps=eps,
+                                max_iters=max_iters, **kwargs)
+    runner = get_method(method)
+    if protection is None or not protection.enabled:
+        return run_plain(runner, A, b, x0, eps=eps, max_iters=max_iters, **kwargs)
+    pmat = protection.wrap_matrix(A)
+    return runner.protected(
+        pmat, b, x0, eps=eps, max_iters=max_iters,
+        engine=protection.engine(), vector_scheme=protection.vector_scheme,
+        **kwargs,
+    )

@@ -1,0 +1,202 @@
+"""Shared protected-iteration plumbing for engine-threaded solvers.
+
+Every protected solver used to carry its own copy of the same three
+closures — ``wrap`` (put a state vector under ECC and register it),
+``read`` (decode-free cached view through the engine) and ``write``
+(dirty-window buffered commit) — plus the same schedule-resolution,
+finalize and counter-reporting boilerplate.  :class:`ProtectedIteration`
+is that plumbing extracted once, so a protected solver body reads like
+its textbook counterpart:
+
+    ctx = ProtectedIteration(matrix, policy=..., vector_scheme=...)
+    x = ctx.wrap(x0, "x")
+    w = ctx.spmv(ctx.read(p))
+    x = ctx.write(x, ctx.read(x) + alpha * p_val)
+    ctx.finish()
+    return SolverResult(x=ctx.value_of(x), ..., info=ctx.info())
+
+When a :class:`~repro.protect.session.ProtectionSession` owns the engine,
+the context registers its transient state with the session instead of
+finalizing/unregistering itself, so dirty windows and check phases span
+solve (and TeaLeaf time-step) boundaries until ``session.end_step()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.protect.engine import DeferredVerificationEngine
+from repro.protect.kernels import verify_matrix
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.policy import CheckPolicy
+from repro.protect.vector import ProtectedVector
+
+
+def resolve_schedule(
+    policy: CheckPolicy | None,
+    engine: DeferredVerificationEngine | None,
+    *,
+    reset: bool = True,
+) -> tuple[CheckPolicy, DeferredVerificationEngine]:
+    """One policy object drives everything: scheduling, stats, sweeps.
+
+    A caller-supplied engine brings its own policy; accepting a second,
+    different policy alongside it would split the counters between two
+    objects, so that is rejected outright.  ``reset=False`` keeps the
+    schedule phase running across solves (session mode).
+    """
+    if engine is not None:
+        if policy is not None and policy is not engine.policy:
+            raise ConfigurationError(
+                "pass either a policy or an engine (whose policy is used), "
+                "not two different schedules"
+            )
+        policy = engine.policy
+    else:
+        if policy is None:
+            policy = CheckPolicy(interval=1, correct=True)
+        engine = DeferredVerificationEngine(policy)
+    if reset:
+        policy.reset()
+    return policy, engine
+
+
+class ProtectedIteration:
+    """The per-solve context every engine-threaded solver shares.
+
+    Parameters
+    ----------
+    matrix:
+        The :class:`ProtectedCSRMatrix` being solved against; registered
+        with the engine and force-verified up front (when matrix checks
+        are enabled) so nothing downstream consumes unverified storage.
+    policy / engine:
+        The schedule, resolved exactly as the solvers always did: at most
+        one of the two, engine's policy winning.
+    vector_scheme:
+        Scheme for the solver's dense state vectors, or ``None`` to run
+        them unprotected (matrix-only configurations).
+    session:
+        When set, the owning :class:`ProtectionSession`: the context
+        skips the per-solve finalize/unregister and hands its transient
+        regions to the session for release at the next ``end_step()``.
+    """
+
+    def __init__(
+        self,
+        matrix: ProtectedCSRMatrix,
+        *,
+        policy: CheckPolicy | None = None,
+        engine: DeferredVerificationEngine | None = None,
+        vector_scheme: str | None = "secded64",
+        session=None,
+    ):
+        if session is not None:
+            # Session mode defers the mandatory sweep to session.end_step(),
+            # which finalizes *the session's* engine — running this solve on
+            # any other engine would silently skip that sweep.
+            if session.engine is None:
+                raise ConfigurationError(
+                    "session has protection disabled; run the plain solver "
+                    "(session.solve dispatches this automatically)"
+                )
+            if engine is None:
+                engine = session.engine
+            elif engine is not session.engine:
+                raise ConfigurationError(
+                    "session and engine disagree; pass the session's engine "
+                    "or let it be derived from the session"
+                )
+        self.policy, self.engine = resolve_schedule(policy, engine, reset=session is None)
+        self.matrix = matrix
+        self.vector_scheme = vector_scheme
+        self.protect_vectors = vector_scheme is not None
+        self.session = session
+        self._state: list[ProtectedVector] = []
+        self.engine.register(matrix, "matrix")
+        # Snapshot the (possibly session-cumulative) counters so info()
+        # can report this solve's own work; taken before the up-front
+        # forced check so that check is attributed to this solve.
+        self._stats_at_start = dataclasses.replace(self.policy.stats)
+        verify_matrix(matrix, self.policy, force=self.policy.interval != 0)
+
+    @property
+    def n(self) -> int:
+        return self.matrix.n_rows
+
+    # -- state-vector plumbing ------------------------------------------
+    def wrap(self, values: np.ndarray, name: str):
+        """Protect a state vector (or copy it plain when vectors are off)."""
+        if not self.protect_vectors:
+            return np.array(values, dtype=np.float64, copy=True)
+        vec = self.engine.register(
+            ProtectedVector(np.asarray(values, dtype=np.float64), self.vector_scheme),
+            name,
+        )
+        self._state.append(vec)
+        if self.session is not None:
+            self.session.track(vec)
+        return vec
+
+    def read(self, container) -> np.ndarray:
+        """Decode-free engine read (identity for plain arrays)."""
+        return self.engine.read(container) if self.protect_vectors else container
+
+    def write(self, container, values: np.ndarray):
+        """Commit through the engine's write mode; returns the container."""
+        if not self.protect_vectors:
+            return values
+        self.engine.write(container, values)
+        return container
+
+    def value_of(self, container) -> np.ndarray:
+        """The container's computation-ready values (final-result read)."""
+        return container.values() if self.protect_vectors else container
+
+    # -- schedule hooks -------------------------------------------------
+    def begin_iteration(self) -> None:
+        """Per-iteration vector scheduling point (no-op for plain vectors)."""
+        if self.protect_vectors:
+            self.engine.begin_iteration()
+
+    def spmv(self, x, out: np.ndarray | None = None) -> np.ndarray:
+        """``A @ x`` on the context's matrix through the engine schedule."""
+        return self.engine.spmv(self.matrix, x, out=out)
+
+    def finish(self) -> None:
+        """End-of-solve: the mandatory sweep, then release the transients.
+
+        In session mode both are deferred to ``session.end_step()`` so
+        dirty windows span the solve boundary.
+        """
+        if self.session is not None:
+            return
+        self.engine.finalize()
+        for vec in self._state:
+            self.engine.unregister(vec)
+
+    def info(self, **extra) -> dict:
+        """The uniform counter block every protected solver reports.
+
+        Counters are *this solve's own* (deltas against the start-of-solve
+        snapshot), so a shared session engine still yields per-step
+        numbers; the session-cumulative totals stay on ``session.stats``.
+        Sweep work a session defers to ``end_step()`` lands after this
+        report and is therefore only visible on the cumulative counters.
+        """
+        stats, base = self.policy.stats, self._stats_at_start
+        out = {
+            "full_checks": stats.full_checks - base.full_checks,
+            "bounds_checks": stats.bounds_checks - base.bounds_checks,
+            "vector_checks": stats.vector_checks - base.vector_checks,
+            "cached_reads": stats.cached_reads - base.cached_reads,
+            "deferred_stores": stats.deferred_stores - base.deferred_stores,
+            "dirty_flushes": stats.dirty_flushes - base.dirty_flushes,
+            "corrected": stats.corrected - base.corrected,
+            "vector_scheme": self.vector_scheme,
+        }
+        out.update(extra)
+        return out

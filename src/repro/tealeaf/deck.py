@@ -40,6 +40,12 @@ class Deck:
     tl_eps: float = 1e-15
     solver: str = "cg"  # cg | jacobi | chebyshev | ppcg
     use_reciprocal_conductivity: bool = True  # TeaLeaf coefficient mode
+    # Deferred-verification engine knobs (ABFT runs only); the defaults
+    # are the paper's check-on-every-access mode.
+    tl_check_interval: int = 1
+    tl_vector_interval: int | None = None
+    tl_defer_writes: bool | None = None
+    tl_step_window: int = 1  # time-steps sharing one engine window
     states: list[State] = dataclasses.field(default_factory=list)
 
     def __post_init__(self):
@@ -67,6 +73,38 @@ class Deck:
     def dy(self) -> float:
         return (self.ymax - self.ymin) / self.y_cells
 
+    def protection_config(
+        self,
+        element_scheme: str | None = "secded64",
+        rowptr_scheme: str | None = "secded64",
+        vector_scheme: str | None = None,
+        correct: bool | None = None,
+    ):
+        """Map the deck's ``tl_*`` engine knobs into a ProtectionConfig.
+
+        The schemes stay caller-chosen (decks describe the physics; the
+        campaign scripts pick codes), but the deferred-verification
+        schedule — ``tl_check_interval``, ``tl_vector_interval``,
+        ``tl_defer_writes`` — comes from the deck, so the windowed ~5x
+        mode is reachable from an ``.in`` file without Python.  When
+        ``correct`` is unset it follows the paper's rule: correction on
+        for check-on-every-access, detection-only once checks defer.
+        """
+        from repro.protect.config import ProtectionConfig
+
+        if correct is None:
+            vec_iv = self.tl_vector_interval
+            correct = self.tl_check_interval <= 1 and (vec_iv is None or vec_iv <= 1)
+        return ProtectionConfig(
+            element_scheme=element_scheme,
+            rowptr_scheme=rowptr_scheme,
+            vector_scheme=vector_scheme,
+            interval=self.tl_check_interval,
+            vector_interval=self.tl_vector_interval,
+            defer_writes=self.tl_defer_writes,
+            correct=correct,
+        )
+
     def to_text(self) -> str:
         """Serialise back to `tea.in` syntax."""
         lines = ["*tea"]
@@ -91,6 +129,14 @@ class Deck:
             f"tl_eps={self.tl_eps}",
             f"tl_use_{self.solver}",
         ]
+        if self.tl_check_interval != 1:
+            lines.append(f"tl_check_interval={self.tl_check_interval}")
+        if self.tl_vector_interval is not None:
+            lines.append(f"tl_vector_interval={self.tl_vector_interval}")
+        if self.tl_defer_writes is not None:
+            lines.append(f"tl_defer_writes={str(self.tl_defer_writes).lower()}")
+        if self.tl_step_window != 1:
+            lines.append(f"tl_step_window={self.tl_step_window}")
         if not self.use_reciprocal_conductivity:
             lines.append("tl_coefficient_density")
         lines.append("*endtea")
@@ -152,8 +198,14 @@ def _parse_state(line: str) -> State:
     return state
 
 
-_INT_KEYS = {"x_cells", "y_cells", "end_step", "tl_max_iters"}
+_INT_KEYS = {
+    "x_cells", "y_cells", "end_step", "tl_max_iters",
+    "tl_check_interval", "tl_vector_interval", "tl_step_window",
+}
 _FLOAT_KEYS = {"xmin", "xmax", "ymin", "ymax", "initial_timestep", "tl_eps"}
+_BOOL_KEYS = {"tl_defer_writes"}
+_TRUE_WORDS = {"true", "t", "yes", "on", "1"}
+_FALSE_WORDS = {"false", "f", "no", "off", "0"}
 
 
 def _assign(deck: Deck, key: str, value: str) -> None:
@@ -161,6 +213,13 @@ def _assign(deck: Deck, key: str, value: str) -> None:
         setattr(deck, key, int(float(value)))
     elif key in _FLOAT_KEYS:
         setattr(deck, key, float(value))
+    elif key in _BOOL_KEYS:
+        word = value.strip().lower()
+        if word in _TRUE_WORDS:
+            setattr(deck, key, True)
+        elif word in _FALSE_WORDS:
+            setattr(deck, key, False)
+        # unrecognised boolean spellings fall through, tolerantly
     # anything else: silently ignored, mirroring TeaLeaf's tolerant parser
 
 

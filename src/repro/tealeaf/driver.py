@@ -7,22 +7,30 @@ step (TeaLeaf reassembles when the conductivity field changes; for the
 linear problem it is constant, but we keep the per-step assembly to match
 the miniapp's structure and the paper's 5-step benchmark runs).
 
-Protected mode builds a :class:`~repro.protect.matrix.ProtectedCSRMatrix`
-per step and runs :func:`~repro.solvers.cg.protected_cg_solve`; a
-mandatory full-matrix sweep closes every step when checks are deferred.
+Protected mode owns one :class:`~repro.protect.session.ProtectionSession`
+for the whole run: every step's solve — *any* deck solver, CG, PPCG,
+Jacobi or Chebyshev, with or without vector protection — threads through
+the session's long-lived deferred-verification engine, and the mandatory
+end-of-step sweep runs every ``tl_step_window`` steps, so the engine's
+dirty windows can span time-step boundaries (ROADMAP's engine-scheduled
+driver windows).
+
+The old eager ``ProtectedOperator`` fallback and its "vector protection
+is only implemented for the CG solver" restriction are gone; the
+``Protection`` dataclass survives only as a deprecation shim over
+:class:`~repro.protect.config.ProtectionConfig`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 
-from repro.protect.matrix import ProtectedCSRMatrix
-from repro.protect.policy import CheckPolicy
-from repro.solvers.cg import cg_solve, protected_cg_solve
-from repro.solvers.chebyshev import chebyshev_solve, estimate_eigenvalue_bounds
-from repro.solvers.jacobi import jacobi_solve
-from repro.solvers.ppcg import ppcg_solve
+from repro.protect.config import ProtectionConfig
+from repro.protect.session import ProtectionSession
+from repro.solvers.chebyshev import estimate_eigenvalue_bounds
+from repro.solvers.registry import solve
 from repro.tealeaf.assembly import build_operator
 from repro.tealeaf.deck import Deck
 from repro.tealeaf.state import TeaLeafState
@@ -55,11 +63,11 @@ class RunSummary:
 
 @dataclasses.dataclass
 class Protection:
-    """ABFT configuration for a protected TeaLeaf run.
+    """Deprecated ABFT configuration — use :class:`ProtectionConfig`.
 
-    ``element_scheme`` / ``rowptr_scheme`` may be ``None`` to leave that
-    region unprotected (used to isolate Fig. 4 vs Fig. 5 overheads);
-    ``vector_scheme=None`` leaves the dense vectors unprotected.
+    Kept so pre-registry decks and scripts run unchanged; construction
+    emits a :class:`DeprecationWarning` and :meth:`to_config` maps onto
+    the unified config (``check_interval`` becomes ``interval``).
     """
 
     element_scheme: str | None = "secded64"
@@ -68,24 +76,59 @@ class Protection:
     check_interval: int = 1
     correct: bool = True
 
+    def __post_init__(self):
+        warnings.warn(
+            "tealeaf.driver.Protection is deprecated; use "
+            "repro.ProtectionConfig (check_interval is now interval)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     @property
     def protects_matrix(self) -> bool:
         return self.element_scheme is not None or self.rowptr_scheme is not None
 
+    def to_config(self) -> ProtectionConfig:
+        """The equivalent :class:`ProtectionConfig`."""
+        return ProtectionConfig(
+            element_scheme=self.element_scheme,
+            rowptr_scheme=self.rowptr_scheme,
+            vector_scheme=self.vector_scheme,
+            interval=self.check_interval,
+            correct=self.correct,
+        )
+
 
 class TeaLeafDriver:
-    """Runs a deck to completion, optionally under ABFT protection."""
+    """Runs a deck to completion, optionally under ABFT protection.
 
-    def __init__(self, deck: Deck, protection: Protection | None = None):
+    Parameters
+    ----------
+    deck:
+        The parsed TeaLeaf input deck (solver choice, grid, ``tl_*``
+        engine knobs).
+    protection:
+        A :class:`ProtectionConfig` (or legacy :class:`Protection`,
+        converted on entry), or ``None`` for an unprotected run.
+    """
+
+    def __init__(self, deck: Deck, protection: ProtectionConfig | Protection | None = None):
         self.deck = deck
         self.state = TeaLeafState(deck)
+        if isinstance(protection, Protection):
+            protection = protection.to_config()
         self.protection = protection
+        self.session: ProtectionSession | None = None
+        if protection is not None and protection.enabled:
+            self.session = ProtectionSession(protection)
         self._eig_bounds = None
+        self._steps_in_window = 0
 
     # ------------------------------------------------------------------
     def run(self) -> RunSummary:
         t0 = time.perf_counter()
         steps = [self.step() for _ in range(self.deck.end_step)]
+        self.finish()
         return RunSummary(
             steps=steps,
             field_summary=self.state.field_summary(),
@@ -97,10 +140,26 @@ class TeaLeafDriver:
         dt = self.deck.initial_timestep
         matrix = build_operator(self.state, dt)
         b = self.state.u.ravel().copy()
-        if self.protection is not None and self.protection.protects_matrix:
-            result = self._protected_solve(matrix, b)
-        else:
-            result = self._plain_solve(matrix, b)
+        kwargs = self._method_kwargs(matrix)
+        result = solve(
+            matrix, b, b,
+            method=self.deck.solver,
+            protection=self.session,
+            eps=self.deck.tl_eps,
+            max_iters=self.deck.tl_max_iters,
+            **kwargs,
+        )
+        if self.session is not None:
+            self._steps_in_window += 1
+            if self._steps_in_window >= max(self.deck.tl_step_window, 1):
+                self.session.end_step()
+                self._steps_in_window = 0
+            else:
+                # Window stays open: verify-and-release this step's
+                # finished regions (the per-step matrix, flushed vectors)
+                # so memory and sweep cost stay flat across the window;
+                # dirty vectors keep spanning the boundary.
+                self.session.retire_step()
         self.state.update_from_temperature(result.x)
         self.state.step += 1
         self.state.time += dt
@@ -113,57 +172,27 @@ class TeaLeafDriver:
             info=result.info,
         )
 
+    def finish(self) -> None:
+        """Close any window left open by ``tl_step_window > 1``.
+
+        The mandatory sweep must not be skipped just because the run
+        length does not divide the step window (§VI.A.2's "just in case
+        N does not divide" rule, lifted to time-steps).
+        """
+        if self.session is not None and self._steps_in_window:
+            self.session.end_step()
+            self._steps_in_window = 0
+
     # ------------------------------------------------------------------
-    def _plain_solve(self, matrix, b):
-        deck = self.deck
-        if deck.solver == "cg":
-            return cg_solve(matrix, b, b, eps=deck.tl_eps, max_iters=deck.tl_max_iters)
-        if deck.solver == "jacobi":
-            return jacobi_solve(matrix, b, b, eps=deck.tl_eps, max_iters=deck.tl_max_iters)
-        if deck.solver == "chebyshev":
+    def _method_kwargs(self, matrix) -> dict:
+        """Per-method extras: spectral bounds, estimated once per run."""
+        if self.deck.solver == "chebyshev":
             if self._eig_bounds is None:
                 self._eig_bounds = estimate_eigenvalue_bounds(matrix)
             lo, hi = self._eig_bounds
-            return chebyshev_solve(
-                matrix, b, b, eig_min=lo, eig_max=hi,
-                eps=deck.tl_eps, max_iters=deck.tl_max_iters,
-            )
-        if deck.solver == "ppcg":
+            return {"eig_min": lo, "eig_max": hi}
+        if self.deck.solver == "ppcg":
             if self._eig_bounds is None:
                 self._eig_bounds = estimate_eigenvalue_bounds(matrix)
-            return ppcg_solve(
-                matrix, b, b, eps=deck.tl_eps, max_iters=deck.tl_max_iters,
-                eig_bounds=self._eig_bounds,
-            )
-        raise ValueError(f"unknown solver {self.deck.solver!r}")
-
-    def _protected_solve(self, matrix, b):
-        prot = self.protection
-        pmat = ProtectedCSRMatrix(matrix, prot.element_scheme, prot.rowptr_scheme)
-        policy = CheckPolicy(interval=prot.check_interval, correct=prot.correct)
-        if self.deck.solver == "cg":
-            # The paper's path: protected CG with (optionally) ABFT vectors.
-            return protected_cg_solve(
-                pmat, b, b,
-                eps=self.deck.tl_eps,
-                max_iters=self.deck.tl_max_iters,
-                policy=policy,
-                vector_scheme=prot.vector_scheme,
-            )
-        # Other solvers run over a ProtectedOperator (matrix-only ABFT -
-        # their vector protection is future work, as in the paper).
-        if prot.vector_scheme is not None:
-            raise ValueError(
-                "vector protection is only implemented for the CG solver"
-            )
-        from repro.protect.operator import ProtectedOperator
-
-        op = ProtectedOperator(pmat, policy)
-        result = self._plain_solve(op, b)
-        op.end_of_step()
-        result.info.update(
-            full_checks=policy.stats.full_checks,
-            bounds_checks=policy.stats.bounds_checks,
-            corrected=policy.stats.corrected,
-        )
-        return result
+            return {"eig_bounds": self._eig_bounds}
+        return {}

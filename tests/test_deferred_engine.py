@@ -22,8 +22,8 @@ from repro.protect import (
     protected_dot,
     protected_spmv,
 )
-from repro.solvers.cg import protected_cg_solve
-from repro.solvers.ppcg import ppcg_solve, protected_ppcg_solve
+from repro.solvers.cg import protected_cg_run
+from repro.solvers.ppcg import ppcg_solve, protected_ppcg_run
 
 SCHEMES = ["sed", "secded64", "secded128", "crc32c"]
 
@@ -287,7 +287,7 @@ class TestDeferredSolvers:
     def test_deferred_cg_matches_plain_solution(self, interval):
         matrix, b, x_true = self.make_system()
         pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
-        res = protected_cg_solve(
+        res = protected_cg_run(
             pmat, b, eps=1e-24,
             policy=CheckPolicy(interval=interval, correct=False),
             vector_scheme="secded64",
@@ -302,8 +302,8 @@ class TestDeferredSolvers:
     def test_deferred_cg_iteration_count_matches_eager(self):
         matrix, b, _ = self.make_system(12, seed=9)
         pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
-        eager = protected_cg_solve(pmat, b, eps=1e-24, vector_scheme="secded64")
-        deferred = protected_cg_solve(
+        eager = protected_cg_run(pmat, b, eps=1e-24, vector_scheme="secded64")
+        deferred = protected_cg_run(
             pmat, b, eps=1e-24,
             policy=CheckPolicy(interval=16, correct=False),
             vector_scheme="secded64",
@@ -317,7 +317,7 @@ class TestDeferredSolvers:
         pmat = ProtectedCSRMatrix(matrix, "sed", "sed")
         pmat.colidx[1] ^= np.uint32(1) << np.uint32(3)
         with pytest.raises(DetectedUncorrectableError):
-            protected_cg_solve(
+            protected_cg_run(
                 pmat, b, eps=1e-24,
                 policy=CheckPolicy(interval=8, correct=False),
                 vector_scheme="secded64",
@@ -327,7 +327,7 @@ class TestDeferredSolvers:
         matrix, b, x_true = self.make_system(12, seed=11)
         plain = ppcg_solve(matrix, b, eps=1e-24, inner_steps=4)
         pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
-        prot = protected_ppcg_solve(
+        prot = protected_ppcg_run(
             pmat, b, eps=1e-24, inner_steps=4, vector_scheme="secded64",
         )
         assert prot.converged
@@ -337,7 +337,7 @@ class TestDeferredSolvers:
     def test_protected_ppcg_deferred_schedule(self):
         matrix, b, x_true = self.make_system(12, seed=13)
         pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
-        res = protected_ppcg_solve(
+        res = protected_ppcg_run(
             pmat, b, eps=1e-24, inner_steps=4,
             policy=CheckPolicy(interval=16, correct=False),
             vector_scheme="secded64",
@@ -349,7 +349,7 @@ class TestDeferredSolvers:
     def test_deferred_cg_unprotected_vectors_still_schedules_matrix(self):
         matrix, b, x_true = self.make_system()
         pmat = ProtectedCSRMatrix(matrix, "crc32c", "crc32c")
-        res = protected_cg_solve(
+        res = protected_cg_run(
             pmat, b, eps=1e-24,
             policy=CheckPolicy(interval=8, correct=False),
             vector_scheme=None,
@@ -368,7 +368,7 @@ class TestEngineBookkeeping:
         policy = CheckPolicy(interval=16, correct=False)
         engine = DeferredVerificationEngine(policy)
         pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
-        res = protected_cg_solve(
+        res = protected_cg_run(
             pmat, b, eps=1e-24, vector_scheme="secded64", engine=engine
         )
         assert res.converged
@@ -386,7 +386,7 @@ class TestEngineBookkeeping:
         pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
         engine = DeferredVerificationEngine(CheckPolicy(interval=16))
         with pytest.raises(ConfigurationError):
-            protected_cg_solve(
+            protected_cg_run(
                 pmat, np.ones(matrix.n_rows),
                 policy=CheckPolicy(interval=1), engine=engine,
             )

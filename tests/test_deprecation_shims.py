@@ -1,0 +1,126 @@
+"""Deprecation shims over the unified API (ISSUE 2 satellite).
+
+``Protection``, ``protected_cg_solve`` and ``protected_ppcg_solve`` keep
+their old signatures but forward to the registry: results must be
+*identical* to the registry path, and each call must emit exactly one
+DeprecationWarning.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.csr import five_point_operator
+from repro.protect import CheckPolicy, ProtectedCSRMatrix, ProtectionConfig
+from repro.solvers import get_method, protected_cg_solve, protected_ppcg_solve
+from repro.tealeaf import Deck, TeaLeafDriver
+from repro.tealeaf.driver import Protection
+
+
+def make_system(n=8, seed=5):
+    rng = np.random.default_rng(seed)
+    A = five_point_operator(
+        n, n, rng.uniform(0.5, 2.0, (n, n)), rng.uniform(0.5, 2.0, (n, n)), 0.4
+    )
+    return A, A.matvec(rng.standard_normal(A.n_rows))
+
+
+def single_deprecation(record) -> bool:
+    return sum(issubclass(w.category, DeprecationWarning) for w in record) == 1
+
+
+class TestProtectedCGShim:
+    def test_old_signature_matches_registry_path(self):
+        A, b = make_system()
+        pmat = ProtectedCSRMatrix(A, "secded64", "secded64")
+        with pytest.warns(DeprecationWarning) as record:
+            old = protected_cg_solve(
+                pmat, b, eps=1e-24,
+                policy=CheckPolicy(interval=8, correct=False),
+                vector_scheme="secded64",
+            )
+        assert single_deprecation(record)
+        new = get_method("cg").protected(
+            pmat, b, eps=1e-24,
+            policy=CheckPolicy(interval=8, correct=False),
+            vector_scheme="secded64",
+        )
+        assert np.array_equal(old.x, new.x)
+        assert old.iterations == new.iterations
+        assert old.converged == new.converged
+        assert old.residual_norms == new.residual_norms
+        assert old.info == new.info
+
+    def test_matches_config_driven_solve(self):
+        import repro
+
+        A, b = make_system(seed=6)
+        with pytest.warns(DeprecationWarning):
+            old = protected_cg_solve(
+                ProtectedCSRMatrix(A, "secded64", "secded64"), b, eps=1e-24,
+                policy=CheckPolicy(interval=16, correct=False),
+                vector_scheme="secded64",
+            )
+        new = repro.solve(
+            A, b, method="cg", eps=1e-24,
+            protection=ProtectionConfig.deferred(window=16),
+        )
+        assert np.array_equal(old.x, new.x)
+        assert old.iterations == new.iterations
+
+
+class TestProtectedPPCGShim:
+    def test_old_signature_matches_registry_path(self):
+        A, b = make_system(seed=7)
+        pmat = ProtectedCSRMatrix(A, "secded64", "secded64")
+        with pytest.warns(DeprecationWarning) as record:
+            old = protected_ppcg_solve(
+                pmat, b, eps=1e-24, inner_steps=4, vector_scheme="secded64",
+            )
+        assert single_deprecation(record)
+        new = get_method("ppcg").protected(
+            pmat, b, eps=1e-24, inner_steps=4, vector_scheme="secded64",
+        )
+        assert np.array_equal(old.x, new.x)
+        assert old.iterations == new.iterations
+        assert old.info == new.info
+
+
+class TestProtectionShim:
+    def test_construction_warns_once(self):
+        with pytest.warns(DeprecationWarning) as record:
+            prot = Protection(element_scheme="sed", rowptr_scheme="sed",
+                              check_interval=16, correct=False)
+        assert single_deprecation(record)
+        config = prot.to_config()
+        assert config.element_scheme == "sed"
+        assert config.interval == 16
+        assert config.correct is False
+        assert prot.protects_matrix
+
+    def test_driver_results_identical_to_config(self):
+        deck = Deck(x_cells=10, y_cells=10, end_step=1, tl_eps=1e-20)
+        with pytest.warns(DeprecationWarning):
+            legacy = Protection(element_scheme="secded64", rowptr_scheme="secded64",
+                                vector_scheme="secded64")
+        old_driver = TeaLeafDriver(deck, legacy)
+        old_driver.run()
+        new_driver = TeaLeafDriver(
+            Deck(x_cells=10, y_cells=10, end_step=1, tl_eps=1e-20),
+            ProtectionConfig.paper_default(),
+        )
+        new_driver.run()
+        assert np.array_equal(old_driver.state.u, new_driver.state.u)
+
+    def test_no_warning_from_in_repo_modules(self):
+        """The library itself never routes through the shims any more."""
+        import repro
+
+        A, b = make_system(seed=9)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.solve(A, b, method="ppcg", eps=1e-24,
+                        protection=ProtectionConfig.paper_default())
+            TeaLeafDriver(Deck(x_cells=8, y_cells=8, end_step=1),
+                          ProtectionConfig.deferred(window=8)).run()

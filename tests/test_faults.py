@@ -227,3 +227,15 @@ class TestSolverCampaign:
         result = run_solver_campaign(A, b, n_trials=5)
         line = result.row()
         assert "SDC-rate" in line and "secded64" in line
+
+    @pytest.mark.parametrize("method", ["jacobi", "chebyshev", "ppcg"])
+    def test_method_parametric_campaign(self, method):
+        """The campaign runs any registry method, not just CG."""
+        A = small_matrix()
+        b = np.random.default_rng(9).standard_normal(A.n_rows)
+        result = run_solver_campaign(
+            A, b, "secded64", "secded64", n_trials=6, method=method, eps=1e-16,
+        )
+        assert result.info["method"] == method
+        assert result.counts.get(Outcome.CORRECTED, 0) == 6
+        assert result.sdc_rate == 0.0

@@ -1,0 +1,225 @@
+"""Engine-threaded protected Jacobi and Chebyshev (ISSUE 2 satellite).
+
+These two solvers used to fall back to the eager ProtectedOperator with
+no vector protection at all; now they run through the same
+ProtectedIteration toolkit as CG/PPCG.  Contract: solutions match the
+plain counterparts on the TeaLeaf-like matrix, injected single-bit flips
+are detected/corrected per scheme, and the policy counters land in
+``result.info`` exactly like CG's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bits.float_bits import f64_to_u64
+from repro.errors import DetectedUncorrectableError
+from repro.harness.overhead import tealeaf_like_matrix
+from repro.protect import CheckPolicy, ProtectedCSRMatrix
+from repro.solvers import (
+    chebyshev_solve,
+    estimate_eigenvalue_bounds,
+    jacobi_solve,
+    protected_chebyshev_run,
+    protected_jacobi_run,
+)
+
+CG_INFO_KEYS = {
+    "full_checks", "bounds_checks", "vector_checks", "cached_reads",
+    "deferred_stores", "dirty_flushes", "corrected", "vector_scheme",
+}
+
+
+@pytest.fixture(scope="module")
+def system():
+    matrix = tealeaf_like_matrix(8, seed=11)  # 64 unknowns, TeaLeaf layout
+    rng = np.random.default_rng(12)
+    x_true = rng.standard_normal(matrix.n_cols)
+    return matrix, matrix.matvec(x_true), x_true
+
+
+class TestProtectedJacobi:
+    def test_matches_plain_jacobi(self, system):
+        matrix, b, x_true = system
+        plain = jacobi_solve(matrix, b, eps=1e-24, max_iters=20_000)
+        prot = protected_jacobi_run(
+            ProtectedCSRMatrix(matrix, "secded64", "secded64"),
+            b, eps=1e-24, max_iters=20_000, vector_scheme="secded64",
+        )
+        assert prot.converged
+        assert np.allclose(prot.x, x_true, atol=1e-8)
+        assert prot.iterations == plain.iterations
+        assert len(prot.residual_norms) == len(plain.residual_norms)
+
+    @pytest.mark.parametrize("interval", [8, 32])
+    def test_deferred_schedule(self, system, interval):
+        matrix, b, x_true = system
+        res = protected_jacobi_run(
+            ProtectedCSRMatrix(matrix, "secded64", "secded64"),
+            b, eps=1e-24, max_iters=20_000,
+            policy=CheckPolicy(interval=interval, correct=False),
+            vector_scheme="secded64",
+        )
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+        assert res.info["deferred_stores"] > 0
+        assert res.info["bounds_checks"] > res.info["full_checks"]
+
+    def test_counters_land_in_info_like_cg(self, system):
+        matrix, b, _ = system
+        res = protected_jacobi_run(
+            ProtectedCSRMatrix(matrix, "secded64", "secded64"),
+            b, eps=1e-18, max_iters=20_000, vector_scheme="secded64",
+        )
+        assert CG_INFO_KEYS <= set(res.info)
+        assert res.info["full_checks"] > 0
+        assert res.info["vector_checks"] > 0
+        assert res.info["cached_reads"] > 0
+
+    def test_matrix_only_protection(self, system):
+        matrix, b, x_true = system
+        res = protected_jacobi_run(
+            ProtectedCSRMatrix(matrix, "crc32c", "crc32c"),
+            b, eps=1e-24, max_iters=20_000, vector_scheme=None,
+        )
+        assert np.allclose(res.x, x_true, atol=1e-8)
+        assert res.info["vector_checks"] == 0
+
+    def test_secded_flip_corrected_mid_solve(self, system):
+        matrix, b, x_true = system
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        f64_to_u64(pmat.values)[17] ^= np.uint64(1) << np.uint64(33)
+        res = protected_jacobi_run(
+            pmat, b, eps=1e-24, max_iters=20_000, vector_scheme="secded64",
+        )
+        assert res.info["corrected"] >= 1
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_sed_flip_detected_not_silent(self, system):
+        matrix, b, _ = system
+        pmat = ProtectedCSRMatrix(matrix, "sed", "sed")
+        f64_to_u64(pmat.values)[5] ^= np.uint64(1) << np.uint64(21)
+        with pytest.raises(DetectedUncorrectableError):
+            protected_jacobi_run(
+                pmat, b, eps=1e-24, max_iters=20_000, vector_scheme=None,
+            )
+
+    def test_sed_flip_detected_under_deferral(self, system):
+        """A flip present before a deferred solve surfaces no later than
+        the end-of-step sweep."""
+        matrix, b, _ = system
+        pmat = ProtectedCSRMatrix(matrix, "sed", "sed")
+        pmat.colidx[3] ^= np.uint32(1) << np.uint32(2)
+        with pytest.raises(DetectedUncorrectableError):
+            protected_jacobi_run(
+                pmat, b, eps=1e-24, max_iters=20_000,
+                policy=CheckPolicy(interval=16, correct=False),
+                vector_scheme="secded64",
+            )
+
+
+class TestProtectedChebyshev:
+    def test_matches_plain_chebyshev(self, system):
+        matrix, b, x_true = system
+        lo, hi = estimate_eigenvalue_bounds(matrix)
+        plain = chebyshev_solve(matrix, b, eig_min=lo, eig_max=hi,
+                                eps=1e-24, max_iters=20_000)
+        prot = protected_chebyshev_run(
+            ProtectedCSRMatrix(matrix, "secded64", "secded64"),
+            b, eig_min=lo, eig_max=hi, eps=1e-24, max_iters=20_000,
+            vector_scheme="secded64",
+        )
+        assert prot.converged
+        assert np.allclose(prot.x, x_true, atol=1e-8)
+        assert abs(prot.iterations - plain.iterations) <= 1
+
+    def test_bounds_estimated_when_missing(self, system):
+        matrix, b, x_true = system
+        res = protected_chebyshev_run(
+            ProtectedCSRMatrix(matrix, "secded64", "secded64"),
+            b, eps=1e-24, max_iters=20_000, vector_scheme="secded64",
+        )
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+        assert 0 < res.info["eig_min"] < res.info["eig_max"]
+
+    def test_rejects_bad_bounds(self, system):
+        matrix, b, _ = system
+        with pytest.raises(ValueError):
+            protected_chebyshev_run(
+                ProtectedCSRMatrix(matrix, "secded64", "secded64"),
+                b, eig_min=2.0, eig_max=1.0,
+            )
+
+    @pytest.mark.parametrize("interval", [8, 32])
+    def test_deferred_schedule(self, system, interval):
+        matrix, b, x_true = system
+        res = protected_chebyshev_run(
+            ProtectedCSRMatrix(matrix, "secded64", "secded64"),
+            b, eps=1e-24, max_iters=20_000,
+            policy=CheckPolicy(interval=interval, correct=False),
+            vector_scheme="secded64",
+        )
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+        assert res.info["deferred_stores"] > 0
+        assert res.info["bounds_checks"] > res.info["full_checks"]
+
+    def test_counters_land_in_info_like_cg(self, system):
+        matrix, b, _ = system
+        res = protected_chebyshev_run(
+            ProtectedCSRMatrix(matrix, "secded64", "secded64"),
+            b, eps=1e-18, max_iters=20_000, vector_scheme="secded64",
+        )
+        assert CG_INFO_KEYS <= set(res.info)
+        assert res.info["full_checks"] > 0
+        assert res.info["vector_checks"] > 0
+
+    def test_secded_flip_corrected_mid_solve(self, system):
+        matrix, b, x_true = system
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        f64_to_u64(pmat.values)[40] ^= np.uint64(1) << np.uint64(28)
+        res = protected_chebyshev_run(
+            pmat, b, eps=1e-24, max_iters=20_000, vector_scheme="secded64",
+        )
+        assert res.info["corrected"] >= 1
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_sed_flip_detected_not_silent(self, system):
+        matrix, b, _ = system
+        pmat = ProtectedCSRMatrix(matrix, "sed", "sed")
+        f64_to_u64(pmat.values)[9] ^= np.uint64(1) << np.uint64(44)
+        with pytest.raises(DetectedUncorrectableError):
+            protected_chebyshev_run(
+                pmat, b, eps=1e-24, max_iters=20_000, vector_scheme=None,
+            )
+
+
+class TestCachedDiagonal:
+    def test_diagonal_matches_decoded(self, system):
+        matrix, _, _ = system
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        assert np.allclose(pmat.diagonal(), matrix.diagonal())
+
+    def test_diagonal_cached_between_checks(self, system):
+        matrix, _, _ = system
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        first = pmat.diagonal()
+        assert pmat.diagonal() is first  # no re-decode
+        pmat.check_all()
+        assert pmat.diagonal() is not first  # invalidated with clean views
+
+    def test_operator_diagonal_no_longer_decodes_whole_matrix(self, system):
+        """The ProtectedOperator diagonal callback rides the matrix cache
+        (and sees corrections applied by a later check)."""
+        from repro.protect.operator import ProtectedOperator
+
+        matrix, _, _ = system
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        op = ProtectedOperator(pmat)
+        d1 = op.diagonal()
+        assert d1 is pmat.diagonal()  # shared cache, not a fresh to_csr()
+        # Flip a diagonal-relevant value bit; a correcting check must
+        # refresh what the operator hands out.
+        f64_to_u64(pmat.values)[0] ^= np.uint64(1) << np.uint64(50)
+        pmat.check_all(correct=True)
+        assert np.allclose(op.diagonal(), matrix.diagonal())

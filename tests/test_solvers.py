@@ -13,7 +13,7 @@ from repro.solvers import (
     estimate_eigenvalue_bounds,
     jacobi_solve,
     ppcg_solve,
-    protected_cg_solve,
+    protected_cg_run,
 )
 from repro.protect import CheckPolicy, ProtectedCSRMatrix
 
@@ -135,7 +135,7 @@ class TestProtectedCG:
     def test_matches_plain_cg_solution(self, vector_scheme):
         A, b, x_true = make_system()
         pmat = ProtectedCSRMatrix(A, "secded64", "secded64")
-        res = protected_cg_solve(
+        res = protected_cg_run(
             pmat, b, eps=1e-24, vector_scheme=vector_scheme
         )
         assert res.converged
@@ -145,7 +145,7 @@ class TestProtectedCG:
         """Paper: LSB noise costs < 1% extra iterations."""
         A, b, _ = make_system(16, 16, seed=5)
         plain = cg_solve(A, b, eps=1e-24)
-        prot = protected_cg_solve(
+        prot = protected_cg_run(
             ProtectedCSRMatrix(A, "secded64", "secded64"),
             b, eps=1e-24, vector_scheme="secded64",
         )
@@ -155,25 +155,25 @@ class TestProtectedCG:
         A, b, _ = make_system()
         pmat = ProtectedCSRMatrix(A, "secded64", "secded64")
         policy = CheckPolicy(interval=8, correct=False)
-        res = protected_cg_solve(pmat, b, eps=1e-24, policy=policy, vector_scheme=None)
+        res = protected_cg_run(pmat, b, eps=1e-24, policy=policy, vector_scheme=None)
         assert res.info["bounds_checks"] > res.info["full_checks"]
 
     def test_end_of_step_sweep_counted(self):
         A, b, _ = make_system()
         pmat = ProtectedCSRMatrix(A, "secded64", "secded64")
         policy = CheckPolicy(interval=1000, correct=False)
-        res = protected_cg_solve(pmat, b, eps=1e-24, policy=policy, vector_scheme=None)
+        res = protected_cg_run(pmat, b, eps=1e-24, policy=policy, vector_scheme=None)
         # Initial forced check + final mandatory sweep at minimum.
         assert res.info["full_checks"] >= 2
 
     def test_element_only_protection(self):
         A, b, x_true = make_system()
         pmat = ProtectedCSRMatrix(A, "crc32c", None)
-        res = protected_cg_solve(pmat, b, eps=1e-24, vector_scheme=None)
+        res = protected_cg_run(pmat, b, eps=1e-24, vector_scheme=None)
         assert np.allclose(res.x, x_true, atol=1e-7)
 
     def test_rowptr_only_protection(self):
         A, b, x_true = make_system()
         pmat = ProtectedCSRMatrix(A, None, "crc32c")
-        res = protected_cg_solve(pmat, b, eps=1e-24, vector_scheme=None)
+        res = protected_cg_run(pmat, b, eps=1e-24, vector_scheme=None)
         assert np.allclose(res.x, x_true, atol=1e-7)

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.bits.float_bits import f64_to_u64
 from repro.csr import csr_from_coo, five_point_operator
 from repro.protect import ProtectedCSRMatrix, ProtectedVector
-from repro.solvers import cg_solve, protected_cg_solve
+from repro.solvers import cg_solve, protected_cg_run
 
 ELEMENT_SCHEMES = st.sampled_from(["sed", "secded64", "secded128", "crc32c"])
 VECTOR_SCHEMES = st.sampled_from(["sed", "secded64", "secded128", "crc32c"])
@@ -72,14 +72,14 @@ def test_corrected_matrix_solves_identically(scheme, seed, data):
         5, 5, rng.uniform(0.5, 2.0, (5, 5)), rng.uniform(0.5, 2.0, (5, 5)), 0.3
     )
     b = rng.standard_normal(A.n_rows)
-    reference = protected_cg_solve(
+    reference = protected_cg_run(
         ProtectedCSRMatrix(A, scheme, scheme), b, eps=1e-22, vector_scheme=None
     )
     pmat = ProtectedCSRMatrix(A, scheme, scheme)
     elem = data.draw(st.integers(0, pmat.nnz - 1))
     bit = data.draw(st.integers(0, 63))
     f64_to_u64(pmat.values)[elem] ^= np.uint64(1) << np.uint64(bit)
-    repaired = protected_cg_solve(pmat, b, eps=1e-22, vector_scheme=None)
+    repaired = protected_cg_run(pmat, b, eps=1e-22, vector_scheme=None)
     assert np.array_equal(repaired.x, reference.x)
 
 
@@ -95,7 +95,7 @@ def test_random_spd_systems_protected_cg(seed, n):
     A = csr_from_coo(rows, cols, dense[rows, cols], (n, n))
     b = rng.standard_normal(n)
     plain = cg_solve(A, b, eps=1e-24, max_iters=20 * n)
-    prot = protected_cg_solve(
+    prot = protected_cg_run(
         ProtectedCSRMatrix(A, "secded64", "secded64"), b,
         eps=1e-24, max_iters=20 * n, vector_scheme=None,
     )

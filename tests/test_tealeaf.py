@@ -15,7 +15,7 @@ from repro.tealeaf import (
     temperature_bounds_ok,
     total_energy,
 )
-from repro.tealeaf.driver import Protection
+from repro.protect import ProtectionConfig
 from repro.tealeaf.reference import fourier_mode
 
 SMALL = Deck(x_cells=24, y_cells=24, end_step=2, tl_eps=1e-18)
@@ -61,6 +61,55 @@ class TestDeck:
     def test_cell_sizes(self):
         deck = Deck(x_cells=10, xmin=0.0, xmax=5.0)
         assert deck.dx == 0.5
+
+    def test_engine_knobs_parsed(self):
+        text = """
+        *tea
+        state 1 density=1.0 energy=1.0
+        x_cells=8
+        y_cells=8
+        tl_check_interval=16
+        tl_vector_interval=8
+        tl_defer_writes=true
+        tl_step_window=4
+        *endtea
+        """
+        deck = parse_deck(text)
+        assert deck.tl_check_interval == 16
+        assert deck.tl_vector_interval == 8
+        assert deck.tl_defer_writes is True
+        assert deck.tl_step_window == 4
+
+    def test_engine_knobs_roundtrip(self):
+        deck = Deck(x_cells=8, y_cells=8, tl_check_interval=32,
+                    tl_vector_interval=16, tl_defer_writes=False,
+                    tl_step_window=2)
+        parsed = parse_deck(deck.to_text())
+        assert parsed.tl_check_interval == 32
+        assert parsed.tl_vector_interval == 16
+        assert parsed.tl_defer_writes is False
+        assert parsed.tl_step_window == 2
+
+    def test_engine_knob_defaults(self):
+        deck = parse_deck(Deck(x_cells=8, y_cells=8).to_text())
+        assert deck.tl_check_interval == 1
+        assert deck.tl_vector_interval is None
+        assert deck.tl_defer_writes is None
+        assert deck.tl_step_window == 1
+
+    def test_protection_config_from_deck(self):
+        deck = Deck(x_cells=8, y_cells=8, tl_check_interval=16,
+                    tl_vector_interval=8, tl_defer_writes=True)
+        config = deck.protection_config(vector_scheme="secded64")
+        assert config.interval == 16
+        assert config.vector_interval == 8
+        assert config.defer_writes is True
+        # Deferred checks imply detection-only, per the paper's rule.
+        assert config.correct is False
+        policy = config.policy()
+        assert policy.interval == 16 and policy.vector_interval == 8
+        # Check-on-every-access decks keep correction on.
+        assert Deck(x_cells=8, y_cells=8).protection_config().correct is True
 
 
 class TestState:
@@ -193,8 +242,7 @@ class TestProtectedRuns:
         plain.run()
         prot = TeaLeafDriver(
             SMALL,
-            Protection(element_scheme="secded64", rowptr_scheme="secded64",
-                       vector_scheme="secded64"),
+            ProtectionConfig.paper_default(),
         )
         prot.run()
         norm_plain = np.linalg.norm(plain.state.u)
@@ -205,16 +253,15 @@ class TestProtectedRuns:
         plain = TeaLeafDriver(SMALL).run()
         prot = TeaLeafDriver(
             SMALL,
-            Protection(element_scheme="secded64", rowptr_scheme="secded64",
-                       vector_scheme="secded64"),
+            ProtectionConfig.paper_default(),
         ).run()
         assert prot.total_iterations <= int(plain.total_iterations * 1.01) + 1
 
     def test_check_interval_run(self):
         prot = TeaLeafDriver(
             SMALL,
-            Protection(element_scheme="sed", rowptr_scheme="sed",
-                       check_interval=16, correct=False),
+            ProtectionConfig(element_scheme="sed", rowptr_scheme="sed",
+                             interval=16, correct=False),
         )
         summary = prot.run()
         assert all(s.converged for s in summary.steps)
@@ -223,22 +270,60 @@ class TestProtectedRuns:
         assert step.info["bounds_checks"] > step.info["full_checks"]
 
     @pytest.mark.parametrize("solver", ["jacobi", "chebyshev", "ppcg"])
-    def test_protected_other_solvers_via_operator(self, solver):
-        """Matrix-only protection works for every solver (ProtectedOperator)."""
+    def test_protected_other_solvers_matrix_only(self, solver):
+        """Matrix-only protection works for every solver via the engine."""
         deck = Deck(x_cells=12, y_cells=12, end_step=1, tl_eps=1e-20)
         deck.solver = solver
         plain = TeaLeafDriver(Deck(x_cells=12, y_cells=12, end_step=1,
                                    tl_eps=1e-20))
         plain.run()
-        driver = TeaLeafDriver(deck, Protection(vector_scheme=None))
+        driver = TeaLeafDriver(deck, ProtectionConfig(vector_scheme=None))
         summary = driver.run()
         assert all(s.converged for s in summary.steps)
         assert summary.steps[0].info["full_checks"] > 0
         assert np.allclose(driver.state.u, plain.state.u, atol=1e-7)
 
-    def test_vector_protection_requires_cg(self):
-        deck = Deck(x_cells=8, y_cells=8)
-        deck.solver = "jacobi"
-        driver = TeaLeafDriver(deck, Protection(vector_scheme="secded64"))
-        with pytest.raises(ValueError):
-            driver.step()
+    @pytest.mark.parametrize("solver", ["jacobi", "chebyshev", "ppcg"])
+    def test_vector_protection_for_every_solver(self, solver):
+        """The old "vector protection is only implemented for the CG
+        solver" restriction is gone: every registered method threads its
+        state vectors through the engine."""
+        deck = Deck(x_cells=12, y_cells=12, end_step=1, tl_eps=1e-20)
+        deck.solver = solver
+        plain = TeaLeafDriver(Deck(x_cells=12, y_cells=12, end_step=1,
+                                   tl_eps=1e-20))
+        plain.run()
+        driver = TeaLeafDriver(deck, ProtectionConfig.paper_default())
+        summary = driver.run()
+        assert all(s.converged for s in summary.steps)
+        step = summary.steps[0]
+        assert step.info["vector_scheme"] == "secded64"
+        assert step.info["vector_checks"] > 0
+        assert np.allclose(driver.state.u, plain.state.u, atol=1e-7)
+
+    def test_cross_step_windows_span_boundary(self):
+        """tl_step_window > 1: one engine, dirty windows held open across
+        the time-step boundary and swept only at the window edge."""
+        deck = Deck(x_cells=12, y_cells=12, end_step=2, tl_eps=1e-18)
+        deck.tl_check_interval = 64
+        deck.tl_step_window = 2
+        driver = TeaLeafDriver(
+            deck,
+            ProtectionConfig(element_scheme="secded64", rowptr_scheme="secded64",
+                             vector_scheme="secded64", interval=64, correct=False),
+        )
+        first = driver.step()
+        assert first.converged
+        session = driver.session
+        # The mandatory sweep is deferred: buffered writes from step 1
+        # are still dirty at the boundary, and the engine stays alive.
+        assert session.pending_windows() > 0
+        assert first.info["deferred_stores"] > 0
+        flushes_at_boundary = session.stats.dirty_flushes
+        engine_before = session.engine
+        driver.step()
+        driver.finish()
+        assert driver.session.engine is engine_before
+        assert session.steps_completed == 1
+        assert session.pending_windows() == 0
+        assert session.stats.dirty_flushes > flushes_at_boundary
