@@ -4,8 +4,9 @@ Diffs a fresh ``pytest --benchmark-json`` output against the committed
 baseline (``benchmarks/BENCH_t1.json``) and exits non-zero when any
 gated benchmark's mean time regressed by more than the threshold
 (default 20 %).  Only groups matching ``--groups`` are gated — by
-default the ``t1-full-protection*`` groups, i.e. the headline
-deferred-verification numbers this repo exists to keep fast.
+default the ``t1-full-protection*`` groups (the headline
+deferred-verification numbers this repo exists to keep fast) plus the
+``t1-check-throughput*`` verification-pipeline microbenchmarks.
 
 Usage (exactly what CI runs)::
 
@@ -23,7 +24,10 @@ import pathlib
 import sys
 
 DEFAULT_BASELINE = pathlib.Path(__file__).parent / "BENCH_t1.json"
-DEFAULT_GROUPS = ("t1-full-protection*",)
+#: Gated by default: the headline deferred-verification solves AND the
+#: verification-pipeline microbenchmarks (codewords/sec of a SECDED
+#: check), so kernel regressions are caught independently of solver noise.
+DEFAULT_GROUPS = ("t1-full-protection*", "t1-check-throughput*")
 
 
 def load_means(path: pathlib.Path, groups: tuple[str, ...]) -> dict[str, float]:

@@ -1,0 +1,55 @@
+"""Verification-pipeline throughput: codewords/sec for a full SECDED check.
+
+The solver benchmarks in ``test_t1_combined.py`` gate the *end-to-end*
+overhead; this module gates the verification pipeline itself, so a
+regression in the fused syndrome kernels (a dropped ``out=``, a lost
+persistent buffer, an accidental re-materialisation) is caught even when
+solver noise would hide it.  The ``t1-check-throughput`` group is part
+of ``benchmarks/compare.py``'s default gate.
+"""
+
+import numpy as np
+
+from _common import BENCH_N, write_report
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.vector import ProtectedVector
+
+
+def test_secded_matrix_check_throughput(benchmark, bench_matrix):
+    """Full secded64 matrix check (elements + row pointer), detect mode."""
+    benchmark.group = "t1-check-throughput"
+    pmat = ProtectedCSRMatrix(bench_matrix, "secded64", "secded64")
+    pmat.check_all(correct=False)  # warm the persistent lane buffers
+
+    benchmark(lambda: pmat.check_all(correct=False))
+    codewords = pmat.elements.n_codewords + pmat.rowptr_protected.n_codewords
+    rate = codewords / benchmark.stats["mean"]
+    benchmark.extra_info["codewords_per_sec"] = rate
+    write_report(
+        "check_throughput",
+        "Verification throughput (full secded64 matrix check, "
+        f"n={BENCH_N} deck)\n"
+        f"  codewords per check     : {codewords}\n"
+        f"  mean check time         : {benchmark.stats['mean'] * 1e3:.3f} ms\n"
+        f"  codewords / second      : {rate:.3e}",
+    )
+
+
+def test_secded_matrix_check_and_correct_throughput(benchmark, bench_matrix):
+    """The correcting variant exercised by eager (interval=1) schedules."""
+    benchmark.group = "t1-check-throughput"
+    pmat = ProtectedCSRMatrix(bench_matrix, "secded64", "secded64")
+    pmat.check_all(correct=True)
+
+    benchmark(lambda: pmat.check_all(correct=True))
+
+
+def test_secded_vector_check_throughput(benchmark, bench_matrix):
+    """Clean-path protected-vector check (the per-iteration schedule unit)."""
+    benchmark.group = "t1-check-throughput"
+    vec = ProtectedVector(
+        np.random.default_rng(23).standard_normal(bench_matrix.n_rows), "secded64"
+    )
+    vec.check(correct=False)
+
+    benchmark(lambda: vec.check(correct=False))

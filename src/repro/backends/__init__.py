@@ -1,0 +1,137 @@
+"""Pluggable verification-kernel backends.
+
+One registry maps backend names to the kernel sets (SpMV, SECDED
+syndrome, SECDED encode) the protection stack runs on:
+
+* ``numpy_fused`` — the default: cache-blocked, ``out=``-threaded NumPy
+  kernels with persistent scratch (zero large temporaries per check);
+* ``numba`` — jitted kernels, auto-detected at import and falling back
+  cleanly to ``numpy_fused`` when numba is absent.
+
+Selection, in priority order:
+
+1. an :func:`active` override installed by the deferred-verification
+   engine when its :class:`~repro.protect.config.ProtectionConfig`
+   names a backend;
+2. the ``REPRO_BACKEND`` environment variable;
+3. the ``numpy_fused`` default.
+
+``get_backend()`` is called on the hot path, so resolution is one list
+peek plus one dict lookup.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import warnings
+from collections.abc import Callable, Iterator
+
+from repro.backends.base import KernelBackend, SyndromeScratch
+from repro.backends.numpy_fused import NumpyFusedBackend
+from repro.errors import ConfigurationError
+
+DEFAULT_BACKEND = "numpy_fused"
+
+#: name -> zero-arg factory.  Factories may raise ImportError, which
+#: get_backend() converts into a warned fallback to the default.
+_FACTORIES: dict[str, Callable[[], KernelBackend]] = {}
+
+#: name -> built instance (factories run once).
+_INSTANCES: dict[str, KernelBackend] = {}
+
+#: Stack of engine-installed overrides (innermost last).
+_OVERRIDES: list[KernelBackend] = []
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> list[str]:
+    """Names of every backend that can actually be built in this process."""
+    names = []
+    for name in _FACTORIES:
+        try:
+            _build(name)
+        except ImportError:
+            continue
+        names.append(name)
+    return names
+
+
+def _build(name: str) -> KernelBackend:
+    if name not in _INSTANCES:
+        if name not in _FACTORIES:
+            raise ConfigurationError(
+                f"unknown backend {name!r}; registered: {sorted(_FACTORIES)}"
+            )
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Resolve the active kernel backend.
+
+    With ``name=None`` the innermost :func:`active` override wins, then
+    ``REPRO_BACKEND``, then the default.  A named-but-unavailable
+    backend (e.g. ``numba`` without numba installed) warns once and
+    falls back to the default rather than failing the solve.
+    """
+    if name is None:
+        if _OVERRIDES:
+            return _OVERRIDES[-1]
+        name = os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
+    try:
+        return _build(name)
+    except ImportError as exc:
+        warnings.warn(
+            f"backend {name!r} is unavailable ({exc}); "
+            f"falling back to {DEFAULT_BACKEND!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _build(DEFAULT_BACKEND)
+
+
+@contextlib.contextmanager
+def active(backend: KernelBackend | str | None) -> Iterator[KernelBackend]:
+    """Install ``backend`` as the process-wide default for the block.
+
+    The deferred-verification engine wraps its verification entry points
+    in this so a per-config backend choice reaches the SECDED kernels
+    without threading a parameter through every container.  ``None`` is
+    a no-op passthrough (the surrounding resolution applies).
+    """
+    if backend is None:
+        yield get_backend()
+        return
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    _OVERRIDES.append(backend)
+    try:
+        yield backend
+    finally:
+        _OVERRIDES.pop()
+
+
+def _numba_factory() -> KernelBackend:
+    from repro.backends.numba_backend import make_backend
+
+    return make_backend()
+
+
+register_backend("numpy_fused", NumpyFusedBackend)
+register_backend("numba", _numba_factory)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "SyndromeScratch",
+    "active",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,83 @@
+"""The kernel-backend contract shared by every verification backend.
+
+The protection stack spends essentially all of its time in three kernel
+families — the CSR sparse matrix-vector product, the SECDED syndrome
+pass and the SECDED encode pass.  A :class:`KernelBackend` supplies all
+three behind one interface so the registry in :mod:`repro.backends` can
+swap implementations (fused NumPy, numba, ...) without the data
+structures knowing which one is active.
+
+Backend methods never allocate arrays proportional to the codeword count
+on the clean path: callers pass preallocated outputs and each
+:class:`~repro.ecc.hamming.SECDEDCode` carries a persistent
+:class:`SyndromeScratch` with the cache-blocked chunk buffers the
+kernels work through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Codewords per cache block.  16384 codewords of two uint64 lanes is
+#: 256 KiB — the chunk plus its scratch stays resident in L2 while the
+#: ~m+1 mask/fold/popcount passes run over it.
+CHUNK = 16384
+
+
+class SyndromeScratch:
+    """Preallocated chunk buffers for the fused syndrome/encode passes.
+
+    One instance lives on each :class:`~repro.ecc.hamming.SECDEDCode`
+    (those are process-wide singletons, see :mod:`repro.ecc.profiles`),
+    so the buffers are allocated once per code and reused by every check
+    of every protected structure bound to that code.  Not thread-safe —
+    neither is the rest of the protection stack.
+    """
+
+    def __init__(self, chunk: int = CHUNK):
+        self.chunk = int(chunk)
+        self.fold = np.empty(self.chunk, dtype=np.uint64)
+        self.tmp = np.empty(self.chunk, dtype=np.uint64)
+        self.pc8 = np.empty(self.chunk, dtype=np.uint8)
+        self.pc16 = np.empty(self.chunk, dtype=np.uint16)
+        self.syn = np.empty(self.chunk, dtype=np.uint16)
+
+
+class KernelBackend:
+    """Abstract kernel set; concrete backends override every method.
+
+    SECDED kernels receive the bound :class:`SECDEDCode` (for its masks,
+    slots and persistent scratch) plus an ``(N, L)`` uint64 lane array.
+    The SpMV kernel mirrors :func:`repro.csr.spmv.spmv` and must accept
+    pre-converted ``int64`` index arrays without copying them.
+    """
+
+    #: Registry name; concrete backends override.
+    name = "abstract"
+
+    #: True when the backend is importable/usable in this process.
+    available = True
+
+    def syndrome_into(self, code, lanes, syn, parity) -> None:
+        """Fill ``syn`` (uint16) and ``parity`` (uint8) per codeword."""
+        raise NotImplementedError
+
+    def scan(self, code, lanes) -> int:
+        """Number of codewords with a nonzero syndrome or parity.
+
+        The clean-path screen: allocates nothing proportional to the
+        codeword count, so a full check of an intact structure is pure
+        compute over the persistent buffers.
+        """
+        raise NotImplementedError
+
+    def encode(self, code, lanes) -> None:
+        """Recompute the redundancy slots of every codeword in place."""
+        raise NotImplementedError
+
+    def spmv(self, values, colidx, rowptr, x, n_rows, out=None):
+        """General CSR matrix-vector product (see :func:`repro.csr.spmv.spmv`)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelBackend {self.name}>"

@@ -14,6 +14,7 @@ original arrays exactly, which the round-trip property tests exercise.
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterable
 
 import numpy as np
@@ -23,20 +24,23 @@ from repro.bits.float_bits import f64_to_u64, u64_to_f64
 _U32 = np.uint64(0xFFFFFFFF)
 
 
-def pack_csr_element_lanes(values: np.ndarray, colidx: np.ndarray) -> np.ndarray:
+def pack_csr_element_lanes(
+    values: np.ndarray, colidx: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     """Pack CSR ``(value, column index)`` pairs into (N, 2) uint64 lanes.
 
     Lane 0 holds the 64 value bits, lane 1 the zero-extended 32-bit column
     index (codeword bits 64..95; bits 96..127 of lane 1 are padding and are
-    *excluded* from the code's position set).
+    *excluded* from the code's position set).  ``out`` refills a persistent
+    lane buffer in place instead of allocating a fresh one.
     """
     values = np.asarray(values, dtype=np.float64)
     colidx = np.asarray(colidx, dtype=np.uint32)
     if values.shape != colidx.shape:
         raise ValueError("values and colidx must have identical shapes")
-    lanes = np.empty(values.shape + (2,), dtype=np.uint64)
-    lanes[..., 0] = f64_to_u64(values)
-    lanes[..., 1] = colidx.astype(np.uint64)
+    lanes = np.empty(values.shape + (2,), dtype=np.uint64) if out is None else out
+    np.copyto(lanes[..., 0], f64_to_u64(values))
+    np.copyto(lanes[..., 1], colidx, casting="same_kind")
     return lanes
 
 
@@ -48,12 +52,19 @@ def unpack_csr_element_lanes(lanes: np.ndarray) -> tuple[np.ndarray, np.ndarray]
     return values, colidx
 
 
-def pack_u32_lanes(entries: np.ndarray, group: int) -> np.ndarray:
+def pack_u32_lanes(
+    entries: np.ndarray, group: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Pack groups of ``group`` consecutive uint32 entries into codeword lanes.
 
     ``entries`` has length ``N * group``; the result has shape
     ``(N, ceil(group/2))``.  Entry ``e`` of a group occupies bits
-    ``32*(e%2)..32*(e%2)+31`` of lane ``e//2``.
+    ``32*(e%2)..32*(e%2)+31`` of lane ``e//2``.  ``out`` refills a
+    persistent lane buffer in place.
+
+    Little-endian trick: a pair of consecutive uint32 entries *is* the
+    byte layout of one uint64 lane, so the pack is a single reinterpret
+    copy rather than ``group`` shift/or passes.
     """
     entries = np.asarray(entries, dtype=np.uint32)
     if group < 1:
@@ -61,13 +72,21 @@ def pack_u32_lanes(entries: np.ndarray, group: int) -> np.ndarray:
     if entries.size % group:
         raise ValueError(f"entry count {entries.size} not divisible by group {group}")
     n = entries.size // group
-    grouped = entries.reshape(n, group).astype(np.uint64)
     n_lanes = (group + 1) // 2
-    lanes = np.zeros((n, n_lanes), dtype=np.uint64)
+    lanes = np.empty((n, n_lanes), dtype=np.uint64) if out is None else out
+    if group % 2 == 0 and sys.byteorder == "little":
+        # On little-endian hosts two consecutive uint32 entries already
+        # have the lane's byte layout, so the pack is one reinterpret
+        # copy; big-endian hosts take the endian-neutral shift loop.
+        src = np.ascontiguousarray(entries).view(np.uint64).reshape(n, n_lanes)
+        np.copyto(lanes, src)
+        return lanes
+    lanes[:] = 0
+    grouped = entries.reshape(n, group)
     for e in range(group):
         lane = e // 2
         shift = np.uint64(32 * (e % 2))
-        lanes[:, lane] |= grouped[:, e] << shift
+        lanes[:, lane] |= grouped[:, e].astype(np.uint64) << shift
     return lanes
 
 

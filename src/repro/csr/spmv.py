@@ -36,8 +36,15 @@ def spmv(
         out[:] = 0.0
     if values.size == 0:
         return out
-    products = values * x[colidx.astype(np.int64)]
-    ptr = rowptr.astype(np.int64)
+    # Callers holding pre-converted snapshots (the protected matrices'
+    # clean views) pass int64 indices straight through; only narrower
+    # stored indices pay the widening copy.
+    if colidx.dtype != np.int64:
+        colidx = colidx.astype(np.int64)
+    if rowptr.dtype != np.int64:
+        rowptr = rowptr.astype(np.int64)
+    products = values * x[colidx]
+    ptr = rowptr
     starts = ptr[:-1]
     lengths = ptr[1:] - starts
     nonempty = lengths > 0
@@ -60,7 +67,9 @@ def spmv_fixed_width(
 ) -> np.ndarray:
     """SpMV when every row stores exactly ``width`` entries."""
     n_rows = values.size // width
-    products = values * x[colidx.astype(np.int64)]
+    if colidx.dtype != np.int64:
+        colidx = colidx.astype(np.int64)
+    products = values * x[colidx]
     result = products.reshape(n_rows, width).sum(axis=1)
     if out is None:
         return result

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 
 import numpy as np
@@ -22,44 +21,131 @@ class CodewordStatus(enum.IntEnum):
     UNCORRECTABLE = 2
 
 
-@dataclasses.dataclass
 class CheckReport:
     """Aggregate result of checking an array of codewords.
 
-    Attributes
-    ----------
-    status:
-        ``uint8`` array of :class:`CodewordStatus` values, one per codeword.
-    n_corrected / n_uncorrectable:
-        Convenience counts.
+    Two storage forms share one interface:
+
+    * the general form carries a ``uint8`` array of
+      :class:`CodewordStatus` values, one per codeword;
+    * the *compact clean* form (:meth:`all_ok`) records only the
+      codeword count — the scheduled-check hot path produces this when a
+      fused scan finds nothing wrong, so a clean verification allocates
+      nothing proportional to the structure.  Accessing :attr:`status`
+      on a compact report materialises the zeros lazily.
     """
 
-    status: np.ndarray
+    def __init__(self, status: np.ndarray | None = None, *,
+                 n_codewords: int | None = None, index_offset: int = 0):
+        if status is None and n_codewords is None:
+            raise ValueError("CheckReport needs a status array or a codeword count")
+        self._status = status
+        self._n = int(status.size if status is not None else n_codewords)
+        #: Added to reported codeword indices — a windowed (stripe) check
+        #: computes window-relative status but must report absolute
+        #: positions (see with_offset).
+        self.index_offset = int(index_offset)
+
+    @classmethod
+    def all_ok(cls, n_codewords: int) -> "CheckReport":
+        """The compact every-codeword-passed report."""
+        return cls(n_codewords=n_codewords)
+
+    @classmethod
+    def from_flags(cls, flags: np.ndarray) -> "CheckReport":
+        """Detection-only report from per-codeword corrupted flags.
+
+        Clean flags collapse to the compact form; corrupted codewords
+        are UNCORRECTABLE (detection without correction).
+        """
+        if not flags.any():
+            return cls.all_ok(flags.size)
+        return cls(
+            status=np.where(
+                flags,
+                np.uint8(CodewordStatus.UNCORRECTABLE),
+                np.uint8(CodewordStatus.OK),
+            )
+        )
+
+    @classmethod
+    def concat(cls, parts: list["CheckReport"]) -> "CheckReport":
+        """Concatenate segment reports, staying compact when all are."""
+        if len(parts) == 1:
+            return parts[0]
+        if all(p._status is None for p in parts):
+            return cls.all_ok(sum(p.n_codewords for p in parts))
+        return cls(status=np.concatenate([p.status for p in parts]))
+
+    @property
+    def n_codewords(self) -> int:
+        return self._n
+
+    @property
+    def status(self) -> np.ndarray:
+        """Per-codeword status; materialised on demand for clean reports."""
+        if self._status is None:
+            self._status = np.zeros(self._n, dtype=np.uint8)
+        return self._status
 
     @property
     def n_corrected(self) -> int:
-        return int(np.count_nonzero(self.status == CodewordStatus.CORRECTED))
+        if self._status is None:
+            return 0
+        return int(np.count_nonzero(self._status == CodewordStatus.CORRECTED))
 
     @property
     def n_uncorrectable(self) -> int:
-        return int(np.count_nonzero(self.status == CodewordStatus.UNCORRECTABLE))
+        if self._status is None:
+            return 0
+        return int(np.count_nonzero(self._status == CodewordStatus.UNCORRECTABLE))
 
     @property
     def clean(self) -> bool:
         """True when every codeword passed without intervention."""
-        return bool(np.all(self.status == CodewordStatus.OK))
+        if self._status is None:
+            return True
+        return bool(np.all(self._status == CodewordStatus.OK))
 
     @property
     def ok(self) -> bool:
         """True when the data is now trustworthy (clean or fully corrected)."""
         return self.n_uncorrectable == 0
 
+    def with_offset(self, offset: int) -> "CheckReport":
+        """This report with indices shifted to absolute codeword positions.
+
+        Containers apply their own corrections against window-relative
+        indices *before* this wrapper, so only outward-facing reports
+        (errors, campaign accounting) carry the offset.
+        """
+        if offset == 0:
+            return self
+        return CheckReport(
+            status=self._status, n_codewords=self._n,
+            index_offset=self.index_offset + offset,
+        )
+
     def uncorrectable_indices(self) -> np.ndarray:
-        return np.flatnonzero(self.status == CodewordStatus.UNCORRECTABLE)
+        if self._status is None:
+            return np.zeros(0, dtype=np.int64)
+        return np.flatnonzero(self._status == CodewordStatus.UNCORRECTABLE) + self.index_offset
 
     def corrected_indices(self) -> np.ndarray:
-        return np.flatnonzero(self.status == CodewordStatus.CORRECTED)
+        if self._status is None:
+            return np.zeros(0, dtype=np.int64)
+        return np.flatnonzero(self._status == CodewordStatus.CORRECTED) + self.index_offset
 
     def merge(self, other: "CheckReport") -> "CheckReport":
         """Element-wise worst-case merge of two reports over the same codewords."""
+        if self._status is None:
+            return other
+        if other._status is None:
+            return self
         return CheckReport(status=np.maximum(self.status, other.status))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CheckReport(n={self._n}, corrected={self.n_corrected}, "
+            f"uncorrectable={self.n_uncorrectable})"
+        )

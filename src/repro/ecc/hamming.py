@@ -38,7 +38,13 @@ overall parity of ``r``  syndrome ``s``        verdict
 ======================  =========================================
 
 All hot paths are vectorised: a check of ``N`` codewords costs
-``m + 1`` mask/popcount passes over an ``(N, L)`` uint64 array.
+``m + 1`` mask/popcount passes over an ``(N, L)`` uint64 array.  The
+passes themselves run on the active kernel backend
+(:func:`repro.backends.get_backend`) through the code's persistent
+:class:`~repro.backends.base.SyndromeScratch`, cache-blocked and
+``out=``-threaded so a full check allocates no temporary proportional
+to the codeword count; :meth:`SECDEDCode.scan` is the clean-path screen
+that answers "anything corrupted?" with zero large allocations at all.
 """
 
 from __future__ import annotations
@@ -47,8 +53,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.backends import get_backend
+from repro.backends.base import SyndromeScratch
 from repro.bits.packing import bits_to_lane_masks
-from repro.bits.popcount import parity64
 from repro.ecc.base import CheckReport, CodewordStatus
 from repro.errors import ConfigurationError
 
@@ -168,6 +175,11 @@ class SECDEDCode:
             table[col] = p
         self._decode_table = table
 
+        #: Persistent chunk buffers for the backend kernels.  Codes are
+        #: process-wide singletons (see repro.ecc.profiles), so this is
+        #: allocated once per layout and reused by every check.
+        self.scratch = SyndromeScratch()
+
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -183,35 +195,62 @@ class SECDEDCode:
         which are forced to zero) is discarded.
         """
         lanes = self._as_lanes(lanes)
-        np.bitwise_and(lanes, ~self._check_mask, out=lanes)
-        for j in range(self.n_syndrome_bits):
-            cj = parity64(np.bitwise_xor.reduce(lanes & self._data_masks[j], axis=-1))
-            self._set_bit(lanes, self.syndrome_slots[j], cj)
-        # Parity slot is currently zero, so folding everything gives the
-        # parity of data + syndrome bits; store it to make totals even.
-        p = parity64(np.bitwise_xor.reduce(lanes & self._all_mask, axis=-1))
-        self._set_bit(lanes, self.parity_slot, p)
+        get_backend().encode(self, lanes)
         return lanes
 
     def syndrome(self, lanes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(syndrome, overall_parity)`` arrays for stored codewords."""
+        """Return ``(syndrome, overall_parity)`` arrays for stored codewords.
+
+        Allocates the two result arrays; use :meth:`syndrome_into` (or
+        the :meth:`scan` screen) on paths that must not.
+        """
         lanes = self._as_lanes(lanes)
         n = lanes.shape[0]
-        syn = np.zeros(n, dtype=np.uint16)
-        for j in range(self.n_syndrome_bits):
-            sj = parity64(np.bitwise_xor.reduce(lanes & self._full_masks[j], axis=-1))
-            syn |= sj.astype(np.uint16) << np.uint16(j)
-        ptot = parity64(np.bitwise_xor.reduce(lanes & self._all_mask, axis=-1))
+        syn = np.empty(n, dtype=np.uint16)
+        ptot = np.empty(n, dtype=np.uint8)
+        get_backend().syndrome_into(self, lanes, syn, ptot)
         return syn, ptot
+
+    def syndrome_into(self, lanes: np.ndarray, syn: np.ndarray,
+                      parity: np.ndarray) -> None:
+        """Fused syndrome pass into caller-owned ``uint16``/``uint8`` outputs."""
+        get_backend().syndrome_into(self, self._as_lanes(lanes), syn, parity)
+
+    def scan(self, lanes: np.ndarray) -> int:
+        """Number of corrupted codewords, allocation-free.
+
+        The screen every check runs first: an intact structure is fully
+        verified without materialising per-codeword results, and only a
+        nonzero answer pays for the detailed (allocating) decode.
+        """
+        return get_backend().scan(self, self._as_lanes(lanes))
 
     def detect(self, lanes: np.ndarray) -> np.ndarray:
         """Boolean "corrupted" flag per codeword (no correction attempted)."""
         syn, ptot = self.syndrome(lanes)
         return (syn != 0) | (ptot != 0)
 
-    def check_and_correct(self, lanes: np.ndarray) -> CheckReport:
-        """Check every codeword, repairing single-bit flips in place."""
+    def detect_report(self, lanes: np.ndarray) -> CheckReport:
+        """Detection-only :class:`CheckReport`: scan screen, then flags.
+
+        The shared clean-path shape for every ``check(correct=False)``:
+        an intact lane array costs one allocation-free scan and returns
+        the compact all-OK report.
+        """
         lanes = self._as_lanes(lanes)
+        if self.scan(lanes) == 0:
+            return CheckReport.all_ok(lanes.shape[0])
+        return CheckReport.from_flags(self.detect(lanes))
+
+    def check_and_correct(self, lanes: np.ndarray) -> CheckReport:
+        """Check every codeword, repairing single-bit flips in place.
+
+        Clean codeword arrays (the overwhelmingly common case) take the
+        fused scan fast path and return a compact all-OK report.
+        """
+        lanes = self._as_lanes(lanes)
+        if self.scan(lanes) == 0:
+            return CheckReport.all_ok(lanes.shape[0])
         syn, ptot = self.syndrome(lanes)
         status = np.zeros(lanes.shape[0], dtype=np.uint8)
 
@@ -245,6 +284,3 @@ class SECDEDCode:
             )
         return lanes
 
-    def _set_bit(self, lanes: np.ndarray, position: int, bit_values: np.ndarray) -> None:
-        lane, bit = divmod(position, 64)
-        lanes[:, lane] |= bit_values.astype(np.uint64) << np.uint64(bit)

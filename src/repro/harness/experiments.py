@@ -96,6 +96,15 @@ def _run_interval_figure(
                 paper_value=_anchor_lookup("matrix", scheme, platform, interval),
             )
         )
+    # The engine's schedule on the same axes: snapshot-validated non-due
+    # accesses instead of per-access range checks (ROADMAP follow-up).
+    for interval, value in ppred.deferred_interval_figure(platform, scheme).items():
+        rows.append(
+            ExperimentRow(
+                figure=figure, series=f"{platform}+eng", key=str(interval),
+                overhead=value, source="model",
+            )
+        )
     measured = hov.measure_interval_curve(scheme, n=n, repeats=repeats)
     for interval, value in measured.items():
         rows.append(
@@ -139,6 +148,17 @@ def run_t1(n: int = 192, repeats: int = 3) -> list[ExperimentRow]:
                 paper_value=_anchor_lookup("full", "secded64", platform),
             )
         )
+        for interval in (8, 16):
+            rows.append(
+                ExperimentRow(
+                    figure="t1", series=platform,
+                    key=f"full-secded64-deferred{interval}",
+                    overhead=ppred.combined_full_protection_deferred(
+                        platform, interval=interval
+                    ),
+                    source="model",
+                )
+            )
     rows.append(
         ExperimentRow(
             figure="t1", series="host", key="full-secded64",

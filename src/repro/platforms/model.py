@@ -139,6 +139,64 @@ def predict_interval_curve(
     }
 
 
+def predict_engine_overhead(
+    platform: str | PlatformSpec,
+    scheme: str,
+    interval: int = 16,
+    stripes: int = 1,
+    region: str = "full",
+) -> float:
+    """Predicted overhead for the deferred-verification *engine* schedule.
+
+    Differs from :func:`predict_overhead`'s §VI.A.2 interval model in
+    the three ways the engine differs from the paper:
+
+    * **striping** — a due matrix check covers ``1/stripes`` of the
+      region, so the amortised check cost is ``t_check / (interval *
+      stripes)`` (full coverage still every ``interval * stripes``
+      accesses);
+    * **snapshot floor** — non-due accesses gather through a
+      bounds-validated index snapshot instead of re-running the range
+      check, so the floor is paid once per check window (``/ interval``)
+      rather than on every skipped access;
+    * **deferred vectors** — vector checks follow the solver-iteration
+      interval and dirty-window write buffering amortises the re-encode
+      the same way, so the per-iteration vector cost divides by the
+      interval as well.
+    """
+    if interval < 1:
+        raise ValueError("the engine schedule needs interval >= 1")
+    if stripes < 1:
+        raise ValueError("stripes must be >= 1")
+    spec = _spec(platform)
+    base = _base_time_per_cell(spec)
+    if region == "full":
+        return predict_engine_overhead(spec, scheme, interval, stripes, "matrix") + (
+            _check_time_per_cell(spec, "vector", scheme) / base / interval
+        )
+    if region == "matrix":
+        return predict_engine_overhead(
+            spec, scheme, interval, stripes, "elements"
+        ) + predict_engine_overhead(spec, scheme, interval, stripes, "rowptr")
+    t_check = _check_time_per_cell(spec, region, scheme)
+    share = 5.0 / 6.0 if region == "elements" else 1.0 / 6.0
+    floor = share * rangecheck_floor(spec)
+    return t_check / base / (interval * stripes) + floor / interval
+
+
+def predict_engine_interval_curve(
+    platform: str | PlatformSpec,
+    scheme: str,
+    intervals=(1, 2, 4, 8, 16, 32, 64, 128),
+    stripes: int = 1,
+) -> dict[int, float]:
+    """Whole-matrix engine-schedule overhead vs interval (Figs. 6-8 overlay)."""
+    return {
+        int(n): predict_engine_overhead(platform, scheme, int(n), stripes, "matrix")
+        for n in intervals
+    }
+
+
 def model_summary(platform: str | PlatformSpec) -> dict[str, float]:
     """Key predicted numbers for one platform (used in reports)."""
     spec = _spec(platform)

@@ -7,7 +7,12 @@ paper-vs-model tables.
 
 from __future__ import annotations
 
-from repro.platforms.model import predict_interval_curve, predict_overhead
+from repro.platforms.model import (
+    predict_engine_interval_curve,
+    predict_engine_overhead,
+    predict_interval_curve,
+    predict_overhead,
+)
 from repro.platforms.specs import PLATFORMS
 
 #: Scheme order used on the figures' x axes.
@@ -44,6 +49,24 @@ def interval_figure(platform: str, scheme: str,
     return predict_interval_curve(platform, scheme, intervals)
 
 
+def deferred_interval_figure(platform: str, scheme: str,
+                             intervals=(1, 2, 4, 8, 16, 32, 64, 128),
+                             stripes: int = 1) -> dict[int, float]:
+    """Figs. 6/7/8 overlay: the *engine's* schedule on the same axes.
+
+    Snapshot-validated non-due accesses and (optionally) striped due
+    checks — see :func:`repro.platforms.model.predict_engine_overhead`.
+    """
+    return predict_engine_interval_curve(platform, scheme, intervals, stripes)
+
+
 def combined_full_protection(platform: str, scheme: str = "secded64") -> float:
     """The paper's headline: full matrix + vectors, one scheme."""
     return predict_overhead(platform, "full", scheme)
+
+
+def combined_full_protection_deferred(platform: str, scheme: str = "secded64",
+                                      interval: int = 16,
+                                      stripes: int = 1) -> float:
+    """The engine's headline: full protection on the deferred schedule."""
+    return predict_engine_overhead(platform, scheme, interval, stripes, "full")

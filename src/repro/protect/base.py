@@ -72,3 +72,22 @@ def require_fits(array: np.ndarray, limit: int, what: str) -> None:
         raise ConfigurationError(
             f"{what} value {int(array.max())} exceeds the scheme limit {limit}"
         )
+
+
+def resolve_codeword_window(
+    window: tuple[int, int] | None, n_codewords: int
+) -> tuple[int, int]:
+    """Clamp-check a codeword-range ``(lo, hi)`` window for stripe checks.
+
+    ``None`` means the whole region; anything outside ``[0, n_codewords]``
+    raises ``ValueError``.  Shared by every windowed container check so
+    window semantics cannot diverge between regions.
+    """
+    if window is None:
+        return 0, n_codewords
+    lo, hi = int(window[0]), int(window[1])
+    if not 0 <= lo <= hi <= n_codewords:
+        raise ValueError(
+            f"window {window!r} out of range for {n_codewords} codewords"
+        )
+    return lo, hi

@@ -63,6 +63,16 @@ class ProtectionConfig:
     correct:
         Attempt in-place correction at checks.  The paper recommends
         detection-only whenever checks are deferred.
+    stripes:
+        Striped matrix verification: each due matrix check covers one of
+        ``stripes`` round-robin codeword slices, giving full coverage
+        every ``interval * stripes`` accesses.  ``1`` (default) is the
+        paper's whole-matrix interval check.
+    backend:
+        Kernel backend name (see :mod:`repro.backends`): ``None`` defers
+        to ``REPRO_BACKEND`` / the ``numpy_fused`` default; ``"numba"``
+        selects the jitted kernels where numba is installed (and falls
+        back cleanly where it is not).
     """
 
     element_scheme: str | None = "secded64"
@@ -72,6 +82,8 @@ class ProtectionConfig:
     vector_interval: int | None = None
     defer_writes: bool | None = None
     correct: bool = True
+    stripes: int = 1
+    backend: str | None = None
 
     def __post_init__(self):
         _check_scheme(self.element_scheme, ELEMENT_SCHEMES, "element")
@@ -81,6 +93,8 @@ class ProtectionConfig:
             raise ConfigurationError("interval must be >= 0")
         if self.vector_interval is not None and self.vector_interval < 0:
             raise ConfigurationError("vector_interval must be >= 0")
+        if self.stripes < 1:
+            raise ConfigurationError("stripes must be >= 1")
 
     # -- presets --------------------------------------------------------
     @classmethod
@@ -96,18 +110,21 @@ class ProtectionConfig:
                    interval=1, correct=True)
 
     @classmethod
-    def deferred(cls, window: int = 16, scheme: str = "secded64") -> "ProtectionConfig":
+    def deferred(cls, window: int = 16, scheme: str = "secded64",
+                 stripes: int = 1) -> "ProtectionConfig":
         """Full protection through the deferred-verification engine.
 
         ``window`` is the check interval (matrix accesses and solver
         iterations share it); correction is off, as the paper recommends
         for interval checking ("should only be used with Error Detecting
-        Codes").
+        Codes").  ``stripes > 1`` further splits each due matrix check
+        into round-robin slices (full coverage every
+        ``window * stripes`` accesses).
         """
         if window < 1:
             raise ConfigurationError("deferred() needs a window >= 1")
         return cls(element_scheme=scheme, rowptr_scheme=scheme, vector_scheme=scheme,
-                   interval=int(window), correct=False)
+                   interval=int(window), correct=False, stripes=int(stripes))
 
     @classmethod
     def matrix_only(cls, scheme: str = "secded64", interval: int = 1,
@@ -142,11 +159,12 @@ class ProtectionConfig:
             correct=self.correct,
             vector_interval=self.vector_interval,
             defer_writes=self.defer_writes,
+            stripes=self.stripes,
         )
 
     def engine(self) -> DeferredVerificationEngine:
-        """A fresh engine scheduled by :meth:`policy`."""
-        return DeferredVerificationEngine(self.policy())
+        """A fresh engine scheduled by :meth:`policy` on this config's backend."""
+        return DeferredVerificationEngine(self.policy(), backend=self.backend)
 
     def wrap_matrix(self, matrix) -> ProtectedCSRMatrix:
         """Encode a CSR matrix per this config (idempotent on wrapped input).

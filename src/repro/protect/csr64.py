@@ -93,6 +93,8 @@ class ProtectedCSRElements64:
                 for ln in np.unique(lengths)
             ]
         self.nnz = self.values.size
+        # Persistent (nnz, 2) lane buffer; _lanes refreshes it in place.
+        self._lane_buf: np.ndarray | None = None
         self.encode()
 
     # ------------------------------------------------------------------
@@ -108,10 +110,12 @@ class ProtectedCSRElements64:
         return self.colidx & self.index_mask
 
     def _lanes(self) -> np.ndarray:
-        lanes = np.empty((self.nnz, 2), dtype=np.uint64)
-        lanes[:, 0] = f64_to_u64(self.values)
-        lanes[:, 1] = self.colidx
-        return lanes
+        """The persistent uint64 lane view, re-synced from live storage."""
+        if self._lane_buf is None:
+            self._lane_buf = np.empty((self.nnz, 2), dtype=np.uint64)
+        np.copyto(self._lane_buf[:, 0], f64_to_u64(self.values))
+        np.copyto(self._lane_buf[:, 1], self.colidx)
+        return self._lane_buf
 
     def _store_lanes(self, lanes: np.ndarray, idx: np.ndarray) -> None:
         if idx.size == 0:

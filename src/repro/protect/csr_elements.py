@@ -35,7 +35,12 @@ from repro.ecc.crc32c import crc32c_batch
 from repro.ecc.crc_correct import corrector_for, max_errors_for_mode
 from repro.ecc.profiles import csr_element_pair_secded128, csr_element_secded
 from repro.errors import ConfigurationError
-from repro.protect.base import ELEMENT_SCHEMES, column_limit, require_fits
+from repro.protect.base import (
+    ELEMENT_SCHEMES,
+    column_limit,
+    require_fits,
+    resolve_codeword_window,
+)
 
 _ONE = np.uint64(1)
 _LOW24 = np.uint32(0x00FFFFFF)
@@ -86,6 +91,11 @@ class ProtectedCSRElements:
                 )
             self._length_groups = _group_rows_by_length(lengths)
         self.nnz = self.values.size
+        # Persistent lane buffers (see _lanes_synced/_pair_lanes): the
+        # uint64 codeword views every check runs over, allocated once and
+        # refilled in place so no check materialises an (nnz, L) array.
+        self._lane_buf: np.ndarray | None = None
+        self._pair_buf: np.ndarray | None = None
         self.encode()
 
     # ------------------------------------------------------------------
@@ -96,6 +106,7 @@ class ProtectedCSRElements:
         if self.scheme == "secded128":
             return (self.nnz + 1) // 2
         return self.nnz
+
 
     @property
     def index_mask(self) -> np.uint32:
@@ -109,7 +120,32 @@ class ProtectedCSRElements:
         np.bitwise_and(self.colidx, self.index_mask, out=out)
         return out
 
+    def colidx_clean64(self, out: np.ndarray) -> np.ndarray:
+        """Cleaned indices widened into a caller-owned int64 array.
+
+        Fills the persistent pre-converted gather index the decode-free
+        SpMV path consumes, with no intermediate uint32 temporaries.
+        """
+        np.copyto(out, self.colidx, casting="same_kind")
+        np.bitwise_and(out, np.int64(self.index_mask), out=out)
+        return out
+
     # ------------------------------------------------------------------
+    def _lanes_synced(self, lo: int = 0, hi: int | None = None) -> np.ndarray:
+        """The persistent ``(nnz, 2)`` uint64 lane view, refreshed in place.
+
+        Only elements ``[lo, hi)`` are re-synced from live storage, so a
+        stripe check touches exactly its stripe.  The buffer itself is
+        allocated once and reused by every encode/detect/check.
+        """
+        if self._lane_buf is None:
+            self._lane_buf = np.empty((self.nnz, 2), dtype=np.uint64)
+        hi = self.nnz if hi is None else hi
+        pack_csr_element_lanes(
+            self.values[lo:hi], self.colidx[lo:hi], out=self._lane_buf[lo:hi]
+        )
+        return self._lane_buf[lo:hi]
+
     def encode(self) -> None:
         """(Re)compute all redundancy from current values/indices."""
         if self.scheme == "sed":
@@ -120,13 +156,14 @@ class ProtectedCSRElements:
             ).astype(np.uint32)
             self.colidx[:] = data | (p << np.uint32(31))
         elif self.scheme == "secded64":
-            lanes = pack_csr_element_lanes(self.values, self.colidx)
+            lanes = self._lanes_synced()
             csr_element_secded().encode(lanes)
-            _, self.colidx[:] = unpack_csr_element_lanes(lanes)
+            np.copyto(self.colidx, lanes[:, 1], casting="same_kind")
         elif self.scheme == "secded128":
-            lanes, tail = self._pair_lanes()
+            lanes = self._pair_lanes()
             csr_element_pair_secded128().encode(lanes)
             self._store_pair_lanes(lanes)
+            tail = self._tail_lanes()
             if tail is not None:
                 csr_element_secded().encode(tail)
                 _, self.colidx[-1:] = unpack_csr_element_lanes(tail)
@@ -141,12 +178,10 @@ class ProtectedCSRElements:
             )
             return p.astype(bool)
         if self.scheme == "secded64":
-            return csr_element_secded().detect(
-                pack_csr_element_lanes(self.values, self.colidx)
-            )
+            return csr_element_secded().detect(self._lanes_synced())
         if self.scheme == "secded128":
-            lanes, tail = self._pair_lanes()
-            flags = csr_element_pair_secded128().detect(lanes)
+            flags = csr_element_pair_secded128().detect(self._pair_lanes())
+            tail = self._tail_lanes()
             if tail is not None:
                 flags = np.concatenate([flags, csr_element_secded().detect(tail)])
             return flags
@@ -156,81 +191,124 @@ class ProtectedCSRElements:
             flags[rows] = diff != 0
         return flags
 
-    def check(self, correct: bool = True) -> CheckReport:
-        """Full integrity check; corrects in place when possible."""
-        if not correct:
-            flags = self.detect()
-            return CheckReport(
-                status=np.where(
-                    flags,
-                    np.uint8(CodewordStatus.UNCORRECTABLE),
-                    np.uint8(CodewordStatus.OK),
-                )
-            )
+    def check(
+        self, correct: bool = True, window: tuple[int, int] | None = None
+    ) -> CheckReport:
+        """Integrity check; corrects in place when possible.
+
+        ``window`` restricts the check to the codeword range ``[lo, hi)``
+        (the engine's round-robin stripes); the report then covers only
+        those codewords.  Clean data returns a compact all-OK report
+        without materialising per-codeword status.
+        """
+        lo, hi = resolve_codeword_window(window, self.n_codewords)
+        if hi <= lo:
+            return CheckReport.all_ok(0)
         if self.scheme == "sed":
-            return self.check(correct=False)  # SED cannot correct
+            return self._check_sed(lo, hi)
         if self.scheme == "secded64":
-            lanes = pack_csr_element_lanes(self.values, self.colidx)
-            report = csr_element_secded().check_and_correct(lanes)
-            self._write_back_elements(lanes, report.corrected_indices())
-            return report
+            return self._check_secded64(correct, lo, hi)
         if self.scheme == "secded128":
-            return self._check_secded128()
-        return self._check_crc()
+            return self._check_secded128(correct, lo, hi)
+        return self._check_crc(correct, lo, hi)
 
-    # -- secded128 internals ------------------------------------------------
-    def _pair_lanes(self):
-        n_pairs = self.nnz // 2
-        lanes = np.empty((n_pairs, 4), dtype=np.uint64)
-        vwords = f64_to_u64(self.values)
-        lanes[:, 0] = vwords[0 : 2 * n_pairs : 2]
-        lanes[:, 1] = self.colidx[0 : 2 * n_pairs : 2].astype(np.uint64)
-        lanes[:, 2] = vwords[1 : 2 * n_pairs : 2]
-        lanes[:, 3] = self.colidx[1 : 2 * n_pairs : 2].astype(np.uint64)
-        tail = None
-        if self.nnz % 2:
-            tail = pack_csr_element_lanes(self.values[-1:], self.colidx[-1:])
-        return lanes, tail
+    # -- sed / secded64 internals -------------------------------------------
+    def _check_sed(self, lo: int, hi: int) -> CheckReport:
+        p = parity64(f64_to_u64(self.values[lo:hi])) ^ (
+            np.bitwise_count(self.colidx[lo:hi]) & np.uint8(1)
+        )
+        return CheckReport.from_flags(p.astype(bool))
 
-    def _store_pair_lanes(self, lanes: np.ndarray, only: np.ndarray | None = None) -> None:
-        if only is not None and only.size == 0:
-            return
-        sel = slice(None) if only is None else only
-        n_pairs = lanes.shape[0]
-        vwords = f64_to_u64(self.values)
-        even = np.arange(n_pairs)[sel] * 2 if only is not None else None
-        if only is None:
-            vwords[0 : 2 * n_pairs : 2] = lanes[:, 0]
-            self.colidx[0 : 2 * n_pairs : 2] = (lanes[:, 1] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-            vwords[1 : 2 * n_pairs : 2] = lanes[:, 2]
-            self.colidx[1 : 2 * n_pairs : 2] = (lanes[:, 3] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-        else:
-            vwords[even] = lanes[sel, 0]
-            self.colidx[even] = (lanes[sel, 1] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-            vwords[even + 1] = lanes[sel, 2]
-            self.colidx[even + 1] = (lanes[sel, 3] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
-
-    def _check_secded128(self) -> CheckReport:
-        lanes, tail = self._pair_lanes()
-        report = csr_element_pair_secded128().check_and_correct(lanes)
-        self._store_pair_lanes(lanes, only=report.corrected_indices())
-        if tail is not None:
-            tail_report = csr_element_secded().check_and_correct(tail)
-            if tail_report.n_corrected:
-                v, y = unpack_csr_element_lanes(tail)
-                self.values[-1:] = v
-                self.colidx[-1:] = y
-            report = CheckReport(
-                status=np.concatenate([report.status, tail_report.status])
-            )
+    def _check_secded64(self, correct: bool, lo: int, hi: int) -> CheckReport:
+        lanes = self._lanes_synced(lo, hi)
+        code = csr_element_secded()
+        if not correct:
+            return code.detect_report(lanes)
+        report = code.check_and_correct(lanes)
+        self._write_back_elements(lanes, report.corrected_indices(), offset=lo)
         return report
 
-    def _write_back_elements(self, lanes: np.ndarray, idx: np.ndarray) -> None:
+    # -- secded128 internals ------------------------------------------------
+    def _pair_lanes(self, lo: int = 0, hi: int | None = None) -> np.ndarray:
+        """Persistent pair-codeword lanes for pairs ``[lo, hi)``."""
+        n_pairs = self.nnz // 2
+        hi = n_pairs if hi is None else hi
+        if self._pair_buf is None:
+            self._pair_buf = np.empty((n_pairs, 4), dtype=np.uint64)
+        lanes = self._pair_buf[lo:hi]
+        vwords = f64_to_u64(self.values)
+        np.copyto(lanes[:, 0], vwords[2 * lo : 2 * hi : 2])
+        np.copyto(lanes[:, 1], self.colidx[2 * lo : 2 * hi : 2], casting="same_kind")
+        np.copyto(lanes[:, 2], vwords[2 * lo + 1 : 2 * hi : 2])
+        np.copyto(lanes[:, 3], self.colidx[2 * lo + 1 : 2 * hi : 2], casting="same_kind")
+        return lanes
+
+    def _tail_lanes(self) -> np.ndarray | None:
+        """The odd-element SED-style tail codeword, or None for even nnz."""
+        if self.nnz % 2 == 0:
+            return None
+        return pack_csr_element_lanes(self.values[-1:], self.colidx[-1:])
+
+    def _store_pair_lanes(
+        self, lanes: np.ndarray, only: np.ndarray | None = None, offset: int = 0
+    ) -> None:
+        """Write pair lanes back to storage (all, or the ``only`` rows)."""
+        if only is not None and only.size == 0:
+            return
+        vwords = f64_to_u64(self.values)
+        if only is None:
+            n_pairs = lanes.shape[0]
+            base = 2 * offset
+            vwords[base : base + 2 * n_pairs : 2] = lanes[:, 0]
+            self.colidx[base : base + 2 * n_pairs : 2] = (
+                lanes[:, 1] & np.uint64(0xFFFFFFFF)
+            ).astype(np.uint32)
+            vwords[base + 1 : base + 2 * n_pairs : 2] = lanes[:, 2]
+            self.colidx[base + 1 : base + 2 * n_pairs : 2] = (
+                lanes[:, 3] & np.uint64(0xFFFFFFFF)
+            ).astype(np.uint32)
+            return
+        even = (only + offset) * 2
+        vwords[even] = lanes[only, 0]
+        self.colidx[even] = (lanes[only, 1] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        vwords[even + 1] = lanes[only, 2]
+        self.colidx[even + 1] = (lanes[only, 3] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+
+    def _check_secded128(self, correct: bool, lo: int, hi: int) -> CheckReport:
+        n_pairs = self.nnz // 2
+        phi = min(hi, n_pairs)
+        parts: list[CheckReport] = []
+        if lo < phi:
+            lanes = self._pair_lanes(lo, phi)
+            code = csr_element_pair_secded128()
+            if correct:
+                report = code.check_and_correct(lanes)
+                self._store_pair_lanes(lanes, only=report.corrected_indices(), offset=lo)
+            else:
+                report = code.detect_report(lanes)
+            parts.append(report)
+        if hi > n_pairs:
+            tail = self._tail_lanes()
+            code = csr_element_secded()
+            if correct:
+                tail_report = code.check_and_correct(tail)
+                if tail_report.n_corrected:
+                    v, y = unpack_csr_element_lanes(tail)
+                    self.values[-1:] = v
+                    self.colidx[-1:] = y
+            else:
+                tail_report = code.detect_report(tail)
+            parts.append(tail_report)
+        return CheckReport.concat(parts)
+
+    def _write_back_elements(
+        self, lanes: np.ndarray, idx: np.ndarray, offset: int = 0
+    ) -> None:
         if idx.size == 0:
             return
         v, y = unpack_csr_element_lanes(lanes[idx])
-        self.values[idx] = v
-        self.colidx[idx] = y
+        self.values[offset + idx] = v
+        self.colidx[offset + idx] = y
 
     # -- crc32c internals -----------------------------------------------------
     def _row_streams(self, rows: np.ndarray, length: int):
@@ -264,24 +342,37 @@ class ProtectedCSRElements:
                 chunk = ((crc >> np.uint32(8 * j)) & np.uint32(0xFF)).astype(np.uint32)
                 self.colidx[elems[:, j]] |= chunk << np.uint32(24)
 
-    def _crc_diff_all(self):
+    def _crc_diff_all(self, lo: int = 0, hi: int | None = None):
+        hi = self.rowptr.size - 1 if hi is None else hi
         out = []
         for rows, length in self._length_groups:
+            if lo > 0 or hi < self.rowptr.size - 1:
+                rows = rows[(rows >= lo) & (rows < hi)]
+                if not rows.size:
+                    continue
             stream, stored, elems = self._row_streams(rows, length)
             diff = crc32c_batch(stream) ^ stored
             out.append((rows, length, diff))
         return out
 
-    def _check_crc(self) -> CheckReport:
-        status = np.zeros(self.rowptr.size - 1, dtype=np.uint8)
-        for rows, length, diff in self._crc_diff_all():
+    def _check_crc(self, correct: bool, lo: int, hi: int) -> CheckReport:
+        diffs = self._crc_diff_all(lo, hi)
+        if not any(diff.any() for _, _, diff in diffs):
+            return CheckReport.all_ok(hi - lo)
+        if not correct:
+            status = np.zeros(hi - lo, dtype=np.uint8)
+            for rows, _, diff in diffs:
+                status[rows[diff != 0] - lo] = CodewordStatus.UNCORRECTABLE
+            return CheckReport(status=status)
+        status = np.zeros(hi - lo, dtype=np.uint8)
+        for rows, length, diff in diffs:
             bad = np.flatnonzero(diff)
             if not bad.size:
                 continue
             corrector = corrector_for(12 * length)
             max_errors = max_errors_for_mode(self.crc_mode, corrector.hd6)
             if max_errors == 0:  # 5ED: detection-only operating point
-                status[rows[bad]] = CodewordStatus.UNCORRECTABLE
+                status[rows[bad] - lo] = CodewordStatus.UNCORRECTABLE
                 continue
             vwords = f64_to_u64(self.values)
             for k in bad:
@@ -291,11 +382,11 @@ class ProtectedCSRElements:
                 if located is None or not all(
                     self._crc_bit_possible(bit, length, corrector) for bit in located
                 ):
-                    status[row] = CodewordStatus.UNCORRECTABLE
+                    status[row - lo] = CodewordStatus.UNCORRECTABLE
                     continue
                 for bit in located:
                     self._crc_apply_flip(bit, start, length, corrector, vwords)
-                status[row] = CodewordStatus.CORRECTED
+                status[row - lo] = CodewordStatus.CORRECTED
         return CheckReport(status=status)
 
     @staticmethod

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import backends
 from repro.errors import ConfigurationError, DetectedUncorrectableError
 from repro.protect.kernels import full_matrix_check
 from repro.protect.matrix import ProtectedCSRMatrix
@@ -48,13 +49,20 @@ class DeferredVerificationEngine:
     Regions (protected vectors and matrices) are registered up front or
     lazily on first use; reads and writes then flow through the engine,
     which batches verification per the policy's intervals.
+
+    ``backend`` pins a kernel backend (see :mod:`repro.backends`) for
+    this engine's SpMVs and verification passes; ``None`` follows the
+    process default (``REPRO_BACKEND`` or ``numpy_fused``).
     """
 
-    def __init__(self, policy: CheckPolicy | None = None):
+    def __init__(self, policy: CheckPolicy | None = None,
+                 backend: str | None = None):
         self.policy = policy or CheckPolicy(interval=1, correct=True)
+        self.backend = None if backend is None else backends.get_backend(backend)
         self._vectors: dict[int, tuple[str, ProtectedVector]] = {}
         self._matrices: dict[int, tuple[str, ProtectedCSRMatrix]] = {}
         self._read_since_check: set[int] = set()
+        self._stripe_cursor: dict[int, int] = {}
 
     @property
     def stats(self):
@@ -84,6 +92,7 @@ class DeferredVerificationEngine:
         self._vectors.pop(key, None)
         self._matrices.pop(key, None)
         self._read_since_check.discard(key)
+        self._stripe_cursor.pop(key, None)
 
     # -- data path ------------------------------------------------------
     def read(self, vector: ProtectedVector) -> np.ndarray:
@@ -118,10 +127,15 @@ class DeferredVerificationEngine:
     ) -> np.ndarray:
         """``A @ x`` with schedule-driven matrix verification.
 
-        Follows the paper's per-access model: every SpMV advances the
-        matrix counter; a due access runs the full check, the others run
-        the range check that keeps flipped indices from faulting the
-        process.
+        Follows the paper's per-access model, amortised: every SpMV
+        advances the matrix counter; a due access verifies the matrix
+        (one round-robin stripe when ``policy.stripes > 1``, the whole
+        matrix otherwise).  Non-due accesses gather through the
+        bounds-validated snapshot the clean views maintain, so they pay
+        no per-access index decode or range check at all — the paper's
+        range-check guarantee (no out-of-bounds access, ever) holds
+        because the snapshot was validated when it was populated.
+        ``stats.bounds_checks`` counts these snapshot-guarded accesses.
         """
         key = id(matrix)
         if key not in self._matrices:
@@ -130,11 +144,18 @@ class DeferredVerificationEngine:
             x = self.read(x)
         self._read_since_check.add(key)
         if self.policy.should_check():
-            self.verify_matrix(matrix)
+            with backends.active(self.backend):
+                if self.policy.stripes > 1:
+                    self._verify_stripe(matrix)
+                else:
+                    self.verify_matrix(matrix)
         elif self.policy.interval:
-            matrix.bounds_check()
+            matrix.clean_views()  # populate + validate if stale; no-op otherwise
             self.policy.stats.bounds_checks += 1
-        return matrix.matvec_unchecked(x, out=out)
+        # Resolve at call time so REPRO_BACKEND / active() apply to the
+        # SpMV exactly as they do to the verification kernels.
+        backend = self.backend if self.backend is not None else backends.get_backend()
+        return matrix.matvec_unchecked(x, out=out, backend=backend)
 
     # -- scheduled verification ----------------------------------------
     def begin_iteration(self) -> bool:
@@ -144,7 +165,8 @@ class DeferredVerificationEngine:
         """
         if not self._vectors or not self.policy.vector_check_due():
             return False
-        self._check_vectors(only_read=True)
+        with backends.active(self.backend):
+            self._check_vectors(only_read=True)
         return True
 
     def finalize(self) -> None:
@@ -156,17 +178,29 @@ class DeferredVerificationEngine:
         sweep whenever any checks were deferred.
         """
         sweep = self.policy.end_of_step()
-        self._check_vectors(only_read=False)
-        if not sweep:
-            return
-        for _, matrix in self._matrices.values():
-            self.verify_matrix(matrix)
+        with backends.active(self.backend):
+            self._check_vectors(only_read=False)
+            if not sweep:
+                return
+            for _, matrix in self._matrices.values():
+                self.verify_matrix(matrix)
 
     def verify_matrix(self, matrix: ProtectedCSRMatrix) -> None:
         """Full matrix check now, raising on uncorrectable damage."""
         name = self._matrices.get(id(matrix), ("matrix", None))[0]
         self._read_since_check.discard(id(matrix))
-        full_matrix_check(matrix, self.policy, name=name)
+        self._stripe_cursor.pop(id(matrix), None)  # full check restarts rotation
+        with backends.active(self.backend):
+            full_matrix_check(matrix, self.policy, name=name)
+
+    def _verify_stripe(self, matrix: ProtectedCSRMatrix) -> None:
+        """Scheduled striped verification: one round-robin slice per due access."""
+        name = self._matrices.get(id(matrix), ("matrix", None))[0]
+        key = id(matrix)
+        k = self._stripe_cursor.get(key, 0)
+        n = self.policy.stripes
+        full_matrix_check(matrix, self.policy, name=name, stripe=(k, n))
+        self._stripe_cursor[key] = (k + 1) % n
 
     def verify_vector(self, vector: ProtectedVector) -> None:
         """Flush and fully check one vector now, raising on damage.
@@ -177,8 +211,9 @@ class DeferredVerificationEngine:
         verification is never skipped.
         """
         name = self._vectors.get(id(vector), ("vector", None))[0]
-        self._flush_vector(vector)
-        self._check_vector(name, vector)
+        with backends.active(self.backend):
+            self._flush_vector(vector)
+            self._check_vector(name, vector)
 
     def _check_vectors(self, only_read: bool) -> None:
         for key, (name, vector) in self._vectors.items():

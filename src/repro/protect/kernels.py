@@ -39,16 +39,22 @@ def full_matrix_check(
     matrix: ProtectedCSRMatrix,
     policy: CheckPolicy,
     name: str | None = None,
+    stripe: tuple[int, int] | None = None,
 ) -> None:
-    """Full check of every matrix region, accounted against the policy.
+    """Matrix region check, accounted against the policy.
 
-    The one place that runs ``check_all``, folds the reports into the
-    policy counters and raises on uncorrectable damage — shared by the
+    The one place that runs ``check_all`` (or, for a scheduled striped
+    verification, ``check_stripe``), folds the reports into the policy
+    counters and raises on uncorrectable damage — shared by the
     per-access :func:`verify_matrix` path and the engine's scheduled
     checks (which pass the registered region ``name`` for the error).
     """
-    reports = matrix.check_all(correct=policy.correct)
-    policy.stats.full_checks += 1
+    if stripe is None:
+        reports = matrix.check_all(correct=policy.correct)
+        policy.stats.full_checks += 1
+    else:
+        reports = matrix.check_stripe(stripe[0], stripe[1], correct=policy.correct)
+        policy.stats.stripe_checks += 1
     for region, report in reports.items():
         policy.stats.corrected += report.n_corrected
         policy.stats.uncorrectable += report.n_uncorrectable
@@ -62,11 +68,25 @@ def full_matrix_check(
 def verify_matrix(
     matrix: ProtectedCSRMatrix, policy: CheckPolicy | None, *, force: bool = False
 ) -> None:
-    """Run the policy-selected matrix verification (full or range check)."""
+    """Run the policy-selected matrix verification (full, stripe or range check).
+
+    ``policy.stripes > 1`` rotates scheduled checks through codeword
+    stripes exactly as the engine does (``force=True`` — the mandatory
+    end-of-step sweep — is always a full check).
+    """
     if policy is None:
         policy = CheckPolicy(interval=1, correct=True)
-    if force or policy.should_check():
+    if force:
         full_matrix_check(matrix, policy)
+    elif policy.should_check():
+        # Containers without stripe support (e.g. the COO wrapper) take
+        # the full check on every due access — strictly more coverage.
+        if policy.stripes > 1 and hasattr(matrix, "check_stripe"):
+            full_matrix_check(
+                matrix, policy, stripe=(policy.next_stripe(), policy.stripes)
+            )
+        else:
+            full_matrix_check(matrix, policy)
     elif policy.interval:
         matrix.bounds_check()
         policy.stats.bounds_checks += 1

@@ -30,6 +30,7 @@ class PolicyStats:
     """Counters for overhead accounting (reported by the benchmarks)."""
 
     full_checks: int = 0
+    stripe_checks: int = 0
     bounds_checks: int = 0
     vector_checks: int = 0
     cached_reads: int = 0
@@ -65,6 +66,13 @@ class CheckPolicy:
         Buffer vector writes in the plain cache and re-encode dirty
         codeword windows only at scheduled checks.  Defaults to ``True``
         exactly when ``vector_interval > 1``.
+    stripes:
+        Striped matrix verification: each due matrix check verifies one
+        of ``stripes`` round-robin codeword slices instead of the whole
+        matrix, so full coverage takes ``interval * stripes`` accesses —
+        a strict generalisation of the paper's interval model
+        (``stripes=1`` is exactly §VI.A.2).  The end-of-step sweep is
+        always a full check regardless.
     """
 
     def __init__(
@@ -73,10 +81,14 @@ class CheckPolicy:
         correct: bool = True,
         vector_interval: int | None = None,
         defer_writes: bool | None = None,
+        stripes: int = 1,
     ):
         if interval < 0:
             raise ValueError("interval must be >= 0")
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
         self.interval = int(interval)
+        self.stripes = int(stripes)
         self.correct = bool(correct)
         if vector_interval is None:
             vector_interval = self.interval if self.interval >= 1 else 1
@@ -88,6 +100,7 @@ class CheckPolicy:
         self.defer_writes = bool(defer_writes)
         self._access = 0
         self._vector_access = 0
+        self._stripe_pos = 0
         self.stats = PolicyStats()
 
     def should_check(self) -> bool:
@@ -97,6 +110,17 @@ class CheckPolicy:
         due = (self._access % self.interval) == 0
         self._access += 1
         return due
+
+    def next_stripe(self) -> int:
+        """Advance the round-robin stripe cursor for single-matrix callers.
+
+        The eager kernel path (:func:`repro.protect.kernels.verify_matrix`)
+        checks one matrix per policy, so the rotation can live here; the
+        engine keeps per-matrix cursors of its own.
+        """
+        k = self._stripe_pos
+        self._stripe_pos = (k + 1) % self.stripes
+        return k
 
     def vector_check_due(self) -> bool:
         """Advance the vector iteration counter; True when a check is due."""
@@ -113,15 +137,22 @@ class CheckPolicy:
         deferred re-encoding — "just in case N does not divide the number
         of iterations performed".
         """
-        return self.interval > 1 or self.vector_interval > 1 or self.defer_writes
+        return (
+            self.interval > 1
+            or self.vector_interval > 1
+            or self.defer_writes
+            or self.stripes > 1
+        )
 
     def reset(self) -> None:
         """Restart the access phase (e.g. at the beginning of a time-step)."""
         self._access = 0
         self._vector_access = 0
+        self._stripe_pos = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CheckPolicy(interval={self.interval}, correct={self.correct}, "
-            f"vector_interval={self.vector_interval}, defer_writes={self.defer_writes})"
+            f"vector_interval={self.vector_interval}, "
+            f"defer_writes={self.defer_writes}, stripes={self.stripes})"
         )

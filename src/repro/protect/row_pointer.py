@@ -32,7 +32,13 @@ from repro.ecc.crc32c import crc32c_batch
 from repro.ecc.crc_correct import corrector_for, max_errors_for_mode
 from repro.ecc.profiles import rowptr_secded64, rowptr_secded128
 from repro.errors import ConfigurationError
-from repro.protect.base import GROUPS, ROWPTR_SCHEMES, require_fits, rowptr_value_limit
+from repro.protect.base import (
+    GROUPS,
+    ROWPTR_SCHEMES,
+    require_fits,
+    resolve_codeword_window,
+    rowptr_value_limit,
+)
 
 _LOW28 = np.uint32(0x0FFFFFFF)
 _LOW31 = np.uint32(0x7FFFFFFF)
@@ -54,6 +60,9 @@ class ProtectedRowPointer:
         self.raw = np.ascontiguousarray(rowptr, dtype=np.uint32).copy()
         require_fits(self.raw, rowptr_value_limit(scheme), "row pointer")
         self._n_grouped = (self.raw.size // self.group) * self.group
+        # Persistent lane buffer for the grouped codewords; refilled in
+        # place by _lanes_synced so checks allocate nothing sizeable.
+        self._lane_buf: np.ndarray | None = None
         self.encode()
 
     # ------------------------------------------------------------------
@@ -81,7 +90,34 @@ class ProtectedRowPointer:
             out[self._n_grouped :] = self.raw[self._n_grouped :] & _LOW31
         return out
 
+    def clean64(self, out: np.ndarray) -> np.ndarray:
+        """Redundancy-stripped values widened into a caller-owned int64 array.
+
+        The decode-free SpMV path keeps a persistent pre-converted index
+        snapshot; this fills it without intermediate uint32 temporaries.
+        """
+        np.copyto(out, self.raw, casting="same_kind")
+        np.bitwise_and(out, np.int64(self.entry_mask), out=out)
+        if self.tail_size:
+            tail = out[self._n_grouped :]
+            np.copyto(tail, self.raw[self._n_grouped :], casting="same_kind")
+            np.bitwise_and(tail, np.int64(_LOW31), out=tail)
+        return out
+
     # ------------------------------------------------------------------
+    def _lanes_synced(self, glo: int = 0, ghi: int | None = None) -> np.ndarray:
+        """Persistent grouped-codeword lanes for groups ``[glo, ghi)``."""
+        n_groups = self._n_grouped // self.group
+        ghi = n_groups if ghi is None else ghi
+        if self._lane_buf is None:
+            n_lanes = (self.group + 1) // 2
+            self._lane_buf = np.empty((n_groups, n_lanes), dtype=np.uint64)
+        pack_u32_lanes(
+            self.raw[glo * self.group : ghi * self.group],
+            self.group,
+            out=self._lane_buf[glo:ghi],
+        )
+        return self._lane_buf[glo:ghi]
     def encode(self) -> None:
         if self.scheme == "sed":
             data = self.raw & _LOW31
@@ -90,7 +126,7 @@ class ProtectedRowPointer:
             return
         if self._n_grouped:
             body = self.raw[: self._n_grouped]
-            lanes = pack_u32_lanes(body, self.group)
+            lanes = self._lanes_synced()
             if self.scheme == "secded64":
                 rowptr_secded64().encode(lanes)
             elif self.scheme == "secded128":
@@ -114,7 +150,7 @@ class ProtectedRowPointer:
             return (np.bitwise_count(self.raw) & np.uint8(1)).astype(bool)
         flags = np.zeros(0, dtype=bool)
         if self._n_grouped:
-            lanes = pack_u32_lanes(self.raw[: self._n_grouped], self.group)
+            lanes = self._lanes_synced()
             if self.scheme == "secded64":
                 flags = rowptr_secded64().detect(lanes)
             elif self.scheme == "secded128":
@@ -128,40 +164,52 @@ class ProtectedRowPointer:
             flags = np.concatenate([flags, tail_flags])
         return flags
 
-    def check(self, correct: bool = True) -> CheckReport:
-        if not correct or self.scheme == "sed":
-            flags = self.detect()
-            return CheckReport(
-                status=np.where(
-                    flags,
-                    np.uint8(CodewordStatus.UNCORRECTABLE),
-                    np.uint8(CodewordStatus.OK),
-                )
-            )
-        status_main = np.zeros(0, dtype=np.uint8)
-        if self._n_grouped:
-            body = self.raw[: self._n_grouped]
-            lanes = pack_u32_lanes(body, self.group)
-            if self.scheme == "secded64":
-                report = rowptr_secded64().check_and_correct(lanes)
-            elif self.scheme == "secded128":
-                report = rowptr_secded128().check_and_correct(lanes)
+    def _code(self):
+        return rowptr_secded64() if self.scheme == "secded64" else rowptr_secded128()
+
+    def check(
+        self, correct: bool = True, window: tuple[int, int] | None = None
+    ) -> CheckReport:
+        """Integrity check, optionally over the codeword range ``window``.
+
+        As for the CSR elements, clean codewords come back as a compact
+        all-OK report so the scheduled hot path allocates nothing
+        proportional to the matrix.
+        """
+        lo, hi = resolve_codeword_window(window, self.n_codewords)
+        if hi <= lo:
+            return CheckReport.all_ok(0)
+        if self.scheme == "sed":
+            return self._check_sed_entries(self.raw[lo:hi])
+        n_groups = self._n_grouped // self.group
+        parts: list[CheckReport] = []
+        glo, ghi = lo, min(hi, n_groups)
+        if glo < ghi:
+            lanes = self._lanes_synced(glo, ghi)
+            if self.scheme == "crc32c":
+                report = self._check_crc(lanes) if correct else self._detect_crc(lanes)
+            elif correct:
+                report = self._code().check_and_correct(lanes)
             else:
-                report = self._check_crc(lanes)
+                report = self._code().detect_report(lanes)
             if report.n_corrected:
+                body = self.raw[glo * self.group : ghi * self.group]
                 body[:] = unpack_u32_lanes(lanes, self.group)
-            status_main = report.status
-        if self.tail_size:
-            tail_flags = (
-                np.bitwise_count(self.raw[self._n_grouped :]) & np.uint8(1)
-            ).astype(bool)
-            tail_status = np.where(
-                tail_flags,
-                np.uint8(CodewordStatus.UNCORRECTABLE),
-                np.uint8(CodewordStatus.OK),
-            )
-            status_main = np.concatenate([status_main, tail_status])
-        return CheckReport(status=status_main)
+            parts.append(report)
+        if hi > n_groups:
+            tlo = self._n_grouped + (max(lo, n_groups) - n_groups)
+            thi = self._n_grouped + (hi - n_groups)
+            parts.append(self._check_sed_entries(self.raw[tlo:thi]))
+        return CheckReport.concat(parts)
+
+    @staticmethod
+    def _check_sed_entries(entries: np.ndarray) -> CheckReport:
+        """Per-entry SED parity verdicts (whole-vector SED and tails)."""
+        flags = (np.bitwise_count(entries) & np.uint8(1)).astype(bool)
+        return CheckReport.from_flags(flags)
+
+    def _detect_crc(self, lanes: np.ndarray) -> CheckReport:
+        return CheckReport.from_flags(self._crc_diff(lanes) != 0)
 
     # -- crc32c internals ---------------------------------------------------
     @staticmethod

@@ -233,21 +233,38 @@ class ProtectedVector:
 
     def _check_impl(self, correct: bool) -> CheckReport:
         if not correct:
-            flags = self.detect()
-            status = np.where(
-                flags, np.uint8(CodewordStatus.UNCORRECTABLE), np.uint8(CodewordStatus.OK)
-            )
-            return CheckReport(status=status)
+            if self._scan_raw() == 0:
+                return CheckReport.all_ok(self.n_codewords)
+            return CheckReport.from_flags(self._detect_raw())
         main = self._check_main()
         if not self.tail_size:
             return main
         tail_flags = parity64(f64_to_u64(self.raw[self._n_grouped :]))
+        if main._status is None and not tail_flags.any():
+            return CheckReport.all_ok(self.n_codewords)
         tail_status = np.where(
             tail_flags.astype(bool),
             np.uint8(CodewordStatus.UNCORRECTABLE),
             np.uint8(CodewordStatus.OK),
         )
         return CheckReport(status=np.concatenate([main.status, tail_status]))
+
+    def _scan_raw(self) -> int:
+        """Corrupted-codeword count over raw storage, allocation-free.
+
+        The SECDED schemes run the backend's fused scan over the in-place
+        lane view; SED/CRC fall back to the flag pass (their vectors are
+        not the allocation-sensitive hot path).
+        """
+        if self.scheme == "secded64":
+            bad = vector_secded64().scan(self._grouped_lanes()) if self._n_grouped else 0
+        elif self.scheme == "secded128":
+            bad = vector_secded128().scan(self._grouped_lanes()) if self._n_grouped else 0
+        else:
+            return int(np.count_nonzero(self._detect_raw()))
+        if self.tail_size:
+            bad += int(np.count_nonzero(parity64(f64_to_u64(self.raw[self._n_grouped :]))))
+        return bad
 
     # ------------------------------------------------------------------
     def _data_mask_word(self) -> np.uint64:
@@ -271,12 +288,11 @@ class ProtectedVector:
         """
         if self._cache is not None:
             return
-        if not trusted:
+        if not trusted and self._scan_raw():
             flags = self._detect_raw()
-            if flags.any():
-                raise DetectedUncorrectableError(
-                    "vector", np.flatnonzero(flags)[:8].tolist()
-                )
+            raise DetectedUncorrectableError(
+                "vector", np.flatnonzero(flags)[:8].tolist()
+            )
         self._cache = self.values()
         self._cache_ro = self._cache.view()
         self._cache_ro.flags.writeable = False

@@ -190,6 +190,7 @@ class ProtectedIteration:
         stats, base = self.policy.stats, self._stats_at_start
         out = {
             "full_checks": stats.full_checks - base.full_checks,
+            "stripe_checks": stats.stripe_checks - base.stripe_checks,
             "bounds_checks": stats.bounds_checks - base.bounds_checks,
             "vector_checks": stats.vector_checks - base.vector_checks,
             "cached_reads": stats.cached_reads - base.cached_reads,

@@ -406,12 +406,24 @@ class TestEngineBookkeeping:
         assert first is second
         assert not first.flags.writeable
 
-    def test_matrix_clean_views_cached_between_checks(self):
+    def test_matrix_clean_views_persistent_across_checks(self):
+        """The snapshot buffers are allocated once and refilled in place."""
         matrix = make_matrix()
         pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
         colidx1, rowptr1 = pmat.clean_views()
         colidx2, rowptr2 = pmat.clean_views()
         assert colidx1 is colidx2 and rowptr1 is rowptr2
+        assert colidx1.dtype == np.int64 and rowptr1.dtype == np.int64
         pmat.check_all()
         colidx3, _ = pmat.clean_views()
-        assert colidx3 is not colidx1
+        assert colidx3 is colidx1  # persistent buffer, not a fresh decode
+
+    def test_clean_views_refreshed_after_correction(self):
+        """A corrected index flip must reach the refilled snapshot."""
+        matrix = make_matrix()
+        pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+        before = pmat.clean_views()[0].copy()
+        pmat.colidx[3] ^= np.uint32(1) << np.uint32(2)
+        pmat.check_all(correct=True)  # repairs the flip in storage
+        after = pmat.clean_views()[0]
+        assert np.array_equal(after, before)

@@ -206,7 +206,12 @@ class TestCachedDiagonal:
         first = pmat.diagonal()
         assert pmat.diagonal() is first  # no re-decode
         pmat.check_all()
-        assert pmat.diagonal() is not first  # invalidated with clean views
+        # A clean check changes no storage, so the cache survives it...
+        assert pmat.diagonal() is first
+        f64_to_u64(pmat.values)[0] ^= np.uint64(1) << np.uint64(50)
+        pmat.check_all(correct=True)
+        # ...while a correcting check invalidates it with the clean views.
+        assert pmat.diagonal() is not first
 
     def test_operator_diagonal_no_longer_decodes_whole_matrix(self, system):
         """The ProtectedOperator diagonal callback rides the matrix cache
