@@ -1,58 +1,76 @@
-"""MTBF study: CG solves under a continuous Poisson soft-error process.
+"""MTBF study: solves under a continuous Poisson soft-error process.
 
 Sweeps the per-bit upset rate across four orders of magnitude and, for
-each protection scheme, runs repeated solves with faults injected *live*
-between iterations — the exascale scenario the paper's introduction
-motivates (shrinking MTBF).  Reports, per (scheme, rate): how many flips
-landed, how many were corrected transparently, how many forced a
-detect-and-reencode recovery, and whether anything survived silently.
+each (protection scheme, recovery strategy), runs a sharded
+time-to-solution campaign with faults injected *live* between iterations
+— the exascale scenario the paper's introduction motivates (shrinking
+MTBF).  Reports, per configuration: how many upsets landed, how many
+trials survived a DUE in-solve (recovered), how many were aborted by an
+unrecovered DUE, and the mean wall time per solve — the resilience
+cost/benefit matrix, not just detection rates.
 
-Run:  python examples/mtbf_study.py
+Run:  python examples/mtbf_study.py [--workers N]
 """
+
+import argparse
 
 import numpy as np
 
+import repro
 from repro.csr import five_point_operator
-from repro.faults import PoissonProcess, faulty_cg_solve
-from repro.protect import CheckPolicy, ProtectedCSRMatrix
+from repro.faults import CampaignTask, run_sharded_campaign
+from repro.recover import RecoveryPolicy
 
-SCHEMES = [("sed", "sed"), ("secded64", "secded64"), ("crc32c", "crc32c")]
+#: (element/rowptr scheme, recovery strategy) axis of the study.
+CONFIGS = [
+    ("secded64", None),          # correction absorbs single flips
+    ("sed", None),               # detection-only: DUEs abort the run
+    ("sed", "repopulate"),       # ...or are repaired in place
+    ("sed", "rollback"),         # ...or roll back to a checkpoint
+]
 RATES = [1e-8, 1e-7, 1e-6, 1e-5]
-RUNS = 10
+TRIALS = 10
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
     rng = np.random.default_rng(0)
     matrix = five_point_operator(
         16, 16, rng.uniform(0.5, 2.0, (16, 16)), rng.uniform(0.5, 2.0, (16, 16)), 0.3
     )
     b = rng.standard_normal(matrix.n_rows)
+    # One clean reference solve; every shard classifies against it.
+    reference = repro.solve(matrix, b, method="cg", eps=1e-20, max_iters=2000)
 
-    print(f"{'scheme':>20} {'rate/bit/iter':>14} {'flips':>6} {'corrected':>10} "
-          f"{'DUE-recov':>10} {'silent':>7} {'converged':>10}")
-    for es, rs in SCHEMES:
+    print(f"{'scheme':>9} {'recovery':>10} {'rate/bit/iter':>14} {'flips':>6} "
+          f"{'recovered':>10} {'aborted':>8} {'silent':>7} {'ms/solve':>9}")
+    for scheme, strategy in CONFIGS:
+        recovery = None
+        if strategy is not None:
+            recovery = RecoveryPolicy(strategy=strategy, max_retries=64,
+                                      checkpoint_interval=4)
         for rate in RATES:
-            flips = corrected = dues = silent = converged = 0
-            for run in range(RUNS):
-                pmat = ProtectedCSRMatrix(matrix, es, rs)
-                proc = PoissonProcess(
-                    rate, rng=np.random.default_rng(1000 * run + int(rate * 1e10))
-                )
-                report = faulty_cg_solve(
-                    pmat, b, proc, eps=1e-20, max_iters=400,
-                    policy=CheckPolicy(interval=1, correct=True),
-                )
-                flips += report.injected
-                corrected += report.corrected
-                dues += report.detected_uncorrectable
-                silent += report.silent_at_end
-                converged += bool(report.result and report.result.converged)
-            print(f"{es + '+' + rs:>20} {rate:>14.0e} {flips:>6} {corrected:>10} "
-                  f"{dues:>10} {silent:>7} {converged:>8}/{RUNS}")
+            task = CampaignTask("poisson", dict(
+                matrix=matrix, b=b, rate=rate, method="cg",
+                element_scheme=scheme, rowptr_scheme=scheme,
+                vector_scheme=None, interval=1, recovery=recovery,
+                eps=1e-20, max_iters=2000, reference_x=reference.x,
+            ))
+            res = run_sharded_campaign(task, TRIALS, workers=args.workers,
+                                       shard_size=5)
+            silent = res.sdc_rate * res.n_trials
+            print(f"{scheme:>9} {strategy or 'raise':>10} {rate:>14.0e} "
+                  f"{res.info['injected']:>6} {res.info['recovered']:>10} "
+                  f"{res.info['aborted']:>8} {silent:>7.0f} "
+                  f"{res.info['mean_time'] * 1e3:>9.2f}")
         print()
-    print("Reading: SECDED/CRC absorb upsets transparently (corrected);")
-    print("SED pays detect-and-reencode recoveries (DUE-recov) but, like the")
-    print("others, ends every run with zero silent corruption.")
+    print("Reading: SECDED absorbs upsets transparently; detection-only SED")
+    print("aborts on every DUE unless a recovery strategy is armed, in which")
+    print("case the run survives in-solve (recovered) at a small time cost —")
+    print("and every configuration ends with zero silent corruption.")
 
 
 if __name__ == "__main__":

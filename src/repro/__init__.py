@@ -10,7 +10,10 @@ The one protection API (see README's "One API" section):
 * :func:`repro.solve` — any registered method (``cg`` / ``ppcg`` /
   ``jacobi`` / ``chebyshev``) under any protection;
 * :class:`repro.ProtectionSession` — one deferred-verification engine
-  shared across many solves/time-steps.
+  shared across many solves/time-steps;
+* :class:`repro.RecoveryPolicy` — what happens when a DUE surfaces:
+  ``raise`` (historical), ``repopulate`` or ``rollback`` with retry
+  budgets, so a detected-uncorrectable error no longer kills the solve.
 
 Public surface (see README.md for a guided tour):
 
@@ -24,14 +27,16 @@ Public surface (see README.md for a guided tour):
 
 from repro.protect.config import ProtectionConfig
 from repro.protect.session import ProtectionSession
+from repro.recover import RecoveryPolicy
 from repro.solvers.registry import available_methods, solve
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     "ProtectionConfig",
     "ProtectionSession",
+    "RecoveryPolicy",
     "available_methods",
     "solve",
 ]

@@ -80,7 +80,7 @@ def _cmd_campaign(args) -> int:
 
     from repro.csr import five_point_operator
     from repro.faults import (
-        MultiBitFlip, Region, SingleBitFlip, run_matrix_campaign,
+        CampaignTask, MultiBitFlip, Region, SingleBitFlip, run_sharded_campaign,
     )
 
     rng = np.random.default_rng(args.seed)
@@ -89,9 +89,12 @@ def _cmd_campaign(args) -> int:
     )
     for model in (SingleBitFlip(), MultiBitFlip(k=2, spread=0)):
         for scheme in ("sed", "secded64", "secded128", "crc32c"):
-            res = run_matrix_campaign(
-                matrix, scheme, scheme, Region.VALUES, model,
-                n_trials=args.trials, seed=args.seed,
+            task = CampaignTask("matrix", dict(
+                matrix=matrix, element_scheme=scheme, rowptr_scheme=scheme,
+                region=Region.VALUES, model=model,
+            ))
+            res = run_sharded_campaign(
+                task, args.trials, workers=args.workers, seed=args.seed,
             )
             print(res.row())
     return 0
@@ -148,6 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("campaign", help="fault-injection campaigns")
     p.add_argument("--trials", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the trials over a process pool "
+                        "(python -m repro.faults.campaign has the full CLI)")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("anchors", help="paper numbers vs platform model")

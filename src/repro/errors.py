@@ -89,6 +89,11 @@ class Outcome(enum.Enum):
     MISCORRECTED = "miscorrected"
     #: Range check caught the corruption before an OOB access (DUE-like).
     BOUNDS = "bounds"
+    #: The checks missed it but the solver failed to converge — the
+    #: residual exposed the corruption at the application level.  Not an
+    #: SDC (nothing wrong was *trusted*), but not a scheme detection
+    #: either; campaigns report it separately from SILENT.
+    RESIDUAL = "residual"
 
     @property
     def is_sdc(self) -> bool:
@@ -98,4 +103,6 @@ class Outcome(enum.Enum):
     @property
     def is_detected(self) -> bool:
         """True when the application learned that corruption happened."""
-        return self in (Outcome.CORRECTED, Outcome.DETECTED, Outcome.BOUNDS)
+        return self in (
+            Outcome.CORRECTED, Outcome.DETECTED, Outcome.BOUNDS, Outcome.RESIDUAL
+        )

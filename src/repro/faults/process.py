@@ -2,10 +2,22 @@
 
 The exascale motivation is falling MTBF; this module models a memory
 subject to a Poisson soft-error process (rate per bit per unit time, as
-the DRAM field studies report) and drives injection *during* a TeaLeaf
-run — between CG iterations, which is when real upsets strike — so the
+the DRAM field studies report) and drives injection *during* a solve —
+between iterations, which is when real upsets strike — so the
 deferred-checking semantics of §VI.A.2 (errors discovered up to N
 iterations late, mandatory end-of-step sweep) can be observed end to end.
+
+Two drivers:
+
+* :func:`faulty_solve` — the registry-threaded harness: any solver
+  method, any :class:`~repro.protect.config.ProtectionConfig` (including
+  its ``recovery=`` strategy), faults injected through the engine's
+  iteration hook into the matrix *and* the live protected state vectors.
+  This is what the resilience campaigns and the sharded executor run.
+* :func:`faulty_cg_solve` — the original hand-rolled eager-CG loop with
+  explicit re-encode/abort handling, kept for the MTBF ablation (it
+  predates the recovery layer and demonstrates application-level
+  re-encode without it).
 """
 
 from __future__ import annotations
@@ -15,7 +27,7 @@ import dataclasses
 import numpy as np
 
 from repro.errors import BoundsViolationError, DetectedUncorrectableError
-from repro.faults.injector import Region, inject_into_matrix
+from repro.faults.injector import Region, inject_into_matrix, inject_into_vector
 from repro.faults.models import FaultSpec
 from repro.protect.kernels import verify_matrix
 from repro.protect.matrix import ProtectedCSRMatrix
@@ -65,6 +77,18 @@ class PoissonProcess:
                 )
         return events
 
+    def sample_vector(
+        self, n_elements: int, exposure: float = 1.0, bits: int = 64
+    ) -> list[FaultSpec]:
+        """Draw upsets over one dense vector's stored doubles."""
+        return [
+            FaultSpec(
+                int(self.rng.integers(0, n_elements)),
+                int(self.rng.integers(0, bits)),
+            )
+            for _ in range(self.advance(n_elements * bits, exposure))
+        ]
+
 
 @dataclasses.dataclass
 class FaultyRunReport:
@@ -78,11 +102,132 @@ class FaultyRunReport:
     silent_at_end: int
     #: Iterations at which at least one fault was injected.
     injection_iterations: list[int]
+    #: In-solve recoveries the recovery layer performed (rollbacks +
+    #: repopulates + transparent vector repairs); 0 without a recovery
+    #: strategy.
+    recovered: int = 0
+    #: The recovery strategy that was in force.
+    recovery: str = "raise"
 
     @property
     def all_accounted(self) -> bool:
         """True when no injected corruption survived undetected."""
         return self.silent_at_end == 0
+
+
+def faulty_solve(
+    matrix,
+    b: np.ndarray,
+    process: PoissonProcess,
+    *,
+    method: str = "cg",
+    config=None,
+    recovery=None,
+    x0: np.ndarray | None = None,
+    eps: float = 1e-16,
+    max_iters: int = 500,
+    vector_faults: bool = True,
+) -> FaultyRunReport:
+    """Any registry solver under a live fault process, with recovery.
+
+    Faults are injected at iteration boundaries through the engine's
+    iteration hook: matrix upsets are sampled area-weighted across all
+    three CSR regions (and made live by invalidating the cached index
+    snapshot, as a real storage upset would be), and — when
+    ``vector_faults`` — the solve's registered protected state vectors
+    take Poisson hits too.
+
+    ``config`` is a :class:`~repro.protect.config.ProtectionConfig`
+    (default: the paper's full protection); ``recovery`` overrides its
+    recovery policy (a strategy name or
+    :class:`~repro.recover.policy.RecoveryPolicy`).  With an escalating
+    strategy, DUEs route through the checkpointed recovery layer and the
+    run reports how many times it survived; with ``"raise"`` the first
+    unrecovered DUE aborts the run (``result=None``), matching the
+    historical surface.
+    """
+    from repro.protect.config import ProtectionConfig
+    from repro.solvers.registry import get_method
+
+    cfg = config if config is not None else ProtectionConfig.paper_default()
+    if recovery is not None:
+        cfg = cfg.replace(recovery=recovery)
+    pmat = cfg.wrap_matrix(matrix)
+    pristine = pmat.to_csr()
+    engine = cfg.engine()
+
+    state = {"iter": 0, "injected": 0}
+    injection_iters: list[int] = []
+
+    def _between_iterations() -> None:
+        changed = 0
+        events = process.sample_region(pmat)
+        for region, spec in events:
+            changed += inject_into_matrix(pmat, region, [spec])
+        if events:
+            # The SpMV consumes cached clean index views; drop them so
+            # injected corruption is live in this iteration's compute.
+            pmat.invalidate_clean_views()
+        if vector_faults:
+            for vec in engine.registered_vectors().values():
+                changed += inject_into_vector(
+                    vec, process.sample_vector(len(vec))
+                )
+        if changed:
+            injection_iters.append(state["iter"])
+        state["injected"] += changed
+        state["iter"] += 1
+
+    engine.add_iteration_hook(_between_iterations)
+
+    runner = get_method(method)
+    result = None
+    dues = bounds_trips = 0
+    try:
+        result = runner.protected(
+            pmat, b, x0, eps=eps, max_iters=max_iters,
+            engine=engine, vector_scheme=cfg.vector_scheme,
+        )
+    except DetectedUncorrectableError:
+        dues += 1
+    except BoundsViolationError:
+        bounds_trips += 1
+
+    manager = engine.recovery
+    recovered = 0
+    strategy = "raise"
+    if manager is not None:
+        strategy = manager.strategy
+        recovered = manager.stats.total_recoveries
+        # Escalations (including the one that may have aborted the run)
+        # plus transparent repairs are each one DUE detection; the
+        # caught exception above was already counted by the manager.
+        dues = manager.stats.dues + manager.stats.vector_repairs
+
+    # Anything the checks and the recovery layer both missed shows up as
+    # decoded matrix content that differs from pristine after the run's
+    # mandatory sweep (vector state has no pristine reference — its
+    # ground truth is the returned solution, which campaigns compare).
+    silent = 0
+    if result is not None:
+        decoded = pmat.to_csr()
+        if not (
+            np.array_equal(decoded.values, pristine.values)
+            and np.array_equal(decoded.colidx, pristine.colidx)
+            and np.array_equal(decoded.rowptr, pristine.rowptr)
+        ):
+            silent = 1
+    return FaultyRunReport(
+        result=result,
+        injected=state["injected"],
+        corrected=engine.policy.stats.corrected,
+        detected_uncorrectable=dues,
+        bounds_trips=bounds_trips,
+        silent_at_end=silent,
+        injection_iterations=injection_iters,
+        recovered=recovered,
+        recovery=strategy,
+    )
 
 
 def faulty_cg_solve(
@@ -136,7 +281,7 @@ def faulty_cg_solve(
                 dues += 1
             if on_due == "abort":
                 break
-            _reencode_from(matrix, pristine)
+            matrix.reencode_from(pristine)
             continue  # retry the iteration on repaired data
         pw = float(np.dot(p, w))
         if pw == 0.0:
@@ -162,7 +307,7 @@ def faulty_cg_solve(
         verify_matrix(matrix, policy, force=True)
     except DetectedUncorrectableError:
         dues += 1
-        _reencode_from(matrix, pristine)
+        matrix.reencode_from(pristine)
     decoded = matrix.to_csr()
     if not (
         np.array_equal(decoded.values, pristine.values)
@@ -181,14 +326,3 @@ def faulty_cg_solve(
     )
 
 
-def _reencode_from(matrix: ProtectedCSRMatrix, pristine) -> None:
-    """Restore a protected matrix's stored arrays from pristine data."""
-    np.copyto(matrix.values, pristine.values)
-    np.copyto(matrix.colidx, pristine.colidx)
-    if hasattr(matrix.elements, "encode"):
-        matrix.elements.encode()
-    rp = matrix.rowptr_protected
-    if hasattr(rp, "encode"):
-        np.copyto(rp.raw, pristine.rowptr)
-        rp.encode()
-    matrix.invalidate_clean_views()

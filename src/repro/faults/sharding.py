@@ -1,0 +1,230 @@
+"""Sharded parallel campaign execution: minutes instead of hours.
+
+Fault-injection campaigns are embarrassingly parallel — every trial is
+independent — but determinism must survive the parallelism: a campaign
+must produce *bitwise-identical* merged counts whether it runs on 1
+worker or 16.  The executor gets that by decomposing the trial count
+into fixed-size shards first (the decomposition depends only on
+``n_trials``, ``shard_size`` and ``seed``, never on the worker count)
+and deriving each shard's RNG from its own
+:meth:`numpy.random.SeedSequence.spawn` child.  Shards then run on a
+``multiprocessing`` spawn pool (spawn, not fork: BLAS thread pools and
+fork do not mix), stream one JSONL record each as they finish, and merge
+by summing counts.
+
+    spec = CampaignTask("matrix", dict(matrix=A, element_scheme="sed", ...))
+    result = run_sharded_campaign(spec, n_trials=200, workers=4,
+                                  out="campaign.jsonl")
+
+``python -m repro.faults.campaign`` is the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+
+import numpy as np
+
+from repro.errors import ConfigurationError, Outcome
+from repro.faults.campaign import (
+    CampaignResult,
+    run_matrix_campaign,
+    run_poisson_campaign,
+    run_solver_campaign,
+    run_vector_campaign,
+)
+
+#: Campaign kind → runner.  Every runner accepts ``n_trials`` and a
+#: ``seed`` that may be a SeedSequence; everything else rides in
+#: :attr:`CampaignTask.params`.
+CAMPAIGN_KINDS = {
+    "matrix": run_matrix_campaign,
+    "vector": run_vector_campaign,
+    "solver": run_solver_campaign,
+    "poisson": run_poisson_campaign,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignTask:
+    """One campaign to shard: which runner, and its fixed parameters.
+
+    ``params`` must be picklable (shards cross a process boundary) and
+    must not contain ``n_trials`` or ``seed`` — the executor owns both.
+    """
+
+    kind: str
+    params: dict
+
+    def __post_init__(self):
+        if self.kind not in CAMPAIGN_KINDS:
+            raise ConfigurationError(
+                f"unknown campaign kind {self.kind!r}; "
+                f"choose from {sorted(CAMPAIGN_KINDS)}"
+            )
+        overlap = {"n_trials", "seed"} & set(self.params)
+        if overlap:
+            raise ConfigurationError(
+                f"{sorted(overlap)} belong to the executor, not CampaignTask.params"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class Shard:
+    """One unit of campaign work: a trial slice with its own RNG stream."""
+
+    index: int
+    n_trials: int
+    seed: np.random.SeedSequence
+
+
+def plan_shards(
+    n_trials: int, seed: int = 0, shard_size: int = 50
+) -> list[Shard]:
+    """Deterministic shard decomposition, independent of worker count.
+
+    ``SeedSequence(seed).spawn`` gives every shard a statistically
+    independent stream whose derivation depends only on the shard index
+    — the whole point: the same (n_trials, seed, shard_size) plan merges
+    to bitwise-identical counts no matter how the shards are scheduled.
+    """
+    if n_trials < 1:
+        raise ConfigurationError("n_trials must be >= 1")
+    if shard_size < 1:
+        raise ConfigurationError("shard_size must be >= 1")
+    n_shards = -(-n_trials // shard_size)
+    seeds = np.random.SeedSequence(seed).spawn(n_shards)
+    return [
+        Shard(
+            index=i,
+            n_trials=min(shard_size, n_trials - i * shard_size),
+            seed=seeds[i],
+        )
+        for i in range(n_shards)
+    ]
+
+
+def _run_shard(job: tuple[CampaignTask, Shard]) -> dict:
+    """Pool worker: run one shard, return a JSON-serialisable record."""
+    task, shard = job
+    runner = CAMPAIGN_KINDS[task.kind]
+    result = runner(**task.params, n_trials=shard.n_trials, seed=shard.seed)
+    return shard_record(shard, result)
+
+
+def shard_record(shard: Shard, result: CampaignResult) -> dict:
+    """The JSONL line for one finished shard."""
+    return {
+        "shard": shard.index,
+        "n_trials": result.n_trials,
+        "scheme": result.scheme,
+        "region": result.region,
+        "model": result.model,
+        "counts": {outcome.value: n for outcome, n in result.counts.items()},
+        "info": result.info,
+    }
+
+
+#: Info keys that are per-shard tallies (summed at merge); ``mean_*``
+#: keys are trial-weighted averages; anything else is a campaign
+#: parameter, identical across shards, taken from the first record.
+_SUMMED_INFO_KEYS = {"recovered", "aborted", "injected"}
+
+
+def merge_records(records: list[dict]) -> CampaignResult:
+    """Fold shard records into one :class:`CampaignResult`.
+
+    Counts (and the tally info keys) are summed, ``mean_*`` info keys
+    are trial-weighted averages, campaign parameters come from the
+    first shard.  Record order does not matter — merging is
+    commutative, which is what lets an unordered pool stream results as
+    they finish.
+    """
+    if not records:
+        raise ConfigurationError("cannot merge an empty record list")
+    records = sorted(records, key=lambda r: r["shard"])
+    total = sum(r["n_trials"] for r in records)
+    counts: dict[Outcome, int] = {}
+    for record in records:
+        for key, n in record["counts"].items():
+            outcome = Outcome(key)
+            counts[outcome] = counts.get(outcome, 0) + n
+    info: dict = {"shards": len(records)}
+    for record in records:
+        for key, value in record["info"].items():
+            if key in _SUMMED_INFO_KEYS:
+                info[key] = info.get(key, 0) + value
+            elif key.startswith("mean_"):
+                info[key] = info.get(key, 0.0) + value * record["n_trials"] / total
+            else:
+                info.setdefault(key, value)
+    first = records[0]
+    return CampaignResult(
+        scheme=first["scheme"],
+        region=first["region"],
+        model=first["model"],
+        n_trials=total,
+        counts=counts,
+        info=info,
+    )
+
+
+def merge_jsonl(path) -> CampaignResult:
+    """Rebuild a merged :class:`CampaignResult` from a shard JSONL file."""
+    with open(path) as fh:
+        records = [json.loads(line) for line in fh if line.strip()]
+    return merge_records(records)
+
+
+def run_sharded_campaign(
+    task: CampaignTask,
+    n_trials: int,
+    *,
+    workers: int = 1,
+    seed: int = 0,
+    shard_size: int = 50,
+    out=None,
+) -> CampaignResult:
+    """Run one campaign split into shards, serially or on a spawn pool.
+
+    Parameters
+    ----------
+    workers:
+        ``<= 1`` runs the shards in-process (same plan, same results —
+        the determinism guarantee is exactly this equivalence); ``> 1``
+        fans them out over a ``multiprocessing`` spawn pool, capped at
+        the shard count.
+    shard_size:
+        Trials per shard.  Part of the deterministic plan: changing it
+        changes each shard's RNG stream (and therefore the sampled
+        faults), so compare runs only at a fixed shard size.
+    out:
+        Optional JSONL path; one record per shard is appended as it
+        completes, so a killed campaign keeps its finished shards
+        (:func:`merge_jsonl` rebuilds the partial result).
+    """
+    shards = plan_shards(n_trials, seed=seed, shard_size=shard_size)
+    jobs = [(task, shard) for shard in shards]
+    sink = open(out, "w") if out is not None else None
+    records: list[dict] = []
+
+    def _drain(results) -> None:
+        for record in results:
+            records.append(record)
+            if sink is not None:
+                sink.write(json.dumps(record) + "\n")
+                sink.flush()
+
+    try:
+        if workers <= 1 or len(jobs) == 1:
+            _drain(map(_run_shard, jobs))
+        else:
+            ctx = multiprocessing.get_context("spawn")
+            with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+                _drain(pool.imap_unordered(_run_shard, jobs))
+    finally:
+        if sink is not None:
+            sink.close()
+    return merge_records(records)

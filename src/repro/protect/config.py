@@ -29,6 +29,8 @@ from repro.protect.base import ELEMENT_SCHEMES, ROWPTR_SCHEMES, VECTOR_SCHEMES
 from repro.protect.engine import DeferredVerificationEngine
 from repro.protect.matrix import ProtectedCSRMatrix
 from repro.protect.policy import CheckPolicy
+from repro.recover.manager import RecoveryManager
+from repro.recover.policy import RecoveryPolicy
 
 
 def _check_scheme(scheme: str | None, table: dict[str, int], kind: str) -> None:
@@ -73,6 +75,13 @@ class ProtectionConfig:
         to ``REPRO_BACKEND`` / the ``numpy_fused`` default; ``"numba"``
         selects the jitted kernels where numba is installed (and falls
         back cleanly where it is not).
+    recovery:
+        What happens when a DUE surfaces mid-solve: ``None`` (or the
+        ``"raise"`` strategy) re-raises as always; a
+        :class:`~repro.recover.policy.RecoveryPolicy` — or its string
+        shorthand ``"repopulate"`` / ``"rollback"`` — routes the error
+        through the checkpointed recovery layer so the solve survives
+        (see :mod:`repro.recover`).
     """
 
     element_scheme: str | None = "secded64"
@@ -84,6 +93,7 @@ class ProtectionConfig:
     correct: bool = True
     stripes: int = 1
     backend: str | None = None
+    recovery: RecoveryPolicy | str | None = None
 
     def __post_init__(self):
         _check_scheme(self.element_scheme, ELEMENT_SCHEMES, "element")
@@ -95,6 +105,9 @@ class ProtectionConfig:
             raise ConfigurationError("vector_interval must be >= 0")
         if self.stripes < 1:
             raise ConfigurationError("stripes must be >= 1")
+        # Normalise the string shorthand so configs stay hashable and
+        # comparisons ("rollback" vs RecoveryPolicy("rollback")) agree.
+        object.__setattr__(self, "recovery", RecoveryPolicy.coerce(self.recovery))
 
     # -- presets --------------------------------------------------------
     @classmethod
@@ -133,6 +146,25 @@ class ProtectionConfig:
         return cls(element_scheme=scheme, rowptr_scheme=scheme, vector_scheme=None,
                    interval=interval, correct=correct)
 
+    @classmethod
+    def resilient(cls, window: int = 16, scheme: str = "secded64",
+                  strategy: str = "rollback", max_retries: int = 3,
+                  checkpoint_interval: int = 8) -> "ProtectionConfig":
+        """Full deferred protection that *survives* DUEs instead of dying.
+
+        :meth:`deferred` plus a recovery policy: uncorrectable detections
+        route through the checkpointed recovery layer (``strategy`` is
+        ``"rollback"`` or ``"repopulate"``) and the solve converges
+        anyway, which is the paper's end-to-end "fully protecting"
+        claim.
+        """
+        return cls.deferred(window=window, scheme=scheme).replace(
+            recovery=RecoveryPolicy(
+                strategy=strategy, max_retries=max_retries,
+                checkpoint_interval=checkpoint_interval,
+            )
+        )
+
     # -- derived views --------------------------------------------------
     @property
     def protects_matrix(self) -> bool:
@@ -163,8 +195,19 @@ class ProtectionConfig:
         )
 
     def engine(self) -> DeferredVerificationEngine:
-        """A fresh engine scheduled by :meth:`policy` on this config's backend."""
-        return DeferredVerificationEngine(self.policy(), backend=self.backend)
+        """A fresh engine scheduled by :meth:`policy` on this config's backend.
+
+        When the config carries an escalating recovery policy the engine
+        gets its own :class:`~repro.recover.manager.RecoveryManager`;
+        the ``"raise"`` strategy (and ``None``) keep the historical
+        DUE-unwinds-the-solve surface with zero extra machinery.
+        """
+        manager = None
+        if self.recovery is not None and self.recovery.escalates:
+            manager = RecoveryManager(self.recovery)
+        return DeferredVerificationEngine(
+            self.policy(), backend=self.backend, recovery=manager
+        )
 
     def wrap_matrix(self, matrix) -> ProtectedCSRMatrix:
         """Encode a CSR matrix per this config (idempotent on wrapped input).

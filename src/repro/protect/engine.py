@@ -53,16 +53,26 @@ class DeferredVerificationEngine:
     ``backend`` pins a kernel backend (see :mod:`repro.backends`) for
     this engine's SpMVs and verification passes; ``None`` follows the
     process default (``REPRO_BACKEND`` or ``numpy_fused``).
+
+    ``recovery`` attaches a :class:`~repro.recover.manager.RecoveryManager`:
+    a vector check that finds uncorrectable damage first offers the
+    manager a transparent repair (rebuild from the authoritative plain
+    cache — sound because reads never consume raw storage) before
+    raising; matrix damage always escalates, because deferred checking
+    means SpMVs may already have consumed it and only the solver can
+    restart its recurrence.
     """
 
     def __init__(self, policy: CheckPolicy | None = None,
-                 backend: str | None = None):
+                 backend: str | None = None, recovery=None):
         self.policy = policy or CheckPolicy(interval=1, correct=True)
         self.backend = None if backend is None else backends.get_backend(backend)
+        self.recovery = recovery
         self._vectors: dict[int, tuple[str, ProtectedVector]] = {}
         self._matrices: dict[int, tuple[str, ProtectedCSRMatrix]] = {}
         self._read_since_check: set[int] = set()
         self._stripe_cursor: dict[int, int] = {}
+        self._iteration_hooks: list = []
 
     @property
     def stats(self):
@@ -93,6 +103,26 @@ class DeferredVerificationEngine:
         self._matrices.pop(key, None)
         self._read_since_check.discard(key)
         self._stripe_cursor.pop(key, None)
+
+    def registered_vectors(self) -> dict[str, ProtectedVector]:
+        """Name → vector mapping of the currently tracked dense regions.
+
+        The live-injection harness (:mod:`repro.faults.process`) uses
+        this to aim upsets at whatever state the current solve actually
+        keeps in protected storage.
+        """
+        return {name: vector for name, vector in self._vectors.values()}
+
+    def add_iteration_hook(self, hook) -> None:
+        """Run ``hook()`` at every iteration boundary, before any checks.
+
+        Iteration boundaries (:meth:`begin_iteration`) are where real
+        upsets strike relative to the check schedule, so the fault
+        process injects here; anything else that must observe the solve
+        at iteration granularity (progress callbacks, adaptive policies)
+        can attach the same way.
+        """
+        self._iteration_hooks.append(hook)
 
     # -- data path ------------------------------------------------------
     def read(self, vector: ProtectedVector) -> np.ndarray:
@@ -163,6 +193,8 @@ class DeferredVerificationEngine:
 
         Returns True when a vector check round ran this iteration.
         """
+        for hook in self._iteration_hooks:
+            hook()
         if not self._vectors or not self.policy.vector_check_due():
             return False
         with backends.active(self.backend):
@@ -233,10 +265,21 @@ class DeferredVerificationEngine:
         self.policy.stats.corrected += report.n_corrected
         self.policy.stats.uncorrectable += report.n_uncorrectable
         self._read_since_check.discard(id(vector))
-        if not report.ok:
-            raise DetectedUncorrectableError(
-                name, report.uncorrectable_indices()[:8].tolist()
-            )
+        if report.ok:
+            return
+        # Recovery hook: raw-storage corruption is never consumed (reads
+        # come from the cache), so a cache rebuild is content-exact and
+        # the solve continues as if the flip never happened.  The repair
+        # is only trusted after it passes a fresh check.
+        if self.recovery is not None and self.recovery.repair_vector(name, vector):
+            report = vector.check(correct=self.policy.correct)
+            self.policy.stats.vector_checks += 1
+            if report.ok:
+                self.recovery.note_vector_repaired()
+                return
+        raise DetectedUncorrectableError(
+            name, report.uncorrectable_indices()[:8].tolist()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

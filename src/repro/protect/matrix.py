@@ -318,6 +318,26 @@ class ProtectedCSRMatrix:
             out=out,
         )
 
+    def reencode_from(self, source: CSRMatrix) -> None:
+        """Rebuild stored data *and* redundancy from a pristine source.
+
+        The ABFT recovery primitive: after a DUE the application owns a
+        clean copy of the (solve-invariant) matrix and can restore the
+        protected storage from it without any checkpoint/restart —
+        values and indices are overwritten, the schemes' check bits are
+        re-derived, and the cached index snapshot is invalidated so the
+        next SpMV re-validates against the repaired storage.
+        """
+        np.copyto(self.values, source.values)
+        np.copyto(self.colidx, source.colidx)
+        if hasattr(self.elements, "encode"):
+            self.elements.encode()
+        rp = self.rowptr_protected
+        np.copyto(rp.raw, source.rowptr)
+        if hasattr(rp, "encode"):
+            rp.encode()
+        self.invalidate_clean_views()
+
     def to_csr(self) -> CSRMatrix:
         """Decode to a plain CSR matrix (cleaned indices, same values)."""
         return CSRMatrix(

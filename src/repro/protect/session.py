@@ -64,6 +64,16 @@ class ProtectionSession:
         """Cumulative policy counters across every solve so far."""
         return self.engine.policy.stats if self.engine is not None else None
 
+    @property
+    def recovery(self):
+        """The session's :class:`~repro.recover.manager.RecoveryManager`.
+
+        ``None`` when protection is off or the config's recovery policy
+        is absent / ``"raise"``.  Shared by every solve in the session;
+        the retry budget resets per solve, the stats accumulate.
+        """
+        return self.engine.recovery if self.engine is not None else None
+
     def pending_windows(self) -> int:
         """Dirty windows currently open across the session's regions.
 
@@ -168,6 +178,21 @@ class ProtectionSession:
         finally:
             for region in retired:
                 self.engine.unregister(region)
+
+    def abort_step(self) -> None:
+        """Reset the schedule after a failed solve, without counting a step.
+
+        :meth:`solve` already released every tracked region when the
+        integrity error unwound, so there is nothing left to sweep; what
+        remains is restarting the check phase so a caller that recovers
+        at *step* granularity (rebuild inputs from pristine state, redo
+        the step — the TeaLeaf driver's mode) re-enters a clean window
+        instead of inheriting the failed one's counters mid-phase.
+        """
+        if self.engine is None:
+            return
+        self._release_all()
+        self.engine.policy.reset()
 
     def end_step(self) -> None:
         """The mandatory sweep: flush, verify, release, restart the phase.

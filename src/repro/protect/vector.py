@@ -208,6 +208,25 @@ class ProtectedVector:
         self._refresh_cache_slice(lo, hi)
         return (lo, hi)
 
+    def rebuild_from_cache(self) -> bool:
+        """Re-encode raw storage from the authoritative plain cache.
+
+        The recovery path for raw-storage corruption: reads are served
+        from the cache (populated under verification and refreshed by
+        every committed store), so a flip that lands in stored bits is
+        never consumed by compute — rewriting storage from the cache
+        restores exactly the content the solver has been working with,
+        including any still-buffered dirty window.  Returns False when
+        no cache exists (nothing authoritative to rebuild from).
+        """
+        if self._cache is None:
+            return False
+        self._dirty = None
+        np.copyto(self.raw, self._cache)
+        self._encode_all()
+        self._refresh_cache_slice(0, self.raw.size)
+        return True
+
     # -- integrity -------------------------------------------------------
     def detect(self) -> np.ndarray:
         """Boolean corrupted-flag per codeword, without correction.

@@ -1,0 +1,48 @@
+"""DUE recovery: checkpointed survival instead of a dead solve.
+
+The paper's "fully protecting" claim is end-to-end: a detected
+*uncorrectable* error (DUE) must not kill the run — the application
+recovers and converges anyway, which it highlights as ABFT's advantage
+over checkpoint/restart from disk.  Selective-reliability solvers
+(Bridges et al.) and fault-oblivious erasure-coded solvers (Gleich et
+al.) both show that the recovery path is where resilience actually pays
+off; detection alone just converts crashes into exceptions.
+
+This package is that recovery path, layered under the deferred
+verification engine:
+
+* :class:`RecoveryPolicy` — *what to do* on a DUE: ``"raise"`` (the
+  historical behaviour, default), ``"repopulate"`` (rebuild the damaged
+  container from its pristine source / authoritative cache and restart
+  the recurrence in place) or ``"rollback"`` (restore the last solver
+  checkpoint and resume), with a per-solve retry budget;
+* :class:`CheckpointStore` — in-memory snapshots of the solver's live
+  state vectors plus the pristine matrix source captured right after the
+  up-front forced verification;
+* :class:`RecoveryManager` — the runtime: budget accounting, the
+  engine-side transparent vector repair hook and the solver-side
+  escalation decision.
+
+The engine consults the manager when a scheduled check fails; the
+:class:`~repro.solvers.toolkit.ProtectedIteration` context exposes
+``maybe_checkpoint``/``recover`` so every registry solver becomes
+restartable mid-solve.
+"""
+
+from repro.recover.checkpoint import Checkpoint, CheckpointStore
+from repro.recover.manager import RecoveryManager, RecoveryStats
+from repro.recover.policy import (
+    RECOVERABLE_ERRORS,
+    RECOVERY_STRATEGIES,
+    RecoveryPolicy,
+)
+
+__all__ = [
+    "RECOVERABLE_ERRORS",
+    "RECOVERY_STRATEGIES",
+    "Checkpoint",
+    "CheckpointStore",
+    "RecoveryManager",
+    "RecoveryPolicy",
+    "RecoveryStats",
+]

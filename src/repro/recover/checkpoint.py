@@ -1,0 +1,103 @@
+"""In-memory checkpoints: solver state snapshots + pristine sources.
+
+Two kinds of data live here, with different lifetimes:
+
+* **matrix sources** — a decoded pristine copy of each protected matrix,
+  captured right after the up-front forced verification (so it is a
+  *verified-clean* copy).  The matrix never changes during a solve, so
+  ``repopulate`` can rebuild storage + redundancy from it at any point.
+* **solver checkpoints** — rolling snapshots of the solver's live state
+  vectors (taken from their authoritative decoded values, so a buffered
+  dirty window is captured correctly) plus whatever scalars the solver
+  needs to resume (the iteration counter, at minimum).  Only the latest
+  checkpoint is kept: rolling one slot is the textbook in-memory
+  checkpointing trade-off and bounds memory at one extra copy of the
+  state.
+
+Everything is process-local and cheap — this is the ABFT story's
+"no checkpoint/restart *from disk*" recovery, not a restart file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class Checkpoint:
+    """One rolling solver snapshot."""
+
+    #: Decoded state-vector contents by region name (``x``, ``r``, ...).
+    vectors: dict[str, np.ndarray]
+    #: Solver resume scalars; always carries ``it`` (iteration counter).
+    scalars: dict[str, float]
+
+
+class CheckpointStore:
+    """Holds one solve's recovery data (reset by ``begin_solve``)."""
+
+    def __init__(self):
+        self._matrix_sources: dict[int, object] = {}
+        self._persistent_sources: dict[int, object] = {}
+        self._latest: Checkpoint | None = None
+        self.snapshots_taken = 0
+
+    def begin_solve(self) -> None:
+        """Drop the previous solve's snapshots and per-solve sources.
+
+        Application-held (persistent) sources survive: they exist so
+        corruption that *predates* the solve — before the toolkit could
+        decode its own verified-clean copy — still has a repair path.
+        """
+        self._matrix_sources.clear()
+        self._latest = None
+
+    # -- pristine sources ------------------------------------------------
+    def put_matrix_source(self, matrix, source, persistent: bool = False) -> None:
+        """Register a verified-clean decoded source for ``matrix``.
+
+        ``persistent=True`` marks an application-held source (e.g. a
+        campaign's own pristine copy) that outlives ``begin_solve`` —
+        the only way a DUE raised by the *up-front* forced check can be
+        repaired, since the solve never saw clean storage to snapshot.
+        """
+        target = self._persistent_sources if persistent else self._matrix_sources
+        target[id(matrix)] = source
+
+    def matrix_source(self, matrix):
+        """The pristine source for ``matrix``, or ``None``."""
+        key = id(matrix)
+        return self._matrix_sources.get(key, self._persistent_sources.get(key))
+
+    # -- rolling solver checkpoints --------------------------------------
+    def snapshot(
+        self, vectors: dict[str, np.ndarray], scalars: dict, copy: bool = True
+    ) -> Checkpoint:
+        """Store (and return) a new latest checkpoint.
+
+        ``copy=False`` takes ownership of the arrays instead of copying
+        — for callers handing over freshly-allocated decodes (e.g.
+        ``ProtectedVector.values()`` output), which would otherwise be
+        copied twice per checkpoint on the solver hot path.
+        """
+        self._latest = Checkpoint(
+            vectors={
+                name: np.array(values, dtype=np.float64, copy=copy)
+                for name, values in vectors.items()
+            },
+            scalars=dict(scalars),
+        )
+        self.snapshots_taken += 1
+        return self._latest
+
+    def latest(self) -> Checkpoint | None:
+        """The most recent checkpoint, or ``None`` before the first."""
+        return self._latest
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CheckpointStore(sources={len(self._matrix_sources)}, "
+            f"snapshots_taken={self.snapshots_taken})"
+        )

@@ -1,0 +1,141 @@
+"""The recovery runtime: budget accounting and the two repair hooks.
+
+One manager serves one engine (and therefore one solve at a time; a
+:class:`~repro.protect.session.ProtectionSession` shares its manager
+across solves, with the budget reset per solve by ``begin_solve``).
+
+Two layers call in:
+
+* the **engine** (:meth:`repair_vector`): when a scheduled vector check
+  finds uncorrectable damage and the strategy is ``repopulate``, the
+  vector is rebuilt from its authoritative plain cache.  This repair is
+  *content-exact* — reads always come from the cache, so raw-storage
+  corruption was never consumed — and therefore transparent: the solve
+  continues as if the flip never happened;
+* the **solver** (via ``ProtectedIteration.recover`` →
+  :meth:`on_due` / :meth:`repair_matrix`): matrix corruption may have
+  been consumed by SpMVs since it landed (deferred checking's explicit
+  trade-off), so matrix DUEs always escalate to the solver, which
+  repairs storage from the pristine source and *restarts its recurrence*
+  (repopulate) or rewinds to the last checkpoint (rollback).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.recover.checkpoint import CheckpointStore
+from repro.recover.policy import RecoveryPolicy
+
+
+@dataclasses.dataclass
+class RecoveryStats:
+    """Counters describing what the recovery layer actually did."""
+
+    #: Recoverable errors escalated to the manager (any strategy).
+    dues: int = 0
+    #: Solver-level rollback recoveries granted.
+    rollbacks: int = 0
+    #: Solver-level repopulate recoveries granted.
+    repopulates: int = 0
+    #: Engine-level transparent vector rebuilds from the plain cache.
+    vector_repairs: int = 0
+    #: Matrix storage rebuilds from the pristine source.
+    matrix_reencodes: int = 0
+    #: Escalations refused because the per-solve budget ran out.
+    retries_exhausted: int = 0
+
+    @property
+    def total_recoveries(self) -> int:
+        """Every event where the layer kept a solve alive — the one
+        definition of "recovered" shared by reports and campaigns."""
+        return self.rollbacks + self.repopulates + self.vector_repairs
+
+    def reset(self) -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
+class RecoveryManager:
+    """Runtime companion of a :class:`RecoveryPolicy`."""
+
+    def __init__(self, policy: RecoveryPolicy):
+        self.policy = policy
+        self.store = CheckpointStore()
+        self.stats = RecoveryStats()
+        self._retries_left = policy.max_retries
+
+    @property
+    def strategy(self) -> str:
+        return self.policy.strategy
+
+    def begin_solve(self) -> None:
+        """Reset the per-solve budget and drop the last solve's snapshots."""
+        self._retries_left = self.policy.max_retries
+        self.store.begin_solve()
+
+    # -- engine-side hook ------------------------------------------------
+    def repair_vector(self, name: str, vector) -> bool:
+        """Transparently rebuild a vector that failed its scheduled check.
+
+        Only for the ``repopulate`` strategy, and only when the plain
+        cache exists (it is the content the solver has been computing
+        with, so the rebuild loses nothing).  Returns True when storage
+        was rebuilt; the engine then re-checks before trusting it and
+        reports success via :meth:`note_vector_repaired` — the repair
+        only counts once it is *verified*, so failed recoveries never
+        inflate the survival metrics.
+        """
+        if self.policy.strategy != "repopulate":
+            return False
+        return vector.rebuild_from_cache()
+
+    def note_vector_repaired(self) -> None:
+        """Record one engine-level vector repair that passed its re-check."""
+        self.stats.vector_repairs += 1
+
+    # -- solver-side escalation ------------------------------------------
+    def on_due(self, exc: BaseException) -> str:
+        """Decide the action for an escalated DUE, spending one retry.
+
+        Returns the strategy to apply (``"repopulate"`` or
+        ``"rollback"``); raises ``exc`` when the strategy is ``"raise"``
+        or the per-solve retry budget is exhausted.  Only the *attempt*
+        is recorded here — the caller reports a completed repair via
+        :meth:`note_recovered`, so ``total_recoveries`` counts solves
+        actually kept alive, not repairs that went on to fail.
+        """
+        self.stats.dues += 1
+        if self.policy.strategy == "raise":
+            raise exc
+        if self._retries_left <= 0:
+            self.stats.retries_exhausted += 1
+            raise exc
+        self._retries_left -= 1
+        return self.policy.strategy
+
+    def note_recovered(self, action: str) -> None:
+        """Record one completed (repaired-and-verified) recovery."""
+        if action == "rollback":
+            self.stats.rollbacks += 1
+        else:
+            self.stats.repopulates += 1
+
+    def repair_matrix(self, matrix) -> bool:
+        """Rebuild a matrix's storage + redundancy from its pristine source.
+
+        Returns False when no source was registered (e.g. the corruption
+        predates the solve, so no clean copy ever existed).
+        """
+        source = self.store.matrix_source(matrix)
+        if source is None:
+            return False
+        matrix.reencode_from(source)
+        self.stats.matrix_reencodes += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RecoveryManager(strategy={self.policy.strategy!r}, "
+            f"retries_left={self._retries_left}, stats={self.stats!r})"
+        )

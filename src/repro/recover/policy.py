@@ -1,0 +1,83 @@
+"""What happens when a DUE surfaces: the recovery strategy and budgets.
+
+A :class:`RecoveryPolicy` is immutable configuration, shareable and
+hashable exactly like :class:`~repro.protect.config.ProtectionConfig`
+(which embeds one).  The runtime state — retries consumed, checkpoints
+held — lives in :class:`~repro.recover.manager.RecoveryManager`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import (
+    BoundsViolationError,
+    ConfigurationError,
+    DetectedUncorrectableError,
+)
+
+#: The integrity errors the recovery layer can intercept.  Anything else
+#: (configuration mistakes, plain bugs) always propagates.
+RECOVERABLE_ERRORS = (DetectedUncorrectableError, BoundsViolationError)
+
+#: Valid ``RecoveryPolicy.strategy`` values.
+RECOVERY_STRATEGIES = ("raise", "repopulate", "rollback")
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a solve reacts to detected-uncorrectable corruption.
+
+    Parameters
+    ----------
+    strategy:
+        ``"raise"`` — today's behaviour: the DUE unwinds the solve
+        (default, and what ``recovery=None`` means everywhere).
+        ``"repopulate"`` — rebuild the damaged container in place (the
+        matrix from the pristine source captured after the up-front
+        forced check; a vector from its authoritative plain cache) and
+        restart the solver recurrence from the current iterate.
+        ``"rollback"`` — restore the last solver checkpoint (state
+        vectors + iteration counter) and resume from there; the damaged
+        regions are overwritten by the restore.
+    max_retries:
+        Solver-level recoveries allowed per solve before the original
+        error is re-raised.  Engine-level transparent vector repairs
+        (always content-exact) are not counted against this budget.
+    checkpoint_interval:
+        Iterations between rollback checkpoints.  Ignored unless
+        ``strategy == "rollback"``; a checkpoint is always taken at
+        iteration 0 so a rollback target exists from the first DUE on.
+    """
+
+    strategy: str = "raise"
+    max_retries: int = 3
+    checkpoint_interval: int = 8
+
+    def __post_init__(self):
+        if self.strategy not in RECOVERY_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown recovery strategy {self.strategy!r}; "
+                f"choose from {RECOVERY_STRATEGIES}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
+
+    @classmethod
+    def coerce(cls, value: "RecoveryPolicy | str | None") -> "RecoveryPolicy | None":
+        """Accept the string shorthand (``recovery="rollback"``) everywhere."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(strategy=value)
+        raise ConfigurationError(
+            f"recovery must be a RecoveryPolicy, a strategy name or None, "
+            f"not {type(value).__name__}"
+        )
+
+    @property
+    def escalates(self) -> bool:
+        """True when DUEs are handled instead of re-raised."""
+        return self.strategy != "raise"

@@ -136,30 +136,48 @@ def protected_cg_run(
     norms = [float(np.sqrt(rr))]
     converged = rr < eps
     it = 0
-    while not converged and it < max_iters:
-        ctx.begin_iteration()
-        p_val = ctx.read(p)
-        w = ctx.spmv(p_val)
-        pw = float(np.dot(p_val, w))
-        if pw == 0.0:
-            break
-        alpha = rr / pw
-        x = ctx.write(x, ctx.read(x) + alpha * p_val)
-        r_val = ctx.read(r) - alpha * w
-        r = ctx.write(r, r_val)
-        rr_new = float(np.dot(r_val, r_val))
-        norms.append(float(np.sqrt(rr_new)))
-        it += 1
-        if rr_new < eps:
-            converged = True
-            break
-        p = ctx.write(p, r_val + (rr_new / rr) * p_val)
-        rr = rr_new
+    ctx.maybe_checkpoint(it)
+    while True:
+        try:
+            while not converged and it < max_iters:
+                ctx.begin_iteration()
+                p_val = ctx.read(p)
+                w = ctx.spmv(p_val)
+                pw = float(np.dot(p_val, w))
+                if pw == 0.0:
+                    break
+                alpha = rr / pw
+                x = ctx.write(x, ctx.read(x) + alpha * p_val)
+                r_val = ctx.read(r) - alpha * w
+                r = ctx.write(r, r_val)
+                rr_new = float(np.dot(r_val, r_val))
+                norms.append(float(np.sqrt(rr_new)))
+                it += 1
+                if rr_new < eps:
+                    converged = True
+                    break
+                p = ctx.write(p, r_val + (rr_new / rr) * p_val)
+                rr = rr_new
+                ctx.maybe_checkpoint(it)
 
-    # Mandatory end-of-step sweep when checks were deferred (§VI.A.2);
-    # a session defers it to its own end_step().
-    x_final = ctx.value_of(x)
-    ctx.finish()
+            # Mandatory end-of-step sweep when checks were deferred
+            # (§VI.A.2); a session defers it to its own end_step().
+            x_final = ctx.value_of(x)
+            ctx.finish()
+            break
+        except ctx.RECOVERABLE as exc:
+            saved = ctx.recover(exc)  # repairs state; raises if recovery is off
+            if saved is not None:
+                it = int(saved["it"])
+            # Restart the recurrence from the authoritative iterate: the
+            # rolled-back / repaired x defines the true residual, so any
+            # recurrence drift the corruption caused is discarded.
+            r_val = b - ctx.spmv(ctx.read(x))
+            r = ctx.write(r, r_val)
+            p = ctx.write(p, r_val)
+            rr = float(np.dot(r_val, r_val))
+            norms.append(float(np.sqrt(rr)))
+            converged = rr < eps
     return SolverResult(
         x=x_final, iterations=it, converged=converged,
         residual_norms=norms, info=ctx.info(),

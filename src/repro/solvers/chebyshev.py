@@ -152,22 +152,40 @@ def protected_chebyshev_run(
     rho = 1.0 / sigma
     d = ctx.wrap(r_val / theta, "d")
     it = 0
-    while not converged and it < max_iters:
-        ctx.begin_iteration()
-        x_val = ctx.read(x) + ctx.read(d)
-        x = ctx.write(x, x_val)
-        r_val = b - ctx.spmv(x_val)
-        norms.append(float(np.linalg.norm(r_val)))
-        it += 1
-        if norms[-1] ** 2 < eps:
-            converged = True
-            break
-        rho_new = 1.0 / (2.0 * sigma - rho)
-        d = ctx.write(d, rho_new * rho * ctx.read(d) + (2.0 * rho_new / delta) * r_val)
-        rho = rho_new
+    ctx.maybe_checkpoint(it)
+    while True:
+        try:
+            while not converged and it < max_iters:
+                ctx.begin_iteration()
+                x_val = ctx.read(x) + ctx.read(d)
+                x = ctx.write(x, x_val)
+                r_val = b - ctx.spmv(x_val)
+                norms.append(float(np.linalg.norm(r_val)))
+                it += 1
+                if norms[-1] ** 2 < eps:
+                    converged = True
+                    break
+                rho_new = 1.0 / (2.0 * sigma - rho)
+                d = ctx.write(
+                    d, rho_new * rho * ctx.read(d) + (2.0 * rho_new / delta) * r_val
+                )
+                rho = rho_new
+                ctx.maybe_checkpoint(it)
 
-    x_final = ctx.value_of(x)
-    ctx.finish()
+            x_final = ctx.value_of(x)
+            ctx.finish()
+            break
+        except ctx.RECOVERABLE as exc:
+            saved = ctx.recover(exc)
+            if saved is not None:
+                it = int(saved["it"])
+            # Restart the semi-iteration from the repaired / rolled-back
+            # iterate: true residual, polynomial recurrence re-seeded.
+            r_val = b - ctx.spmv(ctx.read(x))
+            norms.append(float(np.linalg.norm(r_val)))
+            converged = norms[-1] ** 2 < eps
+            rho = 1.0 / sigma
+            d = ctx.write(d, r_val / theta)
     return SolverResult(
         x=x_final, iterations=it, converged=converged, residual_norms=norms,
         info=ctx.info(eig_min=eig_min, eig_max=eig_max),

@@ -88,20 +88,35 @@ def protected_jacobi_run(
     norms = [float(np.linalg.norm(r_val))]
     converged = norms[0] ** 2 < eps
     it = 0
-    while not converged and it < max_iters:
-        ctx.begin_iteration()
-        x_val = ctx.read(x) + d_inv * ctx.read(r)
-        x = ctx.write(x, x_val)
-        it += 1
-        r_val = b - ctx.spmv(x_val)
-        r = ctx.write(r, r_val)
-        if it % check_every == 0 or it == max_iters:
-            norms.append(float(np.linalg.norm(r_val)))
-            if norms[-1] ** 2 < eps:
-                converged = True
+    ctx.maybe_checkpoint(it)
+    while True:
+        try:
+            while not converged and it < max_iters:
+                ctx.begin_iteration()
+                x_val = ctx.read(x) + d_inv * ctx.read(r)
+                x = ctx.write(x, x_val)
+                it += 1
+                r_val = b - ctx.spmv(x_val)
+                r = ctx.write(r, r_val)
+                if it % check_every == 0 or it == max_iters:
+                    norms.append(float(np.linalg.norm(r_val)))
+                    if norms[-1] ** 2 < eps:
+                        converged = True
+                ctx.maybe_checkpoint(it)
 
-    x_final = ctx.value_of(x)
-    ctx.finish()
+            x_final = ctx.value_of(x)
+            ctx.finish()
+            break
+        except ctx.RECOVERABLE as exc:
+            saved = ctx.recover(exc)
+            if saved is not None:
+                it = int(saved["it"])
+            # Jacobi is memoryless: the true residual of the repaired /
+            # rolled-back x is the whole restart.
+            r_val = b - ctx.spmv(ctx.read(x))
+            r = ctx.write(r, r_val)
+            norms.append(float(np.linalg.norm(r_val)))
+            converged = norms[-1] ** 2 < eps
     return SolverResult(
         x=x_final, iterations=it, converged=converged,
         residual_norms=norms, info=ctx.info(),

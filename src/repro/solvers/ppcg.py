@@ -146,29 +146,47 @@ def protected_ppcg_run(
     norms = [float(np.linalg.norm(r0))]
     converged = norms[0] ** 2 < eps
     it = 0
-    while not converged and it < max_iters:
-        ctx.begin_iteration()
-        p_val = ctx.read(p)
-        w = ctx.spmv(p_val)
-        pw = float(np.dot(p_val, w))
-        if pw == 0.0:
-            break
-        alpha = rz / pw
-        x = ctx.write(x, ctx.read(x) + alpha * p_val)
-        r_val = ctx.read(r) - alpha * w
-        r = ctx.write(r, r_val)
-        norms.append(float(np.linalg.norm(r_val)))
-        it += 1
-        if norms[-1] ** 2 < eps:
-            converged = True
-            break
-        z = M.apply(r_val)
-        rz_new = float(np.dot(r_val, z))
-        p = ctx.write(p, z + (rz_new / rz) * p_val)
-        rz = rz_new
+    ctx.maybe_checkpoint(it)
+    while True:
+        try:
+            while not converged and it < max_iters:
+                ctx.begin_iteration()
+                p_val = ctx.read(p)
+                w = ctx.spmv(p_val)
+                pw = float(np.dot(p_val, w))
+                if pw == 0.0:
+                    break
+                alpha = rz / pw
+                x = ctx.write(x, ctx.read(x) + alpha * p_val)
+                r_val = ctx.read(r) - alpha * w
+                r = ctx.write(r, r_val)
+                norms.append(float(np.linalg.norm(r_val)))
+                it += 1
+                if norms[-1] ** 2 < eps:
+                    converged = True
+                    break
+                z = M.apply(r_val)
+                rz_new = float(np.dot(r_val, z))
+                p = ctx.write(p, z + (rz_new / rz) * p_val)
+                rz = rz_new
+                ctx.maybe_checkpoint(it)
 
-    x_final = ctx.value_of(x)
-    ctx.finish()
+            x_final = ctx.value_of(x)
+            ctx.finish()
+            break
+        except ctx.RECOVERABLE as exc:
+            saved = ctx.recover(exc)
+            if saved is not None:
+                it = int(saved["it"])
+            # Restart from the authoritative iterate: true residual,
+            # fresh preconditioned search direction.
+            r_val = b - ctx.spmv(ctx.read(x))
+            z = M.apply(r_val)
+            r = ctx.write(r, r_val)
+            p = ctx.write(p, z)
+            rz = float(np.dot(r_val, z))
+            norms.append(float(np.linalg.norm(r_val)))
+            converged = norms[-1] ** 2 < eps
     return SolverResult(
         x=x_final, iterations=it, converged=converged, residual_norms=norms,
         info=ctx.info(inner_steps=inner_steps, eig_bounds=eig_bounds),

@@ -19,6 +19,23 @@ When a :class:`~repro.protect.session.ProtectionSession` owns the engine,
 the context registers its transient state with the session instead of
 finalizing/unregistering itself, so dirty windows and check phases span
 solve (and TeaLeaf time-step) boundaries until ``session.end_step()``.
+
+The context is also where solvers become *restartable*: with an
+escalating :class:`~repro.recover.policy.RecoveryPolicy` attached to the
+engine, :meth:`ProtectedIteration.maybe_checkpoint` snapshots the live
+state vectors on the policy's cadence and
+:meth:`ProtectedIteration.recover` turns a caught DUE into either a
+rollback (state restored from the checkpoint) or an in-place repopulate
+(damaged containers rebuilt from pristine sources), after which the
+solver restarts its recurrence from the authoritative iterate:
+
+    while True:
+        try:
+            ...iterate to convergence..., ctx.finish()
+            break
+        except ctx.RECOVERABLE as exc:
+            saved = ctx.recover(exc)      # raises when recovery is off
+            ...re-derive the recurrence from ctx.read(x)...
 """
 
 from __future__ import annotations
@@ -27,12 +44,13 @@ import dataclasses
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import BoundsViolationError, ConfigurationError
 from repro.protect.engine import DeferredVerificationEngine
 from repro.protect.kernels import verify_matrix
 from repro.protect.matrix import ProtectedCSRMatrix
 from repro.protect.policy import CheckPolicy
 from repro.protect.vector import ProtectedVector
+from repro.recover.policy import RECOVERABLE_ERRORS
 
 
 def resolve_schedule(
@@ -85,6 +103,10 @@ class ProtectedIteration:
         regions to the session for release at the next ``end_step()``.
     """
 
+    #: The integrity errors :meth:`recover` can handle — what a solver's
+    #: recovery handler should catch.
+    RECOVERABLE = RECOVERABLE_ERRORS
+
     def __init__(
         self,
         matrix: ProtectedCSRMatrix,
@@ -116,12 +138,38 @@ class ProtectedIteration:
         self.protect_vectors = vector_scheme is not None
         self.session = session
         self._state: list[ProtectedVector] = []
+        self._named_state: list[tuple[str, ProtectedVector]] = []
+        self.recovery = self.engine.recovery
+        if self.recovery is not None:
+            self.recovery.begin_solve()
         self.engine.register(matrix, "matrix")
         # Snapshot the (possibly session-cumulative) counters so info()
         # can report this solve's own work; taken before the up-front
         # forced check so that check is attributed to this solve.
         self._stats_at_start = dataclasses.replace(self.policy.stats)
-        verify_matrix(matrix, self.policy, force=self.policy.interval != 0)
+        self._recovery_stats_at_start = (
+            dataclasses.replace(self.recovery.stats)
+            if self.recovery is not None else None
+        )
+        try:
+            verify_matrix(matrix, self.policy, force=self.policy.interval != 0)
+        except RECOVERABLE_ERRORS as exc:
+            # Corruption that predates the solve.  Repairable only from
+            # an application-held (persistent) source — the campaign's
+            # own pristine copy — since no verified-clean decode of this
+            # matrix exists yet; without one, the historical raise.
+            if self.recovery is None:
+                raise
+            action = self.recovery.on_due(exc)  # spends a retry or re-raises
+            if not self.recovery.repair_matrix(matrix):
+                raise
+            verify_matrix(matrix, self.policy, force=True)
+            self.recovery.note_recovered(action)
+        if self.recovery is not None:
+            # The pristine source for repopulate/rollback, decoded right
+            # after the forced verification so it is a verified-clean
+            # copy of the solve-invariant matrix.
+            self.recovery.store.put_matrix_source(matrix, matrix.to_csr())
 
     @property
     def n(self) -> int:
@@ -137,6 +185,7 @@ class ProtectedIteration:
             name,
         )
         self._state.append(vec)
+        self._named_state.append((name, vec))
         if self.session is not None:
             self.session.track(vec)
         return vec
@@ -158,9 +207,13 @@ class ProtectedIteration:
 
     # -- schedule hooks -------------------------------------------------
     def begin_iteration(self) -> None:
-        """Per-iteration vector scheduling point (no-op for plain vectors)."""
-        if self.protect_vectors:
-            self.engine.begin_iteration()
+        """Per-iteration scheduling point: engine hooks + vector checks.
+
+        Always reaches the engine so iteration hooks (live fault
+        injection, progress callbacks) fire even in matrix-only solves;
+        the engine itself skips vector scheduling when it tracks none.
+        """
+        self.engine.begin_iteration()
 
     def spmv(self, x, out: np.ndarray | None = None) -> np.ndarray:
         """``A @ x`` on the context's matrix through the engine schedule."""
@@ -177,6 +230,88 @@ class ProtectedIteration:
         self.engine.finalize()
         for vec in self._state:
             self.engine.unregister(vec)
+
+    # -- DUE recovery ---------------------------------------------------
+    def maybe_checkpoint(self, it: int, **scalars) -> None:
+        """Snapshot the live state for rollback, on the policy's cadence.
+
+        No-op unless the engine carries a rollback recovery policy; a
+        checkpoint is always taken at iteration 0 so a rollback target
+        exists from the first DUE on.  Vector contents are read through
+        :meth:`ProtectedVector.values`, which returns the buffered cache
+        while a deferred write is pending — the checkpoint captures the
+        solver's authoritative state, not a stale storage snapshot.
+        """
+        r = self.recovery
+        if r is None or r.strategy != "rollback":
+            return
+        if it != 0 and it % r.policy.checkpoint_interval:
+            return
+        # values() allocates a fresh masked decode per vector — hand the
+        # arrays to the store as-is (copy=False) rather than copying the
+        # whole state a second time every checkpoint.
+        vectors = {name: vec.values() for name, vec in self._named_state}
+        r.store.snapshot(vectors, {"it": int(it), **scalars}, copy=False)
+
+    def recover(self, exc: BaseException) -> dict | None:
+        """Handle a caught integrity error per the recovery policy.
+
+        Returns the checkpoint's scalar dict (``{"it": ..., ...}``) when
+        state was rolled back — the solver resets its counters from it —
+        or ``None`` when the damaged containers were repopulated in
+        place and the solver should restart its recurrence from the
+        *current* iterate.  Re-raises ``exc`` when recovery is disabled,
+        the strategy is ``"raise"``, the retry budget is exhausted, or
+        no repair path exists (no pristine source, no cache, no
+        checkpoint).
+        """
+        if self.recovery is None:
+            raise exc
+        action = self.recovery.on_due(exc)  # spends one retry or raises
+        self._repair_matrix(exc)
+        if action == "rollback":
+            saved = self.recovery.store.latest()
+            if saved is not None and saved.vectors:
+                for name, vec in self._named_state:
+                    values = saved.vectors.get(name)
+                    if values is not None:
+                        vec.store(values)
+                self.recovery.note_recovered(action)
+                return dict(saved.scalars)
+            # Matrix-only solve (nothing checkpointed): the repaired
+            # matrix plus a recurrence restart is a full recovery, so
+            # fall through to the repopulate behaviour.
+        self._repair_vectors(exc)
+        self.recovery.note_recovered(action)
+        return None
+
+    def _repair_matrix(self, exc: BaseException) -> None:
+        """Rebuild the matrix from its pristine source if it is damaged."""
+        matrix = self.matrix
+        try:
+            corrupted = matrix.detect_any()
+            if not corrupted:
+                # Codewords are fine but the error may have been a raw
+                # index flip caught by the snapshot guard — revalidate.
+                matrix.bounds_check()
+                return
+        except BoundsViolationError:
+            corrupted = True
+        if not self.recovery.repair_matrix(matrix):
+            raise exc
+
+    def _repair_vectors(self, exc: BaseException) -> None:
+        """Repopulate damaged state vectors from cache or checkpoint."""
+        saved = self.recovery.store.latest()
+        for name, vec in self._named_state:
+            if not vec.detect().any():
+                continue
+            if vec.rebuild_from_cache():
+                continue
+            values = saved.vectors.get(name) if saved is not None else None
+            if values is None:
+                raise exc
+            vec.store(values)
 
     def info(self, **extra) -> dict:
         """The uniform counter block every protected solver reports.
@@ -199,5 +334,16 @@ class ProtectedIteration:
             "corrected": stats.corrected - base.corrected,
             "vector_scheme": self.vector_scheme,
         }
+        if self.recovery is not None:
+            rs, rb = self.recovery.stats, self._recovery_stats_at_start
+            out["recovery"] = {
+                "strategy": self.recovery.strategy,
+                "dues": rs.dues - rb.dues,
+                "recoveries": rs.total_recoveries - rb.total_recoveries,
+                "rollbacks": rs.rollbacks - rb.rollbacks,
+                "repopulates": rs.repopulates - rb.repopulates,
+                "vector_repairs": rs.vector_repairs - rb.vector_repairs,
+                "matrix_reencodes": rs.matrix_reencodes - rb.matrix_reencodes,
+            }
         out.update(extra)
         return out

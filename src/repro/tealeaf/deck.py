@@ -46,6 +46,12 @@ class Deck:
     tl_vector_interval: int | None = None
     tl_defer_writes: bool | None = None
     tl_step_window: int = 1  # time-steps sharing one engine window
+    # DUE recovery knobs (ABFT runs only): in-solve strategy + budgets,
+    # plus how many times the driver may redo a step whose solve died.
+    tl_recovery: str | None = None  # raise | repopulate | rollback
+    tl_max_retries: int = 3
+    tl_checkpoint_interval: int = 8
+    tl_step_retries: int = 0
     states: list[State] = dataclasses.field(default_factory=list)
 
     def __post_init__(self):
@@ -89,12 +95,23 @@ class Deck:
         mode is reachable from an ``.in`` file without Python.  When
         ``correct`` is unset it follows the paper's rule: correction on
         for check-on-every-access, detection-only once checks defer.
+        ``tl_recovery`` (with ``tl_max_retries`` /
+        ``tl_checkpoint_interval``) arms the DUE recovery layer the same
+        way.
         """
         from repro.protect.config import ProtectionConfig
+        from repro.recover import RecoveryPolicy
 
         if correct is None:
             vec_iv = self.tl_vector_interval
             correct = self.tl_check_interval <= 1 and (vec_iv is None or vec_iv <= 1)
+        recovery = None
+        if self.tl_recovery is not None:
+            recovery = RecoveryPolicy(
+                strategy=self.tl_recovery,
+                max_retries=self.tl_max_retries,
+                checkpoint_interval=self.tl_checkpoint_interval,
+            )
         return ProtectionConfig(
             element_scheme=element_scheme,
             rowptr_scheme=rowptr_scheme,
@@ -103,6 +120,7 @@ class Deck:
             vector_interval=self.tl_vector_interval,
             defer_writes=self.tl_defer_writes,
             correct=correct,
+            recovery=recovery,
         )
 
     def to_text(self) -> str:
@@ -137,6 +155,14 @@ class Deck:
             lines.append(f"tl_defer_writes={str(self.tl_defer_writes).lower()}")
         if self.tl_step_window != 1:
             lines.append(f"tl_step_window={self.tl_step_window}")
+        if self.tl_recovery is not None:
+            lines.append(f"tl_recovery={self.tl_recovery}")
+        if self.tl_max_retries != 3:
+            lines.append(f"tl_max_retries={self.tl_max_retries}")
+        if self.tl_checkpoint_interval != 8:
+            lines.append(f"tl_checkpoint_interval={self.tl_checkpoint_interval}")
+        if self.tl_step_retries != 0:
+            lines.append(f"tl_step_retries={self.tl_step_retries}")
         if not self.use_reciprocal_conductivity:
             lines.append("tl_coefficient_density")
         lines.append("*endtea")
@@ -201,9 +227,11 @@ def _parse_state(line: str) -> State:
 _INT_KEYS = {
     "x_cells", "y_cells", "end_step", "tl_max_iters",
     "tl_check_interval", "tl_vector_interval", "tl_step_window",
+    "tl_max_retries", "tl_checkpoint_interval", "tl_step_retries",
 }
 _FLOAT_KEYS = {"xmin", "xmax", "ymin", "ymax", "initial_timestep", "tl_eps"}
 _BOOL_KEYS = {"tl_defer_writes"}
+_STR_KEYS = {"tl_recovery"}
 _TRUE_WORDS = {"true", "t", "yes", "on", "1"}
 _FALSE_WORDS = {"false", "f", "no", "off", "0"}
 
@@ -213,6 +241,8 @@ def _assign(deck: Deck, key: str, value: str) -> None:
         setattr(deck, key, int(float(value)))
     elif key in _FLOAT_KEYS:
         setattr(deck, key, float(value))
+    elif key in _STR_KEYS:
+        setattr(deck, key, value.strip().lower())
     elif key in _BOOL_KEYS:
         word = value.strip().lower()
         if word in _TRUE_WORDS:

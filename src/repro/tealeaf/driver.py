@@ -15,6 +15,23 @@ end-of-step sweep runs every ``tl_step_window`` steps, so the engine's
 dirty windows can span time-step boundaries (ROADMAP's engine-scheduled
 driver windows).
 
+Resilience is layered on two granularities:
+
+* **in-solve** — the deck's ``tl_recovery`` knob arms the checkpointed
+  recovery layer (:mod:`repro.recover`), so a DUE mid-solve rolls back
+  or repopulates instead of unwinding;
+* **per-step** — ``tl_step_retries > 0`` lets the driver redo a step
+  whose solve still died: the operator is reassembled from field state
+  (pristine by construction — ``u`` is only committed after a verified
+  solve) and the session's window restarts via ``abort_step``.
+
+With vector protection enabled, the temperature field itself lives in a
+:class:`~repro.protect.vector.ProtectedVector` across the whole run and
+each step's solution is committed through *row-windowed* stores
+(``store(window=...)``, one grid row — a halo-exchange-sized strip — at
+a time), so the windowed encode path runs at scale in the assembly/commit
+loop rather than only in unit tests.
+
 The old eager ``ProtectedOperator`` fallback and its "vector protection
 is only implemented for the CG solver" restriction are gone; the
 ``Protection`` dataclass survives only as a deprecation shim over
@@ -29,6 +46,8 @@ import warnings
 
 from repro.protect.config import ProtectionConfig
 from repro.protect.session import ProtectionSession
+from repro.protect.vector import ProtectedVector
+from repro.recover.policy import RECOVERABLE_ERRORS
 from repro.solvers.chebyshev import estimate_eigenvalue_bounds
 from repro.solvers.registry import solve
 from repro.tealeaf.assembly import build_operator
@@ -119,10 +138,19 @@ class TeaLeafDriver:
             protection = protection.to_config()
         self.protection = protection
         self.session: ProtectionSession | None = None
+        self._u_protected: ProtectedVector | None = None
         if protection is not None and protection.enabled:
             self.session = ProtectionSession(protection)
+            if protection.protects_vectors:
+                # The solved field is application state that persists
+                # across steps — keep it under the same ECC scheme as
+                # the solver vectors, committed by row-windowed stores.
+                self._u_protected = ProtectedVector(
+                    self.state.u.ravel(), protection.vector_scheme
+                )
         self._eig_bounds = None
         self._steps_in_window = 0
+        self.step_retries = 0
 
     # ------------------------------------------------------------------
     def run(self) -> RunSummary:
@@ -138,17 +166,33 @@ class TeaLeafDriver:
     def step(self) -> StepResult:
         t0 = time.perf_counter()
         dt = self.deck.initial_timestep
-        matrix = build_operator(self.state, dt)
-        b = self.state.u.ravel().copy()
-        kwargs = self._method_kwargs(matrix)
-        result = solve(
-            matrix, b, b,
-            method=self.deck.solver,
-            protection=self.session,
-            eps=self.deck.tl_eps,
-            max_iters=self.deck.tl_max_iters,
-            **kwargs,
-        )
+        b = self._step_rhs()
+        attempts = 0
+        while True:
+            matrix = build_operator(self.state, dt)
+            kwargs = self._method_kwargs(matrix)
+            try:
+                result = solve(
+                    matrix, b, b,
+                    method=self.deck.solver,
+                    protection=self.session,
+                    eps=self.deck.tl_eps,
+                    max_iters=self.deck.tl_max_iters,
+                    **kwargs,
+                )
+                break
+            except RECOVERABLE_ERRORS:
+                # Step-granularity recovery: the session released the
+                # failed window's regions when the error unwound; the
+                # field state is pristine (only committed after verified
+                # solves), so reassembling the operator and redoing the
+                # step is a full recovery — if the deck allows it.
+                attempts += 1
+                if self.session is None or attempts > self.deck.tl_step_retries:
+                    raise
+                self.step_retries += 1
+                self.session.abort_step()
+                self._steps_in_window = 0
         if self.session is not None:
             self._steps_in_window += 1
             if self._steps_in_window >= max(self.deck.tl_step_window, 1):
@@ -160,16 +204,17 @@ class TeaLeafDriver:
                 # so memory and sweep cost stay flat across the window;
                 # dirty vectors keep spanning the boundary.
                 self.session.retire_step()
-        self.state.update_from_temperature(result.x)
+        self._commit_temperature(result.x)
         self.state.step += 1
         self.state.time += dt
+        info = dict(result.info, step_retries=attempts) if attempts else result.info
         return StepResult(
             step=self.state.step,
             iterations=result.iterations,
             residual=result.final_residual,
             converged=result.converged,
             wall_time=time.perf_counter() - t0,
-            info=result.info,
+            info=info,
         )
 
     def finish(self) -> None:
@@ -177,11 +222,38 @@ class TeaLeafDriver:
 
         The mandatory sweep must not be skipped just because the run
         length does not divide the step window (§VI.A.2's "just in case
-        N does not divide" rule, lifted to time-steps).
+        N does not divide" rule, lifted to time-steps).  The protected
+        temperature field gets its own end-of-run check: it is the
+        run's *output*, so it must leave as a verified commit too.
         """
         if self.session is not None and self._steps_in_window:
             self.session.end_step()
             self._steps_in_window = 0
+        if self._u_protected is not None:
+            self._u_protected.check(correct=self.protection.correct)
+
+    # ------------------------------------------------------------------
+    def _step_rhs(self):
+        """This step's right-hand side: the (possibly protected) field."""
+        if self._u_protected is not None:
+            return self._u_protected.values()
+        return self.state.u.ravel().copy()
+
+    def _commit_temperature(self, x) -> None:
+        """Commit a solved field, through row-windowed stores when protected.
+
+        One ``store(window=...)`` per grid row — the halo-exchange-sized
+        strip a distributed TeaLeaf would communicate — so only the
+        codeword lanes each row touches are re-encoded and the windowed
+        encode path is exercised at scale, every step.
+        """
+        if self._u_protected is not None:
+            nx = self.deck.x_cells
+            for j in range(self.deck.y_cells):
+                lo = j * nx
+                self._u_protected.store(x[lo:lo + nx], window=(lo, lo + nx))
+            x = self._u_protected.values()
+        self.state.update_from_temperature(x)
 
     # ------------------------------------------------------------------
     def _method_kwargs(self, matrix) -> dict:
