@@ -1,98 +1,58 @@
 """Fault-injection campaign: empirical detection/correction guarantees.
 
-Sprays single flips, double flips, 5-bit flips and 32-bit bursts into
-every protected structure under every scheme and tabulates the outcomes
-(DCE / DUE / SDC), reproducing the guarantee matrix the paper's scheme
-choice rests on (SED=odd-detect, SECDED=1-correct/2-detect, CRC32C=HD 6).
+Runs two sweep presets — the *same* declarative grids the CLI resolves,
+so example and orchestrator cannot drift:
 
-Everything runs through the sharded executor
-(:mod:`repro.faults.sharding`) — pass ``--workers N`` to fan the trials
-out over a process pool; the merged counts are bitwise-identical to a
-serial run.  The end-to-end section adds the recovery-strategy axis:
-the same corrupted solves survive in-solve once ``recovery=`` escalates
-DUEs through the checkpointed recovery layer.
+* ``guarantee-matrix`` sprays single flips, double flips, 5-bit flips
+  and 32-bit bursts into every protected structure under every scheme
+  and tabulates the outcomes (DCE / DUE / SDC), reproducing the
+  guarantee matrix the paper's scheme choice rests on (SED=odd-detect,
+  SECDED=1-correct/2-detect, CRC32C=HD 6);
+* ``solver-recovery`` adds the end-to-end axis: corrupt the matrix,
+  run a fully protected solve, with and without the in-solve recovery
+  layer.
+
+Cells fan out over a process pool (``--workers N``); the merged records
+are bitwise-identical to a serial run.
 
 Run:  python examples/fault_campaign.py [--workers N] [--trials T]
 """
 
 import argparse
 
-import numpy as np
-
-import repro
-from repro.csr import five_point_operator
-from repro.faults import (
-    BurstError,
-    CampaignTask,
-    MultiBitFlip,
-    Region,
-    SingleBitFlip,
-    run_sharded_campaign,
-)
-
-SCHEMES = ["sed", "secded64", "secded128", "crc32c"]
+from repro.errors import Outcome
+from repro.sweeps.core import run_sweep
+from repro.sweeps.presets import get_preset
+from repro.sweeps.render import render_sweep
 
 
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--workers", type=int, default=2,
-                        help="process-pool size for the sharded executor")
+                        help="process-pool size for the sweep executor")
     parser.add_argument("--trials", type=int, default=300)
     args = parser.parse_args()
-    workers, trials = args.workers, args.trials
 
-    rng = np.random.default_rng(7)
-    matrix = five_point_operator(
-        16, 16, rng.uniform(0.5, 2.0, (16, 16)), rng.uniform(0.5, 2.0, (16, 16)), 0.3
-    )
-    vector = rng.standard_normal(512)
-
-    print(f"matrix campaigns ({trials} trials each, {workers} workers), "
-          "region = CSR values:")
-    for model in (SingleBitFlip(), MultiBitFlip(k=2, spread=0),
-                  MultiBitFlip(k=5, spread=0), BurstError(length=32)):
-        for scheme in SCHEMES:
-            task = CampaignTask("matrix", dict(
-                matrix=matrix, element_scheme=scheme, rowptr_scheme=scheme,
-                region=Region.VALUES, model=model,
-            ))
-            res = run_sharded_campaign(task, trials, workers=workers)
-            print("  " + res.row())
-        print()
-
-    print("row-pointer campaigns, single flips:")
-    for scheme in SCHEMES:
-        task = CampaignTask("matrix", dict(
-            matrix=matrix, element_scheme=scheme, rowptr_scheme=scheme,
-            region=Region.ROWPTR, model=SingleBitFlip(),
-        ))
-        print("  " + run_sharded_campaign(task, trials, workers=workers).row())
-
-    print("\ndense-vector campaigns, single flips:")
-    for scheme in SCHEMES:
-        task = CampaignTask("vector", dict(
-            values=vector, scheme=scheme, model=SingleBitFlip(),
-        ))
-        print("  " + run_sharded_campaign(task, trials, workers=workers).row())
+    spec = get_preset("guarantee-matrix", trials=args.trials)
+    result = run_sweep(spec, workers=args.workers)
+    print(render_sweep(spec, result.records))
+    print(f"\n({args.trials} trials per cell, {args.workers} workers; "
+          "rowptr/vector rows run the single-flip model)")
 
     print("\nend-to-end: corrupt the matrix, run a fully protected solve,")
     print("with and without the in-solve recovery layer:")
-    b = rng.standard_normal(matrix.n_rows)
-    for method in ("cg", "jacobi"):
-        # One clean reference per method; shards classify against it.
-        reference = repro.solve(matrix, b, method=method, eps=1e-20)
-        for scheme, recovery in (("sed", None), ("sed", "rollback"),
-                                 ("secded64", None)):
-            task = CampaignTask("solver", dict(
-                matrix=matrix, b=b, element_scheme=scheme,
-                rowptr_scheme=scheme, region=Region.VALUES,
-                model=SingleBitFlip(), method=method, recovery=recovery,
-                reference_x=reference.x,
-            ))
-            res = run_sharded_campaign(task, 40, workers=workers, shard_size=10)
-            rec = res.info["recovered"]
-            label = recovery or "raise"
-            print(f"  [{method:>6}/{label:>8}] {res.row()}  recovered={rec}")
+    spec = get_preset("solver-recovery", trials=40)
+    result = run_sweep(spec, workers=args.workers)
+    for record in result.records:
+        cell, res = record["cell"], record["result"]
+        counts = res["counts"]
+        print(f"  [{cell['method']:>6}/{cell['recovery']:>8}] "
+              f"{res['scheme']:>17}  "
+              f"corrected={counts.get(Outcome.CORRECTED.value, 0):>3}  "
+              f"detected={counts.get(Outcome.DETECTED.value, 0):>3}  "
+              f"silent={counts.get(Outcome.SILENT.value, 0):>3}  "
+              f"SDC-rate={res['rates']['sdc']:.4f}  "
+              f"recovered={res['info']['recovered']}")
     print("\n(SECDED solves continue transparently; SED detects, and the "
           "application\nsurvives either by re-encode-and-redo (raise) or "
           "in-solve via the recovery\nlayer (rollback) - no checkpoint/restart "

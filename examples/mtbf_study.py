@@ -1,72 +1,51 @@
 """MTBF study: solves under a continuous Poisson soft-error process.
 
-Sweeps the per-bit upset rate across four orders of magnitude and, for
-each (protection scheme, recovery strategy), runs a sharded
-time-to-solution campaign with faults injected *live* between iterations
-— the exascale scenario the paper's introduction motivates (shrinking
-MTBF).  Reports, per configuration: how many upsets landed, how many
-trials survived a DUE in-solve (recovered), how many were aborted by an
-unrecovered DUE, and the mean wall time per solve — the resilience
-cost/benefit matrix, not just detection rates.
+Runs the ``mtbf`` sweep preset — the *same* declarative grid the CLI
+resolves (``python -m repro.sweeps --preset mtbf``), so this example
+cannot drift from the orchestrator.  The grid sweeps the per-bit upset
+rate across four orders of magnitude for each (protection scheme,
+recovery strategy) pair and runs a live-injection time-to-solution
+campaign per cell — the exascale scenario the paper's introduction
+motivates (shrinking MTBF).  Reports, per configuration: how many
+upsets landed, how many trials survived a DUE in-solve (recovered), how
+many were aborted by an unrecovered DUE, and the mean wall time per
+solve — the resilience cost/benefit matrix, not just detection rates.
 
 Run:  python examples/mtbf_study.py [--workers N]
 """
 
 import argparse
 
-import numpy as np
-
-import repro
-from repro.csr import five_point_operator
-from repro.faults import CampaignTask, run_sharded_campaign
-from repro.recover import RecoveryPolicy
-
-#: (element/rowptr scheme, recovery strategy) axis of the study.
-CONFIGS = [
-    ("secded64", None),          # correction absorbs single flips
-    ("sed", None),               # detection-only: DUEs abort the run
-    ("sed", "repopulate"),       # ...or are repaired in place
-    ("sed", "rollback"),         # ...or roll back to a checkpoint
-]
-RATES = [1e-8, 1e-7, 1e-6, 1e-5]
-TRIALS = 10
+from repro.sweeps.core import run_sweep
+from repro.sweeps.presets import get_preset
 
 
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--store", default=None,
+                        help="JSONL run store; rerunning resumes from it")
     args = parser.parse_args()
 
-    rng = np.random.default_rng(0)
-    matrix = five_point_operator(
-        16, 16, rng.uniform(0.5, 2.0, (16, 16)), rng.uniform(0.5, 2.0, (16, 16)), 0.3
-    )
-    b = rng.standard_normal(matrix.n_rows)
-    # One clean reference solve; every shard classifies against it.
-    reference = repro.solve(matrix, b, method="cg", eps=1e-20, max_iters=2000)
+    spec = get_preset("mtbf")
+    result = run_sweep(spec, workers=args.workers, store=args.store)
 
     print(f"{'scheme':>9} {'recovery':>10} {'rate/bit/iter':>14} {'flips':>6} "
           f"{'recovered':>10} {'aborted':>8} {'silent':>7} {'ms/solve':>9}")
-    for scheme, strategy in CONFIGS:
-        recovery = None
-        if strategy is not None:
-            recovery = RecoveryPolicy(strategy=strategy, max_retries=64,
-                                      checkpoint_interval=4)
-        for rate in RATES:
-            task = CampaignTask("poisson", dict(
-                matrix=matrix, b=b, rate=rate, method="cg",
-                element_scheme=scheme, rowptr_scheme=scheme,
-                vector_scheme=None, interval=1, recovery=recovery,
-                eps=1e-20, max_iters=2000, reference_x=reference.x,
-            ))
-            res = run_sharded_campaign(task, TRIALS, workers=args.workers,
-                                       shard_size=5)
-            silent = res.sdc_rate * res.n_trials
-            print(f"{scheme:>9} {strategy or 'raise':>10} {rate:>14.0e} "
-                  f"{res.info['injected']:>6} {res.info['recovered']:>10} "
-                  f"{res.info['aborted']:>8} {silent:>7.0f} "
-                  f"{res.info['mean_time'] * 1e3:>9.2f}")
-        print()
+    previous = None
+    for record in result.records:
+        cell, res = record["cell"], record["result"]
+        config = (cell["scheme"], cell["recovery"])
+        if previous is not None and config != previous:
+            print()
+        previous = config
+        info = res["info"]
+        silent = res["rates"]["sdc"] * res["n_trials"]
+        print(f"{cell['scheme']:>9} {cell['recovery']:>10} "
+              f"{cell['rate']:>14.0e} {info['injected']:>6} "
+              f"{info['recovered']:>10} {info['aborted']:>8} {silent:>7.0f} "
+              f"{info['mean_time'] * 1e3:>9.2f}")
+    print()
     print("Reading: SECDED absorbs upsets transparently; detection-only SED")
     print("aborts on every DUE unless a recovery strategy is armed, in which")
     print("case the run survives in-solve (recovered) at a small time cost —")

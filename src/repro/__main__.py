@@ -6,7 +6,10 @@ single shell command away:
 * ``tealeaf [deck.in] [--protect]`` — run the miniapp;
 * ``overheads [--figure figN] [--grid N]`` — regenerate Figs. 4/5/9;
 * ``intervals [--figure figN] [--grid N]`` — regenerate Figs. 6/7/8;
-* ``campaign [--trials T]`` — fault-injection guarantee matrix;
+* ``sweep --preset NAME`` — any declarative experiment grid, resumable
+  (``--preset resilience-matrix`` renders the full solver x scheme x
+  rate x recovery matrix);
+* ``campaign [--trials T]`` — the guarantee-matrix sweep preset;
 * ``anchors`` — the paper's quoted numbers vs the platform model.
 """
 
@@ -76,28 +79,25 @@ def _cmd_intervals(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    import numpy as np
+    from repro.sweeps.core import run_sweep
+    from repro.sweeps.presets import get_preset
+    from repro.sweeps.render import render_sweep
 
-    from repro.csr import five_point_operator
-    from repro.faults import (
-        CampaignTask, MultiBitFlip, Region, SingleBitFlip, run_sharded_campaign,
+    spec = get_preset(
+        "guarantee-matrix", trials=args.trials,
+        models=("single", "double"), targets=("values",),
     )
-
-    rng = np.random.default_rng(args.seed)
-    matrix = five_point_operator(
-        16, 16, rng.uniform(0.5, 2.0, (16, 16)), rng.uniform(0.5, 2.0, (16, 16)), 0.3
-    )
-    for model in (SingleBitFlip(), MultiBitFlip(k=2, spread=0)):
-        for scheme in ("sed", "secded64", "secded128", "crc32c"):
-            task = CampaignTask("matrix", dict(
-                matrix=matrix, element_scheme=scheme, rowptr_scheme=scheme,
-                region=Region.VALUES, model=model,
-            ))
-            res = run_sharded_campaign(
-                task, args.trials, workers=args.workers, seed=args.seed,
-            )
-            print(res.row())
+    result = run_sweep(spec, workers=args.workers, seed=args.seed)
+    print(render_sweep(spec, result.records))
+    print("\n(python -m repro.faults.campaign has the full campaign CLI; "
+          "repro sweep runs every grid.)")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.sweeps.cli import run
+
+    return run(args)
 
 
 def _cmd_anchors(args) -> int:
@@ -152,9 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1,
-                   help="shard the trials over a process pool "
-                        "(python -m repro.faults.campaign has the full CLI)")
+                   help="fan the guarantee-matrix sweep cells out over a "
+                        "process pool (python -m repro.faults.campaign "
+                        "shards trials *within* one campaign)")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "sweep", help="declarative, resumable experiment grids",
+        description="Run any sweep preset (see README 'Sweeps'); "
+                    "--store makes the grid resumable.",
+    )
+    from repro.sweeps.cli import add_sweep_arguments
+
+    add_sweep_arguments(p)
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("anchors", help="paper numbers vs platform model")
     p.set_defaults(func=_cmd_anchors)

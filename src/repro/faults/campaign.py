@@ -469,17 +469,13 @@ def run_poisson_campaign(
 # CLI: python -m repro.faults.campaign --kind solver --workers 4 --out x.jsonl
 def _build_model(name: str):
     """Model spec → FaultModel: single, double, multi<k>, burst<len>."""
-    from repro.faults.models import BurstError, MultiBitFlip, SingleBitFlip
+    from repro.errors import ConfigurationError
+    from repro.faults.models import build_model
 
-    if name == "single":
-        return SingleBitFlip()
-    if name == "double":
-        return MultiBitFlip(k=2, spread=0)
-    if name.startswith("multi"):
-        return MultiBitFlip(k=int(name.removeprefix("multi")), spread=0)
-    if name.startswith("burst"):
-        return BurstError(length=int(name.removeprefix("burst")))
-    raise SystemExit(f"unknown fault model {name!r}")
+    try:
+        return build_model(name)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def build_parser():

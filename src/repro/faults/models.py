@@ -13,6 +13,8 @@ import dataclasses
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 
 @dataclasses.dataclass(frozen=True)
 class FaultSpec:
@@ -133,3 +135,23 @@ class StuckBits(FaultModel):
     @property
     def name(self):
         return f"stuck-{self.k}@{self.polarity}"
+
+
+def build_model(spec: str) -> FaultModel:
+    """Model spec string -> :class:`FaultModel`.
+
+    The declarative form campaign CLIs and sweep cells share:
+    ``single`` | ``double`` | ``multi<k>`` | ``burst<len>``.
+    """
+    if spec == "single":
+        return SingleBitFlip()
+    if spec == "double":
+        return MultiBitFlip(k=2, spread=0)
+    if spec.startswith("multi"):
+        return MultiBitFlip(k=int(spec.removeprefix("multi")), spread=0)
+    if spec.startswith("burst"):
+        return BurstError(length=int(spec.removeprefix("burst")))
+    raise ConfigurationError(
+        f"unknown fault model spec {spec!r}; "
+        "use single | double | multi<k> | burst<len>"
+    )

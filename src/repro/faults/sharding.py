@@ -3,27 +3,29 @@
 Fault-injection campaigns are embarrassingly parallel — every trial is
 independent — but determinism must survive the parallelism: a campaign
 must produce *bitwise-identical* merged counts whether it runs on 1
-worker or 16.  The executor gets that by decomposing the trial count
+worker or 16.  The shard plan gets that by decomposing the trial count
 into fixed-size shards first (the decomposition depends only on
 ``n_trials``, ``shard_size`` and ``seed``, never on the worker count)
 and deriving each shard's RNG from its own
-:meth:`numpy.random.SeedSequence.spawn` child.  Shards then run on a
-``multiprocessing`` spawn pool (spawn, not fork: BLAS thread pools and
-fork do not mix), stream one JSONL record each as they finish, and merge
-by summing counts.
+:func:`repro.sweeps.executor.spawn_streams` child.  Shards then run as
+tasks on the shared sweep executor's spawn pool (spawn, not fork: BLAS
+thread pools and fork do not mix), stream one JSONL record each as they
+finish, and merge by summing counts.
 
     spec = CampaignTask("matrix", dict(matrix=A, element_scheme="sed", ...))
     result = run_sharded_campaign(spec, n_trials=200, workers=4,
                                   out="campaign.jsonl")
 
-``python -m repro.faults.campaign`` is the CLI wrapper.
+``python -m repro.faults.campaign`` is the CLI wrapper.  This module
+keeps only what is campaign-*specific* — the shard plan and the
+commutative count merge; pool scheduling and streaming live in
+:mod:`repro.sweeps.executor`, shared with every sweep grid.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-import multiprocessing
 
 import numpy as np
 
@@ -35,6 +37,7 @@ from repro.faults.campaign import (
     run_solver_campaign,
     run_vector_campaign,
 )
+from repro.sweeps.executor import Task, run_tasks, spawn_streams
 
 #: Campaign kind → runner.  Every runner accepts ``n_trials`` and a
 #: ``seed`` that may be a SeedSequence; everything else rides in
@@ -85,17 +88,18 @@ def plan_shards(
 ) -> list[Shard]:
     """Deterministic shard decomposition, independent of worker count.
 
-    ``SeedSequence(seed).spawn`` gives every shard a statistically
-    independent stream whose derivation depends only on the shard index
-    — the whole point: the same (n_trials, seed, shard_size) plan merges
-    to bitwise-identical counts no matter how the shards are scheduled.
+    :func:`~repro.sweeps.executor.spawn_streams` gives every shard a
+    statistically independent stream whose derivation depends only on
+    the shard index — the whole point: the same (n_trials, seed,
+    shard_size) plan merges to bitwise-identical counts no matter how
+    the shards are scheduled.
     """
     if n_trials < 1:
         raise ConfigurationError("n_trials must be >= 1")
     if shard_size < 1:
         raise ConfigurationError("shard_size must be >= 1")
     n_shards = -(-n_trials // shard_size)
-    seeds = np.random.SeedSequence(seed).spawn(n_shards)
+    seeds = spawn_streams(seed, n_shards)
     return [
         Shard(
             index=i,
@@ -106,12 +110,17 @@ def plan_shards(
     ]
 
 
-def _run_shard(job: tuple[CampaignTask, Shard]) -> dict:
-    """Pool worker: run one shard, return a JSON-serialisable record."""
-    task, shard = job
+def run_shard(*, task: CampaignTask, shard_index: int, n_trials: int,
+              seed=None) -> dict:
+    """Executor task runner: one shard -> one JSON-serialisable record.
+
+    Module-level with the shared executor's ``(*, seed, **params)``
+    convention, so spawn-pool workers resolve it by name.
+    """
     runner = CAMPAIGN_KINDS[task.kind]
-    result = runner(**task.params, n_trials=shard.n_trials, seed=shard.seed)
-    return shard_record(shard, result)
+    result = runner(**task.params, n_trials=n_trials, seed=seed)
+    return shard_record(Shard(index=shard_index, n_trials=n_trials, seed=seed),
+                        result)
 
 
 def shard_record(shard: Shard, result: CampaignResult) -> dict:
@@ -206,24 +215,27 @@ def run_sharded_campaign(
         (:func:`merge_jsonl` rebuilds the partial result).
     """
     shards = plan_shards(n_trials, seed=seed, shard_size=shard_size)
-    jobs = [(task, shard) for shard in shards]
+    tasks = [
+        Task(
+            key=f"shard-{shard.index}",
+            runner="repro.faults.sharding:run_shard",
+            params={"task": task, "shard_index": shard.index,
+                    "n_trials": shard.n_trials},
+            seed=shard.seed,
+        )
+        for shard in shards
+    ]
     sink = open(out, "w") if out is not None else None
     records: list[dict] = []
 
-    def _drain(results) -> None:
-        for record in results:
-            records.append(record)
-            if sink is not None:
-                sink.write(json.dumps(record) + "\n")
-                sink.flush()
+    def on_record(_key: str, record: dict) -> None:
+        records.append(record)
+        if sink is not None:
+            sink.write(json.dumps(record) + "\n")
+            sink.flush()
 
     try:
-        if workers <= 1 or len(jobs) == 1:
-            _drain(map(_run_shard, jobs))
-        else:
-            ctx = multiprocessing.get_context("spawn")
-            with ctx.Pool(processes=min(workers, len(jobs))) as pool:
-                _drain(pool.imap_unordered(_run_shard, jobs))
+        run_tasks(tasks, workers=workers, on_record=on_record)
     finally:
         if sink is not None:
             sink.close()

@@ -1,10 +1,18 @@
-"""The per-figure experiment registry (DESIGN.md's experiment index).
+"""The per-figure experiment registry, as thin sweep presets.
 
-Each entry knows how to produce the figure's series from both evidence
-sources — the host measurement and the platform model — and which paper
-anchors apply.  ``run_experiment`` returns uniform rows the report module
-formats, and the ``benchmarks/`` tree calls straight into this registry
-so the same code regenerates every figure.
+Each figure is one declarative grid — a
+:class:`~repro.sweeps.spec.SweepSpec` from :mod:`repro.sweeps.presets`
+whose cells are the figure's *series* (platform-model predictions, the
+engine-overlay curves, the host measurement) — executed through the
+same :func:`~repro.sweeps.core.run_sweep` core as the fault campaigns.
+``run_experiment`` therefore inherits the sweep machinery for free:
+``workers=`` fans the series out over a spawn pool, ``store=`` makes a
+long figure run resumable, and ``repro sweep --preset fig7`` is the
+same computation as ``run_experiment("fig7")``.
+
+``run_experiment`` returns uniform :class:`ExperimentRow` objects the
+report module formats, and the ``benchmarks/`` tree calls straight into
+this registry so the same code regenerates every figure.
 """
 
 from __future__ import annotations
@@ -12,9 +20,8 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable
 
-from repro.harness import overhead as hov
-from repro.platforms import predict as ppred
-from repro.platforms.specs import PAPER_ANCHORS
+from repro.sweeps.core import run_sweep
+from repro.sweeps.presets import get_preset
 
 
 @dataclasses.dataclass
@@ -36,146 +43,67 @@ class Experiment:
     runner: Callable[..., list[ExperimentRow]]
 
 
-def _anchor_lookup(region: str, scheme: str, platform: str, interval: int = 1):
-    for anchor in PAPER_ANCHORS:
-        if (
-            anchor.region == region
-            and anchor.scheme == scheme
-            and anchor.platform == platform
-            and (anchor.interval == interval or anchor.interval == 999)
-        ):
-            return anchor.value
-    return None
+def run_experiment(
+    figure: str,
+    *,
+    workers: int = 1,
+    store=None,
+    seed: int = 0,
+    **kwargs,
+) -> list[ExperimentRow]:
+    """Run one registry entry by figure id ('fig4' ... 'fig9', 't1').
 
+    ``kwargs`` are the figure preset's overrides (``n``, ``repeats``);
+    ``workers``/``store``/``seed`` pass through to
+    :func:`~repro.sweeps.core.run_sweep`, so figure regeneration shares
+    the campaign grids' parallelism and resume semantics.
+    """
+    if figure not in EXPERIMENTS:
+        from repro.errors import ConfigurationError
 
-def _figure_bars(figure, region, model_table, host_fn, host_kwargs) -> list[ExperimentRow]:
-    rows = []
-    for platform, by_scheme in model_table().items():
-        for scheme, value in by_scheme.items():
-            rows.append(
-                ExperimentRow(
-                    figure=figure, series=platform, key=scheme,
-                    overhead=value, source="model",
-                    paper_value=_anchor_lookup(region, scheme, platform),
-                )
-            )
-    for scheme, value in host_fn(**host_kwargs).items():
-        rows.append(
-            ExperimentRow(
-                figure=figure, series="host", key=scheme,
-                overhead=value, source="measured",
-            )
+        raise ConfigurationError(
+            f"unknown figure {figure!r}; choose from {sorted(EXPERIMENTS)} "
+            "(campaign grids run through repro.sweeps directly)"
         )
-    return rows
+    spec = get_preset(figure, **kwargs)
+    result = run_sweep(spec, workers=workers, store=store, seed=seed)
+    return [
+        ExperimentRow(**row)
+        for record in result.records
+        for row in record["result"]["rows"]
+    ]
 
 
 def run_fig4(n: int = 256, repeats: int = 5) -> list[ExperimentRow]:
-    return _figure_bars("fig4", "elements", ppred.figure4_table,
-                        hov.measure_element_overheads, {"n": n, "repeats": repeats})
+    return run_experiment("fig4", n=n, repeats=repeats)
 
 
 def run_fig5(n: int = 256, repeats: int = 5) -> list[ExperimentRow]:
-    return _figure_bars("fig5", "rowptr", ppred.figure5_table,
-                        hov.measure_rowptr_overheads, {"n": n, "repeats": repeats})
+    return run_experiment("fig5", n=n, repeats=repeats)
 
 
 def run_fig9(n: int = 256, repeats: int = 5) -> list[ExperimentRow]:
-    return _figure_bars("fig9", "vector", ppred.figure9_table,
-                        hov.measure_vector_overheads, {"n": n, "repeats": repeats})
-
-
-def _run_interval_figure(
-    figure: str, platform: str, scheme: str, n: int, repeats: int
-) -> list[ExperimentRow]:
-    rows = []
-    for interval, value in ppred.interval_figure(platform, scheme).items():
-        rows.append(
-            ExperimentRow(
-                figure=figure, series=platform, key=str(interval),
-                overhead=value, source="model",
-                paper_value=_anchor_lookup("matrix", scheme, platform, interval),
-            )
-        )
-    # The engine's schedule on the same axes: snapshot-validated non-due
-    # accesses instead of per-access range checks (ROADMAP follow-up).
-    for interval, value in ppred.deferred_interval_figure(platform, scheme).items():
-        rows.append(
-            ExperimentRow(
-                figure=figure, series=f"{platform}+eng", key=str(interval),
-                overhead=value, source="model",
-            )
-        )
-    measured = hov.measure_interval_curve(scheme, n=n, repeats=repeats)
-    for interval, value in measured.items():
-        rows.append(
-            ExperimentRow(
-                figure=figure, series="host", key=str(interval),
-                overhead=value, source="measured",
-            )
-        )
-    return rows
+    return run_experiment("fig9", n=n, repeats=repeats)
 
 
 def run_fig6(n: int = 256, repeats: int = 3) -> list[ExperimentRow]:
     """Fig. 6: whole-matrix SED vs interval (paper platform: Broadwell)."""
-    return _run_interval_figure("fig6", "broadwell", "sed", n, repeats)
+    return run_experiment("fig6", n=n, repeats=repeats)
 
 
 def run_fig7(n: int = 256, repeats: int = 3) -> list[ExperimentRow]:
     """Fig. 7: whole-matrix SECDED64 vs interval (ThunderX)."""
-    return _run_interval_figure("fig7", "thunderx", "secded64", n, repeats)
+    return run_experiment("fig7", n=n, repeats=repeats)
 
 
 def run_fig8(n: int = 256, repeats: int = 3) -> list[ExperimentRow]:
     """Fig. 8: whole-matrix CRC32C vs interval (GTX 1080 Ti)."""
-    return _run_interval_figure("fig8", "gtx1080ti", "crc32c", n, repeats)
+    return run_experiment("fig8", n=n, repeats=repeats)
 
 
 def run_t1(n: int = 192, repeats: int = 3) -> list[ExperimentRow]:
     """T1: combined full protection + the K40 hardware-ECC target."""
-    rows = [
-        ExperimentRow(
-            figure="t1", series="k40", key="hardware-ecc",
-            overhead=0.081, source="model", paper_value=0.081,
-        )
-    ]
-    for platform in ("p100", "gtx1080ti", "broadwell"):
-        rows.append(
-            ExperimentRow(
-                figure="t1", series=platform, key="full-secded64",
-                overhead=ppred.combined_full_protection(platform),
-                source="model",
-                paper_value=_anchor_lookup("full", "secded64", platform),
-            )
-        )
-        for interval in (8, 16):
-            rows.append(
-                ExperimentRow(
-                    figure="t1", series=platform,
-                    key=f"full-secded64-deferred{interval}",
-                    overhead=ppred.combined_full_protection_deferred(
-                        platform, interval=interval
-                    ),
-                    source="model",
-                )
-            )
-    rows.append(
-        ExperimentRow(
-            figure="t1", series="host", key="full-secded64",
-            overhead=hov.measure_full_protection(n=n, repeats=repeats, method="cg"),
-            source="measured",
-        )
-    )
-    for interval, value in hov.measure_deferred_full_protection(
-        n=n, repeats=repeats, intervals=(8, 16), method="cg"
-    ).items():
-        rows.append(
-            ExperimentRow(
-                figure="t1", series="host", key=f"full-secded64-deferred{interval}",
-                overhead=value, source="measured",
-            )
-        )
-    return rows
+    return run_experiment("t1", n=n, repeats=repeats)
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -187,8 +115,3 @@ EXPERIMENTS: dict[str, Experiment] = {
     "fig9": Experiment("fig9", "Dense vector protection overhead", run_fig9),
     "t1": Experiment("t1", "Combined full protection headline numbers", run_t1),
 }
-
-
-def run_experiment(figure: str, **kwargs) -> list[ExperimentRow]:
-    """Run one registry entry by figure id ('fig4' ... 'fig9', 't1')."""
-    return EXPERIMENTS[figure].runner(**kwargs)

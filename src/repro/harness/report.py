@@ -1,4 +1,11 @@
-"""Plain-text tables mirroring the paper's figures."""
+"""Plain-text tables mirroring the paper's figures.
+
+:func:`format_grid` is the one generic renderer — rows x columns of
+preformatted cell text — and everything else here (and the sweep
+renderers in :mod:`repro.sweeps.render`) lays its data out through it,
+so every table in the repo shares alignment and missing-cell
+conventions.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +18,50 @@ def _fmt(value: float | None) -> str:
     return "    -" if value is None else f"{100 * value:5.1f}"
 
 
+def format_grid(
+    rows: list,
+    col_labels: list[str],
+    cells: dict[tuple, str],
+    *,
+    title: str = "",
+    corner: str = "",
+    missing: str = "",
+) -> str:
+    """The shared table renderer: right-aligned columns, one header rule.
+
+    ``rows`` entries are either a plain label or a ``(key, display)``
+    pair (duplicate display text — e.g. repeated ``(paper)`` overlay
+    lines — needs distinct keys).  ``cells`` maps ``(row_key,
+    col_label)`` to preformatted text; absent pairs render as
+    ``missing``.  Column widths adapt to the widest cell (never
+    narrower than the column header), so callers format values, not
+    layout.
+    """
+    keyed = [(row, row) if not isinstance(row, tuple) else row for row in rows]
+    widths = {
+        col: max(len(str(col)),
+                 max((len(cells.get((key, col), missing)) for key, _ in keyed),
+                     default=0))
+        for col in col_labels
+    }
+    label_width = max([len(corner)] + [len(str(label)) for _, label in keyed])
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{corner:>{label_width}} | " + " ".join(
+        f"{str(col):>{widths[col]}}" for col in col_labels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key, label in keyed:
+        lines.append(
+            f"{str(label):>{label_width}} | "
+            + " ".join(f"{cells.get((key, col), missing):>{widths[col]}}"
+                       for col in col_labels)
+        )
+    return "\n".join(lines)
+
+
 def format_table(rows: list[ExperimentRow], title: str = "") -> str:
     """Bar-figure layout: one line per series, one column per scheme."""
     by_series: dict[str, list[ExperimentRow]] = defaultdict(list)
@@ -19,27 +70,28 @@ def format_table(rows: list[ExperimentRow], title: str = "") -> str:
         by_series[row.series].append(row)
         if row.key not in keys:
             keys.append(row.key)
-    lines = []
-    if title:
-        lines.append(title)
-    header = f"{'series':>12} {'src':>8} | " + " ".join(f"{k:>10}" for k in keys)
-    lines.append(header)
-    lines.append("-" * len(header))
+    grid_rows: list[tuple[str, str]] = []
+    cells: dict[tuple[str, str], str] = {}
     for series, series_rows in by_series.items():
         values = {r.key: r for r in series_rows}
-        source = series_rows[0].source
-        cells, paper_cells = [], []
+        label = f"{series:>12} {series_rows[0].source:>8}"
+        grid_rows.append((series, label))
         has_paper = False
         for key in keys:
             row = values.get(key)
-            cells.append(_fmt(row.overhead if row else None) + "%")
+            cells[(series, key)] = _fmt(row.overhead if row else None) + "%"
             paper = row.paper_value if row else None
-            has_paper |= paper is not None
-            paper_cells.append(_fmt(paper) + "%")
-        lines.append(f"{series:>12} {source:>8} | " + " ".join(f"{c:>10}" for c in cells))
+            if paper is not None:
+                has_paper = True
+                cells[(f"{series}/paper", key)] = _fmt(paper) + "%"
         if has_paper:
-            lines.append(f"{'(paper)':>12} {'':>8} | " + " ".join(f"{c:>10}" for c in paper_cells))
-    return "\n".join(lines)
+            grid_rows.append((f"{series}/paper", f"{'(paper)':>12} {'':>8}"))
+    return format_grid(
+        grid_rows, [f"{k:>10}" for k in keys],
+        {(r, f"{k:>10}"): text for (r, k), text in cells.items()},
+        title=title, corner=f"{'series':>12} {'src':>8}",
+        missing=_fmt(None) + "%",
+    )
 
 
 def format_interval_series(rows: list[ExperimentRow], title: str = "") -> str:
@@ -48,16 +100,14 @@ def format_interval_series(rows: list[ExperimentRow], title: str = "") -> str:
     for row in rows:
         by_series[row.series][int(row.key)] = row
     intervals = sorted({int(r.key) for r in rows})
-    lines = []
-    if title:
-        lines.append(title)
-    header = f"{'series':>12} | " + " ".join(f"N={n:>4}" for n in intervals)
-    lines.append(header)
-    lines.append("-" * len(header))
-    for series, points in by_series.items():
-        cells = [
-            _fmt(points[n].overhead if n in points else None) + "%"
-            for n in intervals
-        ]
-        lines.append(f"{series:>12} | " + " ".join(f"{c:>6}" for c in cells))
-    return "\n".join(lines)
+    col_labels = [f"N={n:>4}" for n in intervals]
+    cells = {
+        (series, f"N={n:>4}"): _fmt(points[n].overhead) + "%"
+        for series, points in by_series.items()
+        for n in intervals
+        if n in points
+    }
+    return format_grid(
+        list(by_series), col_labels, cells,
+        title=title, corner="series", missing=_fmt(None) + "%",
+    )

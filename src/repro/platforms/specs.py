@@ -133,3 +133,22 @@ PAPER_ANCHORS: list[Anchor] = [
 
 #: Fig. 9 range claim: SED vector protection costs 4..32% across platforms.
 VECTOR_SED_RANGE = (0.04, 0.32)
+
+
+def find_anchor(region: str, scheme: str, platform: str,
+                interval: int = 1) -> float | None:
+    """The paper's quoted overhead for a configuration, if it quoted one.
+
+    Interval ``999`` on an anchor means "the large-interval floor"; it
+    matches any requested interval, mirroring how the paper states those
+    numbers ("none of them achieve below ...").
+    """
+    for anchor in PAPER_ANCHORS:
+        if (
+            anchor.region == region
+            and anchor.scheme == scheme
+            and anchor.platform == platform
+            and (anchor.interval == interval or anchor.interval == 999)
+        ):
+            return anchor.value
+    return None

@@ -208,10 +208,16 @@ class DeferredVerificationEngine:
         sweep).  Registered vectors are always flushed and re-verified so
         the returned solution is a checked commit; the matrices join the
         sweep whenever any checks were deferred.
+
+        Vector checks here run *in-sweep* for the recovery layer: a DUE
+        at this boundary has no solver recurrence left to escalate to,
+        so any escalating strategy repairs the vector from its
+        authoritative cache instead of aborting the window (see
+        :meth:`~repro.recover.manager.RecoveryManager.repair_vector`).
         """
         sweep = self.policy.end_of_step()
         with backends.active(self.backend):
-            self._check_vectors(only_read=False)
+            self._check_vectors(only_read=False, in_sweep=True)
             if not sweep:
                 return
             for _, matrix in self._matrices.values():
@@ -247,19 +253,20 @@ class DeferredVerificationEngine:
             self._flush_vector(vector)
             self._check_vector(name, vector)
 
-    def _check_vectors(self, only_read: bool) -> None:
+    def _check_vectors(self, only_read: bool, in_sweep: bool = False) -> None:
         for key, (name, vector) in self._vectors.items():
             self._flush_vector(vector)
             if only_read and key not in self._read_since_check:
                 continue
-            self._check_vector(name, vector)
+            self._check_vector(name, vector, in_sweep=in_sweep)
 
     def _flush_vector(self, vector: ProtectedVector) -> None:
         if vector.dirty_window is not None:
             vector.flush()
             self.policy.stats.dirty_flushes += 1
 
-    def _check_vector(self, name: str, vector: ProtectedVector) -> None:
+    def _check_vector(self, name: str, vector: ProtectedVector,
+                      in_sweep: bool = False) -> None:
         report = vector.check(correct=self.policy.correct)
         self.policy.stats.vector_checks += 1
         self.policy.stats.corrected += report.n_corrected
@@ -271,7 +278,9 @@ class DeferredVerificationEngine:
         # come from the cache), so a cache rebuild is content-exact and
         # the solve continues as if the flip never happened.  The repair
         # is only trusted after it passes a fresh check.
-        if self.recovery is not None and self.recovery.repair_vector(name, vector):
+        if self.recovery is not None and self.recovery.repair_vector(
+            name, vector, in_sweep=in_sweep
+        ):
             report = vector.check(correct=self.policy.correct)
             self.policy.stats.vector_checks += 1
             if report.ok:

@@ -75,18 +75,24 @@ class RecoveryManager:
         self.store.begin_solve()
 
     # -- engine-side hook ------------------------------------------------
-    def repair_vector(self, name: str, vector) -> bool:
+    def repair_vector(self, name: str, vector, in_sweep: bool = False) -> bool:
         """Transparently rebuild a vector that failed its scheduled check.
 
-        Only for the ``repopulate`` strategy, and only when the plain
-        cache exists (it is the content the solver has been computing
-        with, so the rebuild loses nothing).  Returns True when storage
-        was rebuilt; the engine then re-checks before trusting it and
-        reports success via :meth:`note_vector_repaired` — the repair
-        only counts once it is *verified*, so failed recoveries never
-        inflate the survival metrics.
+        For the ``repopulate`` strategy — and, with ``in_sweep=True``,
+        for *any* escalating strategy: the mandatory end-of-step sweep
+        runs outside every solver recurrence, so there is no checkpoint
+        to roll back to, and the cache rebuild is the only repair that
+        exists there (it is also the strictly better one: the cache is
+        exactly the content the finished solves computed with, so the
+        rebuild loses nothing).  Returns True when storage was rebuilt;
+        the engine then re-checks before trusting it and reports success
+        via :meth:`note_vector_repaired` — the repair only counts once
+        it is *verified*, so failed recoveries never inflate the
+        survival metrics.
         """
-        if self.policy.strategy != "repopulate":
+        if self.policy.strategy != "repopulate" and not (
+            in_sweep and self.policy.escalates
+        ):
             return False
         return vector.rebuild_from_cache()
 

@@ -1,0 +1,54 @@
+"""Declarative, resumable experiment grids (the sweep orchestrator).
+
+The layer every repo artifact-grid runs through (README "Sweeps"):
+
+* :class:`~repro.sweeps.spec.SweepSpec` / :class:`~repro.sweeps.spec.Axis`
+  — a grid as data: axes x filters x fixed base parameters, with stable
+  per-cell identity hashes and hash-derived RNG streams;
+* :class:`~repro.sweeps.store.RunStore` — one JSONL record per
+  completed cell; reopening a store *is* resuming;
+* :func:`~repro.sweeps.core.run_sweep` — plan, skip completed cells,
+  execute the rest on the shared spawn-pool executor
+  (:mod:`repro.sweeps.executor`), bitwise-identical for any worker
+  count;
+* :mod:`repro.sweeps.presets` — every named grid (``resilience-matrix``,
+  ``guarantee-matrix``, ``mtbf``, ``fig4``..``fig9``, ``t1``);
+* :mod:`repro.sweeps.render` — text tables + machine-readable JSON.
+
+Exports resolve lazily (PEP 562) so importing :mod:`repro.sweeps` stays
+cheap and spawn-pool workers importing a single runner module do not
+drag the whole harness in.
+"""
+
+_EXPORTS = {
+    "Axis": "repro.sweeps.spec",
+    "SweepSpec": "repro.sweeps.spec",
+    "Task": "repro.sweeps.executor",
+    "run_tasks": "repro.sweeps.executor",
+    "spawn_streams": "repro.sweeps.executor",
+    "RunStore": "repro.sweeps.store",
+    "SweepResult": "repro.sweeps.core",
+    "run_sweep": "repro.sweeps.core",
+    "PRESETS": "repro.sweeps.presets",
+    "available_presets": "repro.sweeps.presets",
+    "get_preset": "repro.sweeps.presets",
+    "render_sweep": "repro.sweeps.render",
+    "sweep_json": "repro.sweeps.render",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,8 @@
+"""``python -m repro.sweeps``: the sweep CLI entry point."""
+
+import sys
+
+from repro.sweeps.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke tests
+    sys.exit(main())

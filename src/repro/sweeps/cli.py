@@ -1,0 +1,127 @@
+"""The sweep CLI, shared by ``repro sweep`` and ``python -m repro.sweeps``.
+
+One command runs any preset grid, resumably::
+
+    python -m repro.sweeps --preset resilience-matrix \
+        --store matrix.jsonl --workers 4 \
+        --out benchmarks/results/resilience_matrix.txt
+
+Kill it at any point and rerun the same command: completed cells are
+read back from ``--store`` and only the missing ones execute
+(``--limit N`` interrupts deterministically after N cells, which is how
+the CI smoke job rehearses exactly that).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.sweeps.core import run_sweep
+from repro.sweeps.presets import PRESETS, get_preset
+from repro.sweeps.render import render_sweep, sweep_json
+
+#: CLI flag -> preset override keyword (passed only when set).
+_OVERRIDES = ("grid", "trials", "n", "repeats", "methods", "schemes",
+              "rates", "recoveries", "max_iters")
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the sweep options to any parser (top-level or subcommand)."""
+    parser.add_argument("--preset", default=None,
+                        help=f"grid to run: {', '.join(sorted(PRESETS))}")
+    parser.add_argument("--list", action="store_true",
+                        help="list the available presets and exit")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="spawn-pool size for missing cells")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed folded into every cell identity")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="JSONL run store; rerunning resumes from it")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="execute at most N missing cells (partial run)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the rendered table to this file")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the machine-readable record dump here")
+    grid = parser.add_argument_group("preset overrides")
+    grid.add_argument("--grid", type=int, default=None,
+                      help="campaign operator cells per side")
+    grid.add_argument("--trials", type=int, default=None,
+                      help="trials per campaign cell")
+    grid.add_argument("--n", type=int, default=None,
+                      help="measurement grid size for figure presets")
+    grid.add_argument("--repeats", type=int, default=None,
+                      help="timing repeats for figure presets")
+    grid.add_argument("--max-iters", type=int, default=None,
+                      dest="max_iters", help="solver iteration cap per trial")
+    grid.add_argument("--methods", nargs="+", default=None,
+                      help="solver axis values (e.g. cg jacobi)")
+    grid.add_argument("--schemes", nargs="+", default=None,
+                      help="scheme axis values (e.g. sed secded64)")
+    grid.add_argument("--rates", nargs="+", type=float, default=None,
+                      help="fault-rate axis values")
+    grid.add_argument("--recoveries", nargs="+", default=None,
+                      help="recovery axis values (raise repopulate rollback)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.sweeps",
+        description="Declarative, resumable experiment grids "
+                    "(see README 'Sweeps').",
+    )
+    add_sweep_arguments(parser)
+    return parser
+
+
+def run(args) -> int:
+    """Execute parsed sweep arguments (shared with ``repro sweep``)."""
+    if args.list:
+        for name in sorted(PRESETS):
+            spec = get_preset(name)
+            print(f"{name:>18}  {len(spec):>3} cells  {spec.title}")
+        return 0
+    if args.preset is None:
+        print("error: --preset is required (or --list to see them)")
+        return 2
+    overrides = {key: getattr(args, key) for key in _OVERRIDES}
+    try:
+        spec = get_preset(args.preset, **overrides)
+        result = run_sweep(spec, workers=args.workers, seed=args.seed,
+                           store=args.store, limit=args.limit)
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2
+    text = render_sweep(spec, result.records)
+    print(text)
+    print(f"\n[{spec.name}] {result.executed} cells run, "
+          f"{result.restored} restored"
+          + (f" from {args.store}" if args.store else ""))
+    if result.remaining:
+        if args.store:
+            print(f"[partial] {result.remaining} cells still missing; "
+                  f"rerun the same command (--store {args.store}) to finish")
+        else:
+            # Without a store nothing was persisted: rerunning the same
+            # truncated command would redo the same cells forever.
+            print(f"[partial] {result.remaining} cells still missing and "
+                  "no --store was given, so this partial run is not "
+                  "resumable; rerun with --store (and without --limit) "
+                  "to finish")
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"rendered table: {args.out}")
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(sweep_json(spec, result) + "\n")
+        print(f"record dump: {args.json}")
+    return 0
+
+
+def main(argv=None) -> int:
+    return run(build_parser().parse_args(argv))

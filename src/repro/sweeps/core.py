@@ -1,0 +1,133 @@
+"""``run_sweep``: plan a grid, skip what's done, execute the rest.
+
+The orchestration step every grid shares:
+
+1. enumerate the spec's cells and their stable keys;
+2. subtract the cells a :class:`~repro.sweeps.store.RunStore` already
+   holds (resume);
+3. execute the missing cells on the shared spawn-pool executor,
+   streaming each completed record into the store;
+4. reassemble *all* records — restored and fresh — in grid order.
+
+Because cell keys and cell seeds derive from cell identity alone, a
+resumed run is indistinguishable from an uninterrupted one, and the
+assembled records are bitwise-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.sweeps.executor import run_tasks
+from repro.sweeps.spec import SweepSpec
+from repro.sweeps.store import RunStore
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Everything a finished (or partial) sweep run knows about itself."""
+
+    spec: SweepSpec
+    #: Cell records in grid order: ``{"key", "spec", "cell", "result"}``.
+    records: list[dict]
+    #: Cells executed by *this* call.
+    executed: int
+    #: Cells restored from the store instead of re-running.
+    restored: int
+    #: Cells still missing (only with ``limit``).
+    remaining: int
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining == 0
+
+    def results(self) -> list[dict]:
+        """Just the per-cell result payloads, grid order."""
+        return [record["result"] for record in self.records]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    seed: int = 0,
+    store: RunStore | str | None = None,
+    limit: int | None = None,
+) -> SweepResult:
+    """Run one sweep grid, resuming from ``store`` when it has history.
+
+    Parameters
+    ----------
+    workers:
+        Spawn-pool size for the missing cells; ``<= 1`` runs in-process
+        with identical results.
+    seed:
+        Root seed folded into every cell's identity (and therefore its
+        RNG stream).  Changing it is a new experiment: no cell of a
+        store written under another seed will be reused.
+    store:
+        A :class:`RunStore`, a path to create/resume one, or ``None``
+        for a purely in-memory run.
+    limit:
+        Execute at most this many missing cells, then return a partial
+        result — deterministic interruption, used by tests and the CI
+        resume smoke job (a real kill mid-run leaves the same store
+        state, minus any torn final line).
+    """
+    cells = spec.cells()
+    if not cells:
+        raise ConfigurationError(f"sweep {spec.name!r} has no cells after filtering")
+    keyed = [(spec.cell_key(cell, seed), cell) for cell in cells]
+    keys = [key for key, _ in keyed]
+    if len(set(keys)) != len(keys):
+        raise ConfigurationError(
+            f"sweep {spec.name!r} contains duplicate cells"
+        )
+
+    own_store = isinstance(store, (str, bytes)) or hasattr(store, "__fspath__")
+    run_store: RunStore | None = RunStore(store) if own_store else store
+    try:
+        done = run_store.completed if run_store is not None else set()
+        pending = [(key, cell) for key, cell in keyed if key not in done]
+        skipped = len(keyed) - len(pending)
+        if limit is not None:
+            pending = pending[: max(0, int(limit))]
+
+        fresh: dict[str, dict] = {}
+
+        def on_record(key: str, result: dict) -> None:
+            record = {
+                "key": key,
+                "spec": spec.name,
+                "cell": by_key[key],
+                "result": result,
+            }
+            fresh[key] = record
+            if run_store is not None:
+                run_store.append(record)
+
+        by_key = dict(pending)
+        run_tasks(
+            [spec.task(cell, seed) for _, cell in pending],
+            workers=workers,
+            on_record=on_record,
+        )
+
+        records = []
+        for key, _cell in keyed:
+            record = fresh.get(key)
+            if record is None and run_store is not None:
+                record = run_store.get(key)
+            if record is not None:
+                records.append(record)
+        return SweepResult(
+            spec=spec,
+            records=records,
+            executed=len(pending),
+            restored=skipped,
+            remaining=len(keyed) - len(records),
+        )
+    finally:
+        if own_store and run_store is not None:
+            run_store.close()

@@ -1,0 +1,137 @@
+"""The generic sweep task executor: one spawn pool for every grid.
+
+Generalises :mod:`repro.faults.sharding`'s campaign-only pool to
+arbitrary units of work.  A :class:`Task` names its runner as an
+importable ``"module:function"`` reference (spawn workers re-import
+modules, so callables must travel by name, not by pickle-by-value),
+carries a picklable ``params`` dict, and optionally its own
+:class:`numpy.random.SeedSequence` stream.
+
+Determinism contract, shared by campaigns and sweeps alike: the task
+list — including each task's seed — is planned *before* any execution,
+depends only on the spec (never on the worker count), and every task is
+a pure function of ``(params, seed)``.  Workers merely schedule the
+same computations, so merged results are bitwise-identical for any
+``workers`` value.
+
+Execution streams: ``on_record`` fires in the parent as each task
+completes (pool order, not plan order), which is what lets callers
+persist finished work before a crash takes the rest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import multiprocessing
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class Task:
+    """One schedulable unit: an importable runner plus its parameters.
+
+    ``params`` must be picklable (tasks cross a process boundary) and
+    must not contain ``seed`` — the executor owns seeding so planning
+    stays separate from execution.
+    """
+
+    key: str
+    runner: str
+    params: dict
+    seed: np.random.SeedSequence | None = None
+
+    def __post_init__(self):
+        if ":" not in self.runner:
+            raise ConfigurationError(
+                f"runner {self.runner!r} must be a 'module:function' reference"
+            )
+        if "seed" in self.params:
+            raise ConfigurationError(
+                "'seed' belongs to the executor, not Task.params"
+            )
+
+
+def resolve_runner(spec: str) -> Callable:
+    """``"package.module:function"`` -> the function object.
+
+    Import happens in whichever process runs the task — the parent for
+    in-process execution, the spawned worker otherwise — so runners must
+    live at module scope of an importable module.
+    """
+    module_name, _, func_name = spec.partition(":")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, func_name)
+    except AttributeError:
+        raise ConfigurationError(
+            f"module {module_name!r} has no runner {func_name!r}"
+        ) from None
+
+
+def spawn_streams(seed: int, n: int) -> list[np.random.SeedSequence]:
+    """``n`` independent child streams of one root seed.
+
+    The shared seed machinery: each child's derivation depends only on
+    ``(seed, index)``, so any consumer that plans its units first gets
+    the same streams regardless of how execution is later scheduled.
+    """
+    return np.random.SeedSequence(seed).spawn(n)
+
+
+def _execute(task: Task) -> tuple[str, dict]:
+    """Pool worker: run one task, return ``(key, record)``."""
+    fn = resolve_runner(task.runner)
+    record = fn(**task.params, seed=task.seed)
+    if not isinstance(record, dict):
+        raise ConfigurationError(
+            f"runner {task.runner!r} returned {type(record).__name__}; "
+            "task runners must return a JSON-serialisable dict"
+        )
+    return task.key, record
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    *,
+    workers: int = 1,
+    on_record: Callable[[str, dict], None] | None = None,
+) -> list[tuple[str, dict]]:
+    """Run every task, serially or on a spawn pool; stream completions.
+
+    Parameters
+    ----------
+    workers:
+        ``<= 1`` runs in-process (same tasks, same records — the
+        determinism guarantee is exactly this equivalence); ``> 1`` fans
+        out over a ``multiprocessing`` spawn pool (spawn, not fork: BLAS
+        thread pools and fork do not mix), capped at the task count.
+    on_record:
+        Called in the parent as ``on_record(key, record)`` the moment
+        each task completes, in completion order — the streaming hook
+        run stores and JSONL sinks attach to.
+
+    Returns the ``(key, record)`` pairs in completion order; callers
+    needing plan order reassemble by key.
+    """
+    results: list[tuple[str, dict]] = []
+
+    def _drain(pairs) -> None:
+        for key, record in pairs:
+            results.append((key, record))
+            if on_record is not None:
+                on_record(key, record)
+
+    if not tasks:
+        return results
+    if workers <= 1 or len(tasks) == 1:
+        _drain(map(_execute, tasks))
+    else:
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+            _drain(pool.imap_unordered(_execute, tasks))
+    return results

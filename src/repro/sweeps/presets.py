@@ -1,0 +1,258 @@
+"""Named sweep presets: every repo grid as one declarative spec.
+
+The registry is the anti-drift device the CLI, the examples and the
+benchmarks all share: ``repro sweep --preset <name>`` and
+``examples/*.py`` resolve the *same* :class:`~repro.sweeps.spec.SweepSpec`
+builders, so a grid tweaked in one place changes everywhere.
+
+Builders take keyword overrides (``get_preset("resilience-matrix",
+grid=10, trials=4)``), which is how the CI smoke job shrinks the full
+resilience matrix to a seconds-sized grid without a second definition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.platforms.specs import PLATFORMS
+from repro.sweeps.spec import Axis, SweepSpec
+
+_CAMPAIGN_RUNNER = "repro.sweeps.runners:campaign_cell"
+_FIGURE_RUNNER = "repro.sweeps.runners:figure_cell"
+_T1_RUNNER = "repro.sweeps.runners:t1_cell"
+
+
+# ---------------------------------------------------------------------------
+def resilience_matrix(
+    *,
+    grid: int = 12,
+    trials: int = 6,
+    methods=("cg", "ppcg", "jacobi", "chebyshev"),
+    schemes=("secded64", "sed"),
+    rates=(1e-7, 1e-5),
+    recoveries=("raise", "repopulate", "rollback"),
+    vectors: bool = True,
+    interval: int = 1,
+    max_iters: int = 1_500,
+) -> SweepSpec:
+    """The ROADMAP's full resilience matrix: solver x scheme x rate x recovery.
+
+    Every cell is a live-Poisson time-to-solution campaign
+    (:func:`repro.faults.campaign.run_poisson_campaign`) under full
+    protection (matrix + vectors when ``vectors``), classified against
+    the fault-free reference — detection, recovery and SDC rates for
+    every registered solver under every scheme, upset rate and recovery
+    strategy.
+    """
+    return SweepSpec(
+        name="resilience-matrix",
+        title="Resilience matrix: detection/recovery per solver x scheme "
+              "x upset rate x recovery strategy",
+        runner=_CAMPAIGN_RUNNER,
+        axes=(
+            Axis("method", methods),
+            Axis("scheme", schemes),
+            Axis("rate", rates),
+            Axis("recovery", recoveries),
+        ),
+        base={
+            "kind": "poisson", "grid": grid, "trials": trials,
+            "vectors": vectors, "interval": interval, "max_iters": max_iters,
+        },
+    )
+
+
+def guarantee_matrix(
+    *,
+    grid: int = 16,
+    trials: int = 200,
+    schemes=("sed", "secded64", "secded128", "crc32c"),
+    models=("single", "double", "multi5", "burst32"),
+    targets=("values", "rowptr", "vector"),
+) -> SweepSpec:
+    """The scheme-guarantee matrix (DCE/DUE/SDC per scheme x fault model).
+
+    Structure-level campaigns over every protected region.  Row-pointer
+    and vector cells run the single-flip model only (matching the
+    paper's guarantee table; multi-bit behaviour is scheme-determined
+    and already covered by the values cells) — the preset's filter
+    encodes exactly that pruning.
+    """
+    return SweepSpec(
+        name="guarantee-matrix",
+        title="Guarantee matrix: outcome counts per scheme x fault model "
+              "x protected region",
+        runner=_CAMPAIGN_RUNNER,
+        axes=(
+            Axis("target", targets),
+            Axis("model", models),
+            Axis("scheme", schemes),
+        ),
+        base={"kind": "structure", "grid": grid, "trials": trials},
+        filters=(
+            lambda cell: cell["target"] == "values" or cell["model"] == "single",
+        ),
+    )
+
+
+def _pair_axes(configs) -> tuple[Axis, Axis, tuple]:
+    """(scheme axis, recovery axis, filter) for a sparse pair list.
+
+    ``configs`` names the (scheme, recovery) pairs worth running; the
+    returned filter prunes the dense product back down to exactly those
+    — the declarative form of a sparse grid.
+    """
+    allowed = {tuple(pair) for pair in configs}
+    schemes = tuple(dict.fromkeys(pair[0] for pair in configs))
+    recoveries = tuple(dict.fromkeys(pair[1] for pair in configs))
+    keep = (lambda cell: (cell["scheme"], cell["recovery"]) in allowed,)
+    return Axis("scheme", schemes), Axis("recovery", recoveries), keep
+
+
+def solver_recovery(
+    *,
+    grid: int = 16,
+    trials: int = 40,
+    methods=("cg", "jacobi"),
+    configs=(("sed", "raise"), ("sed", "rollback"), ("secded64", "raise")),
+) -> SweepSpec:
+    """End-to-end: pre-corrupted matrix, protected solve, recovery on/off.
+
+    SED shows the detect-then-recover story, SECDED the
+    transparent-correct one; ``configs`` keeps only those pairs.
+    """
+    scheme_axis, recovery_axis, keep = _pair_axes(configs)
+    return SweepSpec(
+        name="solver-recovery",
+        title="End-to-end solver campaigns: corrupted matrix, in-solve recovery",
+        runner=_CAMPAIGN_RUNNER,
+        axes=(Axis("method", methods), scheme_axis, recovery_axis),
+        base={"kind": "solver", "grid": grid, "trials": trials,
+              "target": "values", "model": "single"},
+        filters=keep,
+    )
+
+
+def mtbf(
+    *,
+    grid: int = 16,
+    trials: int = 10,
+    rates=(1e-8, 1e-7, 1e-6, 1e-5),
+    configs=(("secded64", "raise"), ("sed", "raise"),
+             ("sed", "repopulate"), ("sed", "rollback")),
+    max_iters: int = 2_000,
+) -> SweepSpec:
+    """The MTBF study: upset rate vs. (scheme, recovery), with wall time.
+
+    ``timing=True`` keeps the ``mean_*`` tallies in the records (the
+    study *is* about time-to-solution), so this preset trades away the
+    bitwise-identical-records guarantee the resilience matrix keeps.
+    """
+    scheme_axis, recovery_axis, keep = _pair_axes(configs)
+    return SweepSpec(
+        name="mtbf",
+        title="MTBF study: live Poisson upsets across four orders of magnitude",
+        runner=_CAMPAIGN_RUNNER,
+        axes=(scheme_axis, recovery_axis, Axis("rate", rates)),
+        base={"kind": "poisson", "grid": grid, "trials": trials,
+              "max_iters": max_iters, "timing": True},
+        filters=keep,
+    )
+
+
+# ---------------------------------------------------------------------------
+def _figure_bars(figure: str, *, n: int = 256, repeats: int = 5) -> SweepSpec:
+    return SweepSpec(
+        name=figure,
+        title=f"{figure}: protection overheads",
+        runner=_FIGURE_RUNNER,
+        axes=(Axis("series", tuple(PLATFORMS) + ("host",)),),
+        base={"figure": figure, "n": n, "repeats": repeats},
+    )
+
+
+def _figure_intervals(figure: str, platform: str, *,
+                      n: int = 256, repeats: int = 3) -> SweepSpec:
+    return SweepSpec(
+        name=figure,
+        title=f"{figure}: overhead vs interval",
+        runner=_FIGURE_RUNNER,
+        axes=(Axis("series", (platform, f"{platform}+eng", "host")),),
+        base={"figure": figure, "n": n, "repeats": repeats},
+    )
+
+
+def fig4(**kw) -> SweepSpec:
+    return _figure_bars("fig4", **kw)
+
+
+def fig5(**kw) -> SweepSpec:
+    return _figure_bars("fig5", **kw)
+
+
+def fig9(**kw) -> SweepSpec:
+    return _figure_bars("fig9", **kw)
+
+
+def fig6(**kw) -> SweepSpec:
+    return _figure_intervals("fig6", "broadwell", **kw)
+
+
+def fig7(**kw) -> SweepSpec:
+    return _figure_intervals("fig7", "thunderx", **kw)
+
+
+def fig8(**kw) -> SweepSpec:
+    return _figure_intervals("fig8", "gtx1080ti", **kw)
+
+
+def t1(*, n: int = 192, repeats: int = 3) -> SweepSpec:
+    return SweepSpec(
+        name="t1",
+        title="T1: combined full protection headline numbers",
+        runner=_T1_RUNNER,
+        axes=(Axis("series", ("k40", "p100", "gtx1080ti", "broadwell", "host")),),
+        base={"n": n, "repeats": repeats},
+    )
+
+
+# ---------------------------------------------------------------------------
+PRESETS: dict[str, Callable[..., SweepSpec]] = {
+    "resilience-matrix": resilience_matrix,
+    "guarantee-matrix": guarantee_matrix,
+    "solver-recovery": solver_recovery,
+    "mtbf": mtbf,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "t1": t1,
+}
+
+
+def get_preset(name: str, **overrides) -> SweepSpec:
+    """Resolve a preset by name, applying keyword overrides.
+
+    ``None``-valued overrides are dropped so CLI plumbing can pass
+    unset flags straight through.
+    """
+    try:
+        builder = PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sweep preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    kwargs = {key: value for key, value in overrides.items() if value is not None}
+    try:
+        return builder(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"preset {name!r} rejected overrides {sorted(kwargs)}: {exc}"
+        ) from exc
+
+
+def available_presets() -> tuple[str, ...]:
+    return tuple(sorted(PRESETS))

@@ -1,0 +1,128 @@
+"""Sweep output: text tables (via the shared grid renderer) and JSON.
+
+Two record shapes cover every preset:
+
+* **figure cells** — results carrying ``"rows"`` (ExperimentRow dicts)
+  are flattened and laid out exactly like the per-figure harness tables
+  (bars, or interval curves when every key is numeric);
+* **campaign cells** — results carrying ``"counts"`` render as the
+  resilience-matrix layout: one block per fault rate, one row per
+  remaining-axis combination, one column per recovery strategy (or the
+  last axis when the grid has no recovery dimension).
+
+``sweep_json`` is the machine-readable twin: the full record list plus
+grid metadata, round-trippable into any downstream analysis.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sweeps.core import SweepResult
+from repro.sweeps.spec import SweepSpec
+
+
+def _experiment_rows(records: list[dict]):
+    from repro.harness.experiments import ExperimentRow
+
+    rows = []
+    for record in records:
+        for row in record["result"]["rows"]:
+            rows.append(ExperimentRow(**row))
+    return rows
+
+
+def _campaign_cell_text(result: dict) -> str:
+    rates = result.get("rates", {})
+    info = result.get("info", {})
+    parts = [f"det={rates.get('detection', 0.0):.2f}",
+             f"sdc={rates.get('sdc', 0.0):.2f}"]
+    if "recovered" in info:
+        parts.append(f"rec={info['recovered']}")
+    if "aborted" in info:
+        parts.append(f"ab={info['aborted']}")
+    if "mean_time" in info:
+        # Present only when the preset opted into timing records
+        # (timing=True) — the study's headline number belongs in its
+        # rendered table, not just the JSON dump.
+        parts.append(f"ms={info['mean_time'] * 1e3:.1f}")
+    return " ".join(parts)
+
+
+def render_campaign_matrix(spec: SweepSpec, records: list[dict]) -> str:
+    """The matrix layout: rate blocks x (row axes) x recovery columns."""
+    from repro.harness.report import format_grid
+
+    axis_names = [name for name in spec.axis_names()
+                  if records and name in records[0]["cell"]]
+    block_axis = "rate" if "rate" in axis_names else None
+    remaining = [name for name in axis_names if name != block_axis]
+    col_axis = "recovery" if "recovery" in remaining else (
+        remaining[-1] if remaining else None
+    )
+    row_axes = [name for name in remaining if name != col_axis]
+
+    def row_label(cell: dict) -> str:
+        return " ".join(str(cell[name]) for name in row_axes) or spec.name
+
+    blocks: dict = {}
+    for record in records:
+        block = record["cell"].get(block_axis) if block_axis else None
+        blocks.setdefault(block, []).append(record)
+
+    sections = []
+    for block, block_records in blocks.items():
+        row_labels, col_labels, cells = [], [], {}
+        for record in block_records:
+            row = row_label(record["cell"])
+            col = str(record["cell"][col_axis]) if col_axis else "result"
+            if row not in row_labels:
+                row_labels.append(row)
+            if col not in col_labels:
+                col_labels.append(col)
+            cells[(row, col)] = _campaign_cell_text(record["result"])
+        if block_axis:
+            value = f"{block:g}" if isinstance(block, (int, float)) else str(block)
+            title = f"{block_axis}={value}"
+        else:
+            title = ""
+        corner = " x ".join(row_axes) if row_axes else spec.name
+        sections.append(format_grid(row_labels, col_labels, cells,
+                                    title=title, corner=corner, missing="-"))
+    header = [spec.title] if spec.title else []
+    return "\n\n".join(header + sections)
+
+
+def render_sweep(spec: SweepSpec, records: list[dict]) -> str:
+    """Lay a sweep's records out as text, by record shape."""
+    from repro.harness.report import format_interval_series, format_table
+
+    if not records:
+        return f"{spec.title or spec.name}\n(no completed cells)"
+    result = records[0]["result"]
+    if "rows" in result:
+        rows = _experiment_rows(records)
+        if all(row.key.lstrip("-").isdigit() for row in rows):
+            return format_interval_series(rows, spec.title or spec.name)
+        return format_table(rows, spec.title or spec.name)
+    if "counts" in result:
+        return render_campaign_matrix(spec, records)
+    return json.dumps(records, indent=2)
+
+
+def sweep_json(spec: SweepSpec, result: SweepResult) -> str:
+    """Machine-readable sweep output: grid metadata + every cell record."""
+    return json.dumps(
+        {
+            "spec": spec.name,
+            "title": spec.title,
+            "runner": spec.runner,
+            "axes": {axis.name: list(axis.values) for axis in spec.axes},
+            "base": spec.base,
+            "complete": result.complete,
+            "executed": result.executed,
+            "restored": result.restored,
+            "records": result.records,
+        },
+        indent=2,
+    )

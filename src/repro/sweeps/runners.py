@@ -1,0 +1,278 @@
+"""Sweep cell runners: one grid cell -> one JSON-serialisable record.
+
+Every runner here is a module-level function with the executor's
+``(*, seed, **params)`` calling convention, so it can execute in a
+spawn-pool worker.  Parameters arrive as plain JSON scalars (scheme
+names, model specs, grid sizes); the runner builds the heavy objects —
+operators, fault models, recovery policies — locally and
+deterministically, which is what keeps sweep cells picklable, cheap to
+plan, and bitwise-reproducible from their ``(params, seed)`` pair
+alone.
+
+Three families cover the repo's artifact grids:
+
+* :func:`campaign_cell` — fault-injection campaigns (the resilience
+  matrix, the guarantee matrix, MTBF studies) via
+  :mod:`repro.faults.campaign`;
+* :func:`figure_cell` — one series of a paper figure (Figs. 4-9), from
+  either the platform model or a host measurement;
+* :func:`t1_cell` — one series of the T1 combined-protection table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csr.build import five_point_operator
+from repro.errors import ConfigurationError
+from repro.faults.injector import Region
+from repro.faults.models import build_model
+from repro.platforms import predict as ppred
+from repro.platforms.specs import find_anchor
+
+# ---------------------------------------------------------------------------
+# campaign cells
+
+
+def _study_operator(grid: int, matrix_seed: int):
+    """The shared campaign operator: a ``grid x grid`` five-point system.
+
+    Every cell of a sweep rebuilds the *same* matrix (``matrix_seed`` is
+    a base parameter, not an axis), so cells differ only in the axis
+    under study.
+    """
+    rng = np.random.default_rng(matrix_seed)
+    shape = (grid, grid)
+    matrix = five_point_operator(
+        grid, grid,
+        rng.uniform(0.5, 2.0, shape), rng.uniform(0.5, 2.0, shape), 0.3,
+    )
+    b = rng.standard_normal(matrix.n_rows)
+    return matrix, b, rng
+
+
+def _recovery_policy(strategy: str | None, max_retries: int,
+                     checkpoint_interval: int):
+    if strategy in (None, "raise"):
+        return None
+    from repro.recover import RecoveryPolicy
+
+    return RecoveryPolicy(strategy=strategy, max_retries=max_retries,
+                          checkpoint_interval=checkpoint_interval)
+
+
+def _scheme(value: str | None) -> str | None:
+    return None if value in (None, "none") else value
+
+
+def campaign_cell(
+    *,
+    seed=None,
+    kind: str,
+    trials: int = 8,
+    grid: int = 12,
+    matrix_seed: int = 0,
+    method: str = "cg",
+    scheme: str | None = "secded64",
+    rowptr_scheme: str | None = None,
+    vectors: bool = False,
+    target: str = "values",
+    model: str = "single",
+    rate: float = 1e-6,
+    interval: int = 1,
+    recovery: str | None = None,
+    max_retries: int = 64,
+    checkpoint_interval: int = 4,
+    eps: float = 1e-20,
+    max_iters: int = 2_000,
+    timing: bool = False,
+) -> dict:
+    """One fault-campaign cell; the record is a campaign-result summary.
+
+    ``kind`` selects the campaign family:
+
+    * ``"poisson"`` — live Poisson process at ``rate`` during a full
+      protected solve (the resilience-matrix cell);
+    * ``"solver"`` — pre-corrupted matrix (``target``/``model``), then a
+      full protected solve;
+    * ``"structure"`` — scheme-level guarantee campaign against one
+      protected structure: ``target`` picks CSR ``values`` / ``colidx``
+      / ``rowptr`` or a dense ``vector``.
+
+    By default the record contains only deterministic fields — wall-time
+    (``mean_*``) tallies are dropped so merged cell records are
+    bitwise-identical across worker counts and resumes; ``timing=True``
+    keeps them for time-to-solution studies (MTBF), at the cost of that
+    guarantee.
+    """
+    from repro.faults.campaign import (
+        run_matrix_campaign,
+        run_poisson_campaign,
+        run_solver_campaign,
+        run_vector_campaign,
+    )
+
+    matrix, b, rng = _study_operator(grid, matrix_seed)
+    element_scheme = _scheme(scheme)
+    rowptr = _scheme(rowptr_scheme) if rowptr_scheme is not None else element_scheme
+    policy = _recovery_policy(recovery, max_retries, checkpoint_interval)
+
+    if kind == "poisson":
+        result = run_poisson_campaign(
+            matrix, b, rate=rate, method=method,
+            element_scheme=element_scheme, rowptr_scheme=rowptr,
+            vector_scheme=element_scheme if vectors else None,
+            interval=interval, recovery=policy,
+            n_trials=trials, seed=seed, eps=eps, max_iters=max_iters,
+        )
+    elif kind == "solver":
+        result = run_solver_campaign(
+            matrix, b, element_scheme=element_scheme, rowptr_scheme=rowptr,
+            region=Region(target), model=build_model(model), method=method,
+            recovery=policy, n_trials=trials, seed=seed,
+            eps=eps, max_iters=max_iters,
+        )
+    elif kind == "structure":
+        if target == "vector":
+            result = run_vector_campaign(
+                rng.standard_normal(matrix.n_rows), element_scheme,
+                build_model(model), n_trials=trials, seed=seed,
+            )
+        else:
+            result = run_matrix_campaign(
+                matrix, element_scheme, rowptr, Region(target),
+                build_model(model), n_trials=trials, seed=seed,
+            )
+    else:
+        raise ConfigurationError(
+            f"unknown campaign cell kind {kind!r}; "
+            "use poisson | solver | structure"
+        )
+
+    info = {
+        key: value
+        for key, value in result.info.items()
+        if timing or not key.startswith("mean_")
+    }
+    return {
+        "scheme": result.scheme,
+        "region": result.region,
+        "model": result.model,
+        "n_trials": result.n_trials,
+        "counts": {o.value: n for o, n in sorted(result.counts.items(),
+                                                 key=lambda kv: kv[0].value)},
+        "rates": {
+            "detection": result.detection_rate,
+            "sdc": result.sdc_rate,
+            "silent_converged": result.silent_converged_rate,
+            "residual": result.residual_detected_rate,
+        },
+        "info": info,
+    }
+
+
+# ---------------------------------------------------------------------------
+# figure cells
+
+#: Bar figures: figure -> (anchor region, model table, host measurement).
+_BAR_FIGURES = {
+    "fig4": ("elements", "figure4_table", "measure_element_overheads"),
+    "fig5": ("rowptr", "figure5_table", "measure_rowptr_overheads"),
+    "fig9": ("vector", "figure9_table", "measure_vector_overheads"),
+}
+
+#: Interval figures: figure -> (paper platform, scheme).
+_INTERVAL_FIGURES = {
+    "fig6": ("broadwell", "sed"),
+    "fig7": ("thunderx", "secded64"),
+    "fig8": ("gtx1080ti", "crc32c"),
+}
+
+
+def _row(figure, series, key, overhead, source, paper_value=None) -> dict:
+    return {
+        "figure": figure, "series": series, "key": str(key),
+        "overhead": float(overhead), "source": source,
+        "paper_value": paper_value,
+    }
+
+
+def figure_cell(*, seed=None, figure: str, series: str,
+                n: int = 256, repeats: int = 3) -> dict:
+    """One series of a paper figure: ``{"rows": [...]}``.
+
+    ``series`` is a platform name (model prediction), a
+    ``"<platform>+eng"`` overlay (the engine's schedule on the model's
+    axes), or ``"host"`` (a timing measurement on this machine — host
+    cells are *not* deterministic, and no sweep claims they are).
+    ``seed`` is accepted for executor uniformity; timing cells ignore it.
+    """
+    from repro.harness import overhead as hov
+
+    if figure in _BAR_FIGURES:
+        region, table_name, measure_name = _BAR_FIGURES[figure]
+        if series == "host":
+            measured = getattr(hov, measure_name)(n=n, repeats=repeats)
+            rows = [_row(figure, "host", scheme, value, "measured")
+                    for scheme, value in measured.items()]
+        else:
+            by_scheme = getattr(ppred, table_name)()[series]
+            rows = [
+                _row(figure, series, scheme, value, "model",
+                     find_anchor(region, scheme, series))
+                for scheme, value in by_scheme.items()
+            ]
+        return {"rows": rows}
+
+    if figure in _INTERVAL_FIGURES:
+        platform, scheme = _INTERVAL_FIGURES[figure]
+        if series == "host":
+            measured = hov.measure_interval_curve(scheme, n=n, repeats=repeats)
+            rows = [_row(figure, "host", interval, value, "measured")
+                    for interval, value in measured.items()]
+        elif series.endswith("+eng"):
+            curve = ppred.deferred_interval_figure(series.removesuffix("+eng"),
+                                                   scheme)
+            rows = [_row(figure, series, interval, value, "model")
+                    for interval, value in curve.items()]
+        else:
+            curve = ppred.interval_figure(series, scheme)
+            rows = [
+                _row(figure, series, interval, value, "model",
+                     find_anchor("matrix", scheme, series, interval))
+                for interval, value in curve.items()
+            ]
+        return {"rows": rows}
+
+    raise ConfigurationError(f"unknown figure {figure!r}")
+
+
+def t1_cell(*, seed=None, series: str, n: int = 192, repeats: int = 3) -> dict:
+    """One series of the T1 combined full-protection table."""
+    from repro.harness import overhead as hov
+
+    if series == "k40":
+        return {"rows": [_row("t1", "k40", "hardware-ecc", 0.081, "model",
+                              paper_value=0.081)]}
+    if series == "host":
+        rows = [_row("t1", "host", "full-secded64",
+                     hov.measure_full_protection(n=n, repeats=repeats,
+                                                 method="cg"),
+                     "measured")]
+        deferred = hov.measure_deferred_full_protection(
+            n=n, repeats=repeats, intervals=(8, 16), method="cg"
+        )
+        rows += [_row("t1", "host", f"full-secded64-deferred{interval}",
+                      value, "measured")
+                 for interval, value in deferred.items()]
+        return {"rows": rows}
+    rows = [_row("t1", series, "full-secded64",
+                 ppred.combined_full_protection(series), "model",
+                 find_anchor("full", "secded64", series))]
+    rows += [
+        _row("t1", series, f"full-secded64-deferred{interval}",
+             ppred.combined_full_protection_deferred(series, interval=interval),
+             "model")
+        for interval in (8, 16)
+    ]
+    return {"rows": rows}

@@ -1,0 +1,188 @@
+"""Declarative sweep grids: axes, filters, and stable cell identity.
+
+The paper's artifacts are all *grids* — overhead vs. interval curves,
+scheme x region bars, detection/recovery rates per scheme — and every
+grid run so far grew its own nested-loop runner.  A :class:`SweepSpec`
+replaces the loops with data: named axes (method, scheme, interval,
+fault rate, recovery strategy, problem size, ...), fixed base
+parameters shared by every cell, and optional filters that prune
+combinations that make no sense.
+
+Two properties make the grids *resumable* and *deterministic*:
+
+* **stable cell identity** — :meth:`SweepSpec.cell_key` hashes the
+  cell's complete computation description (runner, base parameters,
+  axis values, sweep seed) into a short hex key.  The key depends only
+  on *what* the cell computes, never on enumeration order, worker
+  count, or which other cells exist, so a run store keyed by it can
+  tell exactly which cells a killed sweep still owes;
+* **per-cell RNG streams** — :meth:`cell_seed` derives a
+  :class:`numpy.random.SeedSequence` from the cell key's hash words.
+  Every cell gets a statistically independent stream that is identical
+  no matter when, where, or alongside which cells it runs — the sweep
+  generalisation of :func:`repro.faults.sharding.plan_shards`'s
+  per-shard streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sweeps.executor import Task
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON for hashing: sorted keys, no whitespace.
+
+    Raises :class:`ConfigurationError` for values JSON cannot represent
+    — cell identity must be writable to the run store verbatim, so
+    non-serialisable axis/base values are a spec bug, caught early.
+    """
+    try:
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"sweep parameters must be JSON-serialisable: {exc}"
+        ) from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class Axis:
+    """One named dimension of a sweep grid."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.name:
+            raise ConfigurationError("axis needs a non-empty name")
+        if not self.values:
+            raise ConfigurationError(f"axis {self.name!r} needs at least one value")
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """One declarative experiment grid.
+
+    Parameters
+    ----------
+    name:
+        Display name (preset name); not part of cell identity, so
+        renaming a preset does not orphan its completed cells.
+    runner:
+        The cell runner as an importable ``"package.module:function"``
+        reference.  Runners execute in spawn-pool workers, so they must
+        be module-level functions taking ``(*, seed, **params)`` and
+        returning a JSON-serialisable dict.
+    axes:
+        The grid dimensions, outermost first (the last axis varies
+        fastest in :meth:`cells` order).
+    base:
+        Fixed parameters merged into every cell (grid size, trial
+        count, ...).  Part of cell identity, so changing e.g. ``trials``
+        correctly invalidates a store written at a different setting.
+    filters:
+        Predicates over the cell dict; a cell is kept only when every
+        filter returns True.  Filters prune *combinations* (identity is
+        unaffected — a filtered-in cell hashes the same in any spec).
+    title:
+        Human heading for rendered output.
+    """
+
+    name: str
+    runner: str
+    axes: tuple[Axis, ...]
+    base: Mapping = dataclasses.field(default_factory=dict)
+    filters: tuple[Callable[[dict], bool], ...] = ()
+    title: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "axes", tuple(self.axes))
+        object.__setattr__(self, "base", dict(self.base))
+        object.__setattr__(self, "filters", tuple(self.filters))
+        if ":" not in self.runner:
+            raise ConfigurationError(
+                f"runner {self.runner!r} must be a 'module:function' reference"
+            )
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate axis names in {names}")
+        clash = set(names) & set(self.base)
+        if clash:
+            raise ConfigurationError(
+                f"base parameters {sorted(clash)} collide with axis names"
+            )
+        canonical_json(self.base)  # fail fast on non-serialisable specs
+
+    # -- grid enumeration ------------------------------------------------
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(axis.name for axis in self.axes)
+
+    def axis(self, name: str) -> Axis | None:
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        return None
+
+    def cells(self) -> list[dict]:
+        """Every surviving cell, as axis-name -> value dicts, grid order."""
+        names = self.axis_names()
+        out = []
+        for combo in itertools.product(*(axis.values for axis in self.axes)):
+            cell = dict(zip(names, combo))
+            if all(f(cell) for f in self.filters):
+                out.append(cell)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.cells())
+
+    # -- cell identity ---------------------------------------------------
+    def cell_key(self, cell: Mapping, seed: int = 0) -> str:
+        """Stable 16-hex-digit identity of one cell's computation.
+
+        Hashes runner + base + axis values + sweep seed; the spec's
+        display name is deliberately excluded.  Identical cells in
+        different presets share a key — they *are* the same computation,
+        and a store may serve either.
+        """
+        payload = canonical_json(
+            {"runner": self.runner, "base": self.base,
+             "cell": dict(cell), "seed": int(seed)}
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def cell_seed(self, cell: Mapping, seed: int = 0) -> np.random.SeedSequence:
+        """The cell's own RNG stream, derived from its identity hash.
+
+        Hash-derived entropy (rather than ``SeedSequence.spawn`` over an
+        enumeration index) keeps the stream stable under resume: adding
+        an axis value, filtering cells, or completing some cells first
+        never changes any other cell's faults.
+        """
+        key = self.cell_key(cell, seed)
+        words = [int(key[i : i + 8], 16) for i in range(0, len(key), 8)]
+        return np.random.SeedSequence(words)
+
+    def cell_params(self, cell: Mapping) -> dict:
+        return {**self.base, **cell}
+
+    def task(self, cell: Mapping, seed: int = 0) -> Task:
+        """The executor task computing one cell."""
+        return Task(
+            key=self.cell_key(cell, seed),
+            runner=self.runner,
+            params=self.cell_params(cell),
+            seed=self.cell_seed(cell, seed),
+        )
+
+    def replace(self, **changes) -> "SweepSpec":
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,103 @@
+"""The resumable run store: one JSONL record per completed sweep cell.
+
+A sweep that dies 70 cells into a 96-cell grid should owe 26 cells, not
+96.  The store makes that arithmetic trivial: every completed cell is
+appended (and flushed) as one self-describing JSON line keyed by the
+cell's stable identity hash, so a restarted sweep loads the file, skips
+every key it finds, and runs only the missing cells — producing, cell
+for cell, the records an uninterrupted run would have produced (cell
+seeds derive from cell identity, never from execution order).
+
+The file is append-only and order-insensitive.  A line torn by a crash
+mid-write is skipped on load (its cell simply re-runs); a key appended
+twice keeps the later record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+
+class RunStore:
+    """Append-only JSONL persistence for sweep cell records.
+
+    Opening a path that already exists loads its records — that *is*
+    the resume path; there is no separate mode.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self._fh = None
+        if self.path.exists():
+            with open(self.path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A torn final line from a killed writer; the
+                        # cell it described re-runs, so skipping loses
+                        # nothing but the partial bytes.
+                        continue
+                    if isinstance(record, dict) and "key" in record:
+                        self._records[record["key"]] = record
+
+    # -- reads -----------------------------------------------------------
+    @property
+    def completed(self) -> set[str]:
+        """Keys of every cell this store already holds."""
+        return set(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> dict | None:
+        return self._records.get(key)
+
+    def records(self) -> list[dict]:
+        """Every stored record, in insertion (file) order."""
+        return list(self._records.values())
+
+    # -- writes ----------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Persist one cell record immediately (write + flush)."""
+        if "key" not in record:
+            raise ConfigurationError("run-store records need a 'key' field")
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+            # A file killed mid-write may end in a torn, newline-less
+            # line; appending straight onto it would weld the new record
+            # to the torn bytes and lose *both* on the next load.  Start
+            # on a fresh line instead.
+            if self.path.stat().st_size:
+                with open(self.path, "rb") as fh:
+                    fh.seek(-1, 2)
+                    if fh.read(1) != b"\n":
+                        self._fh.write("\n")
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        self._records[record["key"]] = record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunStore({str(self.path)!r}, cells={len(self._records)})"

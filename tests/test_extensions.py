@@ -250,4 +250,6 @@ class TestCLI:
 
         assert main(["campaign", "--trials", "10"]) == 0
         out = capsys.readouterr().out
-        assert "SDC-rate" in out
+        # Routed through the guarantee-matrix sweep preset: the rendered
+        # grid carries per-scheme sdc columns.
+        assert "sdc=" in out and "secded64" in out and "Guarantee matrix" in out

@@ -429,6 +429,68 @@ class TestSessionAndDriverRecovery:
 
 
 # ---------------------------------------------------------------------------
+class TestInSweepVectorRepair:
+    """ISSUE 5 satellite: a vector DUE at the mandatory ``end_step()``
+    sweep repopulates from the authoritative cache instead of aborting
+    the window — for *any* escalating strategy, since the sweep runs
+    outside every solver recurrence and a rollback target no longer
+    exists there.  ``raise`` keeps the historical abort (driver
+    step-retry is the fallback)."""
+
+    @pytest.mark.parametrize("strategy", ["repopulate", "rollback"])
+    def test_end_step_due_repairs_instead_of_aborting(self, strategy):
+        matrix, b = make_problem()
+        session = ProtectionSession(sed_config(strategy))
+        result = session.solve(matrix, b, method="cg", eps=EPS)
+        assert result.converged
+        vectors = session.engine.registered_vectors()
+        assert vectors, "the solve should leave protected state registered"
+        name, vec = next(iter(vectors.items()))
+        # Commit the pending window first: a flip *inside* a dirty
+        # window hits dead storage and is legitimately harmless, so the
+        # sweep-repair scenario needs committed codewords to corrupt.
+        vec.flush()
+        reference = vec.values().copy()
+        inject_into_vector(vec, [FaultSpec(2, 21)])
+        session.end_step()  # in-sweep repair: the window survives
+        assert session.steps_completed == 1
+        assert session.recovery.stats.vector_repairs == 1
+        # Content-exact: the rebuild restored exactly what was computed.
+        assert np.array_equal(vec.values(), reference)
+        # The session stays usable; the next step is clean.
+        next_result = session.solve(matrix, b, method="cg", eps=EPS)
+        session.end_step()
+        assert next_result.converged
+        assert session.recovery.stats.vector_repairs == 1
+
+    def test_end_step_due_still_raises_without_escalation(self):
+        matrix, b = make_problem()
+        session = ProtectionSession(sed_config("raise"))
+        session.solve(matrix, b, method="cg", eps=EPS)
+        vectors = session.engine.registered_vectors()
+        _, vec = next(iter(vectors.items()))
+        vec.flush()
+        inject_into_vector(vec, [FaultSpec(2, 21)])
+        with pytest.raises(DetectedUncorrectableError):
+            session.end_step()
+
+    def test_mid_solve_vector_check_does_not_use_sweep_repair(self):
+        """Outside the sweep, rollback vector DUEs still escalate to the
+        solver (checkpoint restore), not to the cache rebuild — the
+        in-sweep path must not widen the mid-solve semantics."""
+        from repro.protect import ProtectedVector
+
+        config = sed_config("rollback")
+        engine = config.engine()
+        vec = ProtectedVector(np.arange(16.0), "sed")
+        engine.read(vec)  # registers + populates the cache
+        inject_into_vector(vec, [FaultSpec(1, 12)])
+        with pytest.raises(DetectedUncorrectableError):
+            engine.verify_vector(vec)
+        assert engine.recovery.stats.vector_repairs == 0
+
+
+# ---------------------------------------------------------------------------
 class TestRecoveryPrimitives:
     def test_vector_rebuild_from_cache(self):
         from repro.protect import ProtectedVector

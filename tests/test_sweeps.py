@@ -1,0 +1,399 @@
+"""The sweep orchestrator: specs, stores, executor, resume, CLI.
+
+The acceptance bars (ISSUE 5):
+
+* merged cell records are bitwise-identical for ``workers=1`` vs
+  ``workers=4``;
+* a sweep killed after N cells and resumed reproduces an uninterrupted
+  run cell-for-cell, without re-executing completed cells.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweeps.core import run_sweep
+from repro.sweeps.executor import Task, resolve_runner, run_tasks, spawn_streams
+from repro.sweeps.presets import PRESETS, available_presets, get_preset
+from repro.sweeps.render import render_sweep, sweep_json
+from repro.sweeps.spec import Axis, SweepSpec
+from repro.sweeps.store import RunStore
+
+#: In-process probe runner (workers=1 paths only): counts executions via
+#: marker files in SWEEP_PROBE_DIR, which stays *out* of cell identity.
+PROBE_RUNNER = f"{__name__}:probe_cell"
+
+
+def probe_cell(*, seed=None, value=0, **_params) -> dict:
+    probe_dir = os.environ.get("SWEEP_PROBE_DIR")
+    if probe_dir:
+        with open(Path(probe_dir) / f"cell-{value}.ran", "a") as fh:
+            fh.write("ran\n")
+    rng = np.random.default_rng(seed)
+    return {"value": value, "draw": int(rng.integers(1 << 30))}
+
+
+def probe_spec(n=6, **base) -> SweepSpec:
+    return SweepSpec(
+        name="probe", runner=PROBE_RUNNER,
+        axes=(Axis("value", tuple(range(n))),), base=base,
+    )
+
+
+def tiny_matrix_spec(**overrides) -> SweepSpec:
+    """A seconds-sized resilience matrix for executor-level tests."""
+    params = dict(grid=8, trials=2, methods=("cg",), schemes=("sed",),
+                  rates=(1e-6,), recoveries=("raise", "repopulate"),
+                  max_iters=400)
+    params.update(overrides)
+    return get_preset("resilience-matrix", **params)
+
+
+# ---------------------------------------------------------------------------
+class TestSpec:
+    def test_cells_are_the_filtered_product(self):
+        spec = SweepSpec(
+            name="s", runner="m:f",
+            axes=(Axis("a", (1, 2)), Axis("b", ("x", "y"))),
+            filters=(lambda cell: not (cell["a"] == 2 and cell["b"] == "y"),),
+        )
+        assert spec.cells() == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"}, {"a": 2, "b": "x"},
+        ]
+        assert len(spec) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Axis("a", ())
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="s", runner="no-colon", axes=(Axis("a", (1,)),))
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="s", runner="m:f",
+                      axes=(Axis("a", (1,)), Axis("a", (2,))))
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="s", runner="m:f", axes=(Axis("a", (1,)),),
+                      base={"a": 2})
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="s", runner="m:f", axes=(Axis("a", (1,)),),
+                      base={"bad": object()})
+
+    def test_cell_key_is_stable_and_identity_sensitive(self):
+        spec = SweepSpec(name="s", runner="m:f",
+                         axes=(Axis("a", (1, 2)),), base={"n": 3})
+        cell = {"a": 1}
+        key = spec.cell_key(cell)
+        assert key == spec.cell_key(cell)
+        assert len(key) == 16
+        # Renaming the spec does not orphan cells...
+        assert spec.replace(name="other").cell_key(cell) == key
+        # ...but changing what the cell computes does.
+        assert spec.cell_key({"a": 2}) != key
+        assert spec.cell_key(cell, seed=1) != key
+        assert spec.replace(base={"n": 4}).cell_key(cell) != key
+        assert spec.replace(runner="m:g").cell_key(cell) != key
+
+    def test_cell_seed_derives_from_identity(self):
+        spec = SweepSpec(name="s", runner="m:f", axes=(Axis("a", (1, 2)),))
+        draw = lambda cell, seed=0: int(  # noqa: E731
+            np.random.default_rng(spec.cell_seed(cell, seed)).integers(1 << 62)
+        )
+        assert draw({"a": 1}) == draw({"a": 1})
+        assert draw({"a": 1}) != draw({"a": 2})
+        assert draw({"a": 1}) != draw({"a": 1}, seed=7)
+
+
+# ---------------------------------------------------------------------------
+class TestRunStore:
+    def test_round_trip_and_resume_view(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.append({"key": "k1", "result": {"x": 1}})
+            store.append({"key": "k2", "result": {"x": 2}})
+        reopened = RunStore(path)
+        assert reopened.completed == {"k1", "k2"}
+        assert reopened.get("k1")["result"] == {"x": 1}
+        assert len(reopened) == 2
+        assert "k1" in reopened
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps({"key": "ok", "result": {}}) +
+                        '\n{"key": "torn", "resu')
+        store = RunStore(path)
+        assert store.completed == {"ok"}
+
+    def test_duplicate_key_keeps_latest(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps({"key": "k", "result": {"x": 1}}) + "\n"
+            + json.dumps({"key": "k", "result": {"x": 2}}) + "\n"
+        )
+        assert RunStore(path).get("k")["result"] == {"x": 2}
+
+    def test_append_requires_key(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RunStore(tmp_path / "x.jsonl").append({"result": {}})
+
+    def test_append_after_torn_line_starts_fresh(self, tmp_path):
+        """Appending onto a newline-less torn tail must not weld the new
+        record to the torn bytes (that would lose both on reload)."""
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps({"key": "ok", "result": {}}) +
+                        '\n{"key": "torn", "resu')
+        store = RunStore(path)
+        store.append({"key": "fresh", "result": {"x": 3}})
+        store.close()
+        reloaded = RunStore(path)
+        assert reloaded.completed == {"ok", "fresh"}
+        assert reloaded.get("fresh")["result"] == {"x": 3}
+
+
+# ---------------------------------------------------------------------------
+class TestExecutor:
+    def test_task_validation(self):
+        with pytest.raises(ConfigurationError):
+            Task(key="k", runner="no-colon", params={})
+        with pytest.raises(ConfigurationError):
+            Task(key="k", runner="m:f", params={"seed": 1})
+
+    def test_resolve_runner_errors(self):
+        with pytest.raises(ConfigurationError):
+            resolve_runner("repro.sweeps.runners:not_a_runner")
+        assert resolve_runner(PROBE_RUNNER) is probe_cell
+
+    def test_spawn_streams_deterministic_and_independent(self):
+        a = spawn_streams(3, 4)
+        b = spawn_streams(3, 4)
+        draws_a = [int(np.random.default_rng(s).integers(1 << 62)) for s in a]
+        draws_b = [int(np.random.default_rng(s).integers(1 << 62)) for s in b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) == 4
+
+    def test_run_tasks_streams_and_validates(self):
+        tasks = [Task(key=f"k{i}", runner=PROBE_RUNNER, params={"value": i})
+                 for i in range(3)]
+        seen = []
+        pairs = run_tasks(tasks, workers=1,
+                          on_record=lambda k, r: seen.append(k))
+        assert sorted(seen) == ["k0", "k1", "k2"]
+        assert {k: r["value"] for k, r in pairs} == {"k0": 0, "k1": 1, "k2": 2}
+
+
+# ---------------------------------------------------------------------------
+class TestDeterminismAcceptance:
+    """ISSUE 5 acceptance: workers=1 == workers=4, bitwise."""
+
+    @pytest.mark.slow
+    def test_matrix_records_identical_across_worker_counts(self):
+        spec = tiny_matrix_spec(methods=("cg", "jacobi"))
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=4)
+        assert serial.records == parallel.records
+        assert serial.complete and parallel.complete
+        assert len(serial.records) == 4
+
+    def test_cell_results_depend_only_on_identity(self):
+        spec = probe_spec(4)
+        first = run_sweep(spec, workers=1)
+        second = run_sweep(spec, workers=1)
+        assert first.records == second.records
+
+
+# ---------------------------------------------------------------------------
+class TestResumeAcceptance:
+    """ISSUE 5 acceptance: interrupt after N cells, resume, identical
+    store, completed cells not re-executed."""
+
+    def test_resumed_run_matches_uninterrupted_run(self, tmp_path,
+                                                   monkeypatch):
+        probe_dir = tmp_path / "probe"
+        probe_dir.mkdir()
+        monkeypatch.setenv("SWEEP_PROBE_DIR", str(probe_dir))
+        spec = probe_spec(6)
+
+        uninterrupted = run_sweep(spec, workers=1,
+                                  store=tmp_path / "clean.jsonl")
+
+        # "Kill" a second run after 3 cells, then resume it.
+        store_path = tmp_path / "resumed.jsonl"
+        for path in probe_dir.glob("*.ran"):
+            path.unlink()
+        partial = run_sweep(spec, workers=1, store=store_path, limit=3)
+        assert partial.executed == 3
+        assert partial.remaining == 3
+        assert not partial.complete
+        resumed = run_sweep(spec, workers=1, store=store_path)
+        assert resumed.complete
+        assert resumed.executed == 3 and resumed.restored == 3
+
+        # Cell-for-cell identical to the uninterrupted run.
+        assert resumed.records == uninterrupted.records
+        clean = [json.loads(line) for line
+                 in (tmp_path / "clean.jsonl").read_text().splitlines()]
+        merged = [json.loads(line) for line
+                  in store_path.read_text().splitlines()]
+        assert sorted(merged, key=lambda r: r["key"]) == \
+               sorted(clean, key=lambda r: r["key"])
+
+        # Completed cells ran exactly once across interrupt + resume.
+        for value in range(6):
+            marks = (probe_dir / f"cell-{value}.ran").read_text().splitlines()
+            assert marks == ["ran"]
+
+    @pytest.mark.slow
+    def test_campaign_resume_matches_uninterrupted(self, tmp_path):
+        spec = tiny_matrix_spec()
+        uninterrupted = run_sweep(spec, workers=1)
+        store_path = tmp_path / "campaign.jsonl"
+        run_sweep(spec, workers=1, store=store_path, limit=1)
+        resumed = run_sweep(spec, workers=2, store=store_path)
+        assert resumed.executed == 1 and resumed.restored == 1
+        assert resumed.records == uninterrupted.records
+
+    def test_changing_seed_invalidates_the_store(self, tmp_path):
+        spec = probe_spec(2)
+        store_path = tmp_path / "seeded.jsonl"
+        run_sweep(spec, workers=1, store=store_path, seed=0)
+        second = run_sweep(spec, workers=1, store=store_path, seed=1)
+        assert second.restored == 0 and second.executed == 2
+
+
+# ---------------------------------------------------------------------------
+class TestPresets:
+    def test_every_preset_builds_with_cells(self):
+        for name in available_presets():
+            spec = get_preset(name)
+            assert len(spec) > 0, name
+            assert spec.runner.startswith("repro.sweeps.runners:")
+        assert set(PRESETS) == set(available_presets())
+
+    def test_figure_registry_and_presets_stay_in_sync(self):
+        """Every figure the harness registry names must resolve as a
+        preset — run_experiment validates against EXPERIMENTS but
+        executes through PRESETS, so drift would orphan a figure."""
+        from repro.harness.experiments import EXPERIMENTS
+
+        assert set(EXPERIMENTS) <= set(available_presets())
+
+    def test_unknown_preset_and_bad_override(self):
+        with pytest.raises(ConfigurationError):
+            get_preset("nope")
+        with pytest.raises(ConfigurationError):
+            get_preset("fig4", rates=(1e-6,))
+
+    def test_overrides_reshape_the_grid(self):
+        spec = get_preset("resilience-matrix", methods=("cg",),
+                          schemes=("sed",), rates=(1e-6,),
+                          recoveries=("raise",), grid=6, trials=1)
+        assert len(spec) == 1
+        assert spec.base["grid"] == 6
+        # None-valued overrides fall back to preset defaults.
+        assert get_preset("resilience-matrix", grid=None).base["grid"] == 12
+
+    def test_guarantee_matrix_filter_prunes_models(self):
+        spec = get_preset("guarantee-matrix")
+        cells = spec.cells()
+        assert all(c["model"] == "single" for c in cells
+                   if c["target"] != "values")
+        assert {c["model"] for c in cells if c["target"] == "values"} == \
+               {"single", "double", "multi5", "burst32"}
+
+
+# ---------------------------------------------------------------------------
+class TestRendering:
+    @pytest.mark.slow
+    def test_campaign_matrix_layout(self):
+        spec = tiny_matrix_spec()
+        result = run_sweep(spec, workers=1)
+        text = render_sweep(spec, result.records)
+        assert "rate=1e-06" in text
+        assert "raise" in text and "repopulate" in text
+        assert "det=" in text and "sdc=" in text
+        payload = json.loads(sweep_json(spec, result))
+        assert payload["spec"] == "resilience-matrix"
+        assert payload["complete"] is True
+        assert len(payload["records"]) == len(result.records)
+
+    def test_figure_records_render_as_tables(self):
+        rows = [
+            {"figure": "figX", "series": "host", "key": "sed",
+             "overhead": 0.25, "source": "measured", "paper_value": None},
+        ]
+        spec = get_preset("fig4")
+        text = render_sweep(spec, [
+            {"key": "k", "spec": "fig4", "cell": {"series": "host"},
+             "result": {"rows": rows}},
+        ])
+        assert "sed" in text and "25.0%" in text
+
+    def test_empty_records_render_placeholder(self):
+        spec = get_preset("fig4")
+        assert "no completed cells" in render_sweep(spec, [])
+
+
+# ---------------------------------------------------------------------------
+class TestSweepCli:
+    def test_list_presets(self, capsys):
+        from repro.sweeps.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience-matrix" in out and "fig7" in out
+
+    def test_requires_preset(self, capsys):
+        from repro.sweeps.cli import main
+
+        assert main([]) == 2
+
+    def test_bad_preset_and_bad_override_exit_cleanly(self, capsys):
+        from repro.sweeps.cli import main
+
+        assert main(["--preset", "nope"]) == 2
+        assert "error:" in capsys.readouterr().out
+        assert main(["--preset", "fig4", "--trials", "3"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_json_creates_parent_directories(self, tmp_path, capsys):
+        from repro.sweeps.cli import main
+
+        dump = tmp_path / "deep" / "dir" / "probe.json"
+        # The probe runner keeps this instant; any preset would do, but
+        # figure presets measure timings, so use the spec-level path.
+        spec_args = ["--preset", "resilience-matrix", "--grid", "6",
+                     "--trials", "1", "--methods", "cg", "--schemes", "sed",
+                     "--rates", "1e-7", "--recoveries", "raise",
+                     "--max-iters", "200", "--json", str(dump)]
+        assert main(spec_args) == 0
+        assert json.loads(dump.read_text())["complete"] is True
+
+    @pytest.mark.slow
+    def test_interrupt_resume_and_artifacts(self, tmp_path, capsys):
+        from repro.sweeps.cli import main
+
+        store = tmp_path / "cli.jsonl"
+        out = tmp_path / "matrix.txt"
+        dump = tmp_path / "matrix.json"
+        argv = [
+            "--preset", "resilience-matrix", "--grid", "8", "--trials", "2",
+            "--methods", "cg", "--schemes", "sed", "--rates", "1e-6",
+            "--recoveries", "raise", "repopulate", "--max-iters", "400",
+            "--store", str(store),
+        ]
+        assert main(argv + ["--limit", "1"]) == 0
+        assert "[partial] 1 cells still missing" in capsys.readouterr().out
+        assert main(argv + ["--out", str(out), "--json", str(dump)]) == 0
+        final = capsys.readouterr().out
+        assert "1 cells run, 1 restored" in final
+        assert "det=" in out.read_text()
+        payload = json.loads(dump.read_text())
+        assert payload["complete"] is True and len(payload["records"]) == 2
+
+    def test_repro_sweep_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "--list"]) == 0
+        assert "guarantee-matrix" in capsys.readouterr().out
