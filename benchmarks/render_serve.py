@@ -1,0 +1,41 @@
+"""Render README's serving table from the committed BENCH_serve.json.
+
+The README's "Serving" section quotes solves/sec and p50/p99 latency;
+this script is the single source of those numbers, so they can always be
+regenerated from the committed baseline instead of hand-edited::
+
+    python benchmarks/render_serve.py            # markdown to stdout
+    python benchmarks/render_serve.py path.json  # render another run
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+DEFAULT = pathlib.Path(__file__).parent / "BENCH_serve.json"
+
+
+def render(path: pathlib.Path = DEFAULT) -> str:
+    """The markdown table for the given benchmark JSON."""
+    data = json.loads(path.read_text())
+    rows = []
+    for bench in data.get("benchmarks", []):
+        if not (bench.get("group") or "").startswith("t1-serve"):
+            continue
+        extra = bench.get("extra_info", {})
+        load = (f"{extra['clients']} concurrent clients"
+                if "clients" in extra else "1 client, sequential")
+        p50 = f"{extra['p50_ms']:.0f} ms" if "p50_ms" in extra else "—"
+        p99 = f"{extra['p99_ms']:.0f} ms" if "p99_ms" in extra else "—"
+        rows.append((load, f"{extra['solves_per_sec']:.0f}", p50, p99))
+    lines = ["| load | solves/sec | p50 | p99 |", "| --- | --- | --- | --- |"]
+    lines += [f"| {load} | {sps} | {p50} | {p99} |"
+              for load, sps, p50, p99 in rows]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    path = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT
+    print(render(path))

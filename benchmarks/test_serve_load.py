@@ -1,0 +1,162 @@
+"""Serving-layer throughput and latency under concurrent client load.
+
+Four clients hammer one live ``repro.serve`` TCP endpoint with
+same-matrix RHS solves; the service coalesces them into batches over one
+warm :class:`~repro.protect.session.ProtectionSession` and one cached
+encoded matrix (encode once, serve thousands).  The ``t1-serve`` group
+is gated by ``benchmarks/compare.py`` against the committed
+``benchmarks/BENCH_serve.json`` baseline; client-observed solves/sec and
+p50/p99 submit-to-result latency land in ``extra_info`` and in
+``benchmarks/results/serve.txt``.
+
+Every round carries a fresh ``tag`` nonce — job identity is a content
+hash, so without it round two would be served from the result cache and
+measure nothing but a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import statistics
+import threading
+import time
+
+from _common import write_report
+from repro.serve.client import ServeClient
+from repro.serve.server import SolveServer
+from repro.serve.service import ServeConfig, SolveService
+
+N_CLIENTS = 4
+JOBS_PER_CLIENT = 6
+GRID = 16  # 256-row five-point operator: small enough that the serving
+           # layer (admission, batching, wire) is what gets measured.
+
+_round = itertools.count()
+
+
+def _job(tag: str, b_seed: int) -> dict:
+    return {
+        "matrix": {"kind": "five-point", "grid": GRID, "seed": 3},
+        "b": {"seed": b_seed},
+        "method": "cg",
+        "eps": 1e-10,
+        "protection": "deferred",
+        "tag": tag,
+    }
+
+
+def _client_load(port: int, tag: str, seed0: int, latencies: list, lock):
+    client = ServeClient(port=port)
+    submitted = []
+    for i in range(JOBS_PER_CLIENT):
+        t0 = time.perf_counter()
+        response = client.submit(_job(tag, seed0 + i))
+        submitted.append((response["job_id"], t0))
+    for job_id, t0 in submitted:
+        client.result(job_id)
+        with lock:
+            latencies.append(time.perf_counter() - t0)
+
+
+def _start_server() -> tuple[SolveServer, int, threading.Thread]:
+    holder, ready = {}, threading.Event()
+
+    def runner():
+        async def amain():
+            server = SolveServer(
+                SolveService(ServeConfig(batch_window=0.005, max_batch=32))
+            )
+            holder["server"] = server
+            _, holder["port"] = await server.start()
+            ready.set()
+            await server.serve_forever()
+
+        asyncio.run(amain())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(15), "serve benchmark server failed to start"
+    return holder["server"], holder["port"], thread
+
+
+def test_serve_concurrent_clients(benchmark):
+    """Solves/sec and p50/p99 latency with 4 clients on one endpoint."""
+    benchmark.group = "t1-serve"
+    _, port, thread = _start_server()
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def round_of_load():
+        tag = f"round-{next(_round)}"
+        clients = [
+            threading.Thread(
+                target=_client_load,
+                args=(port, tag, 100 * c, latencies, lock),
+            )
+            for c in range(N_CLIENTS)
+        ]
+        for c in clients:
+            c.start()
+        for c in clients:
+            c.join()
+
+    try:
+        benchmark.pedantic(round_of_load, iterations=1, rounds=5,
+                           warmup_rounds=1)
+        status = ServeClient(port=port).status()
+    finally:
+        try:
+            ServeClient(port=port).shutdown()
+        except OSError:
+            pass
+        thread.join(10)
+
+    jobs_per_round = N_CLIENTS * JOBS_PER_CLIENT
+    solves_per_sec = jobs_per_round / benchmark.stats["mean"]
+    p50 = statistics.median(latencies)
+    p99 = statistics.quantiles(latencies, n=100)[-1]
+    benchmark.extra_info.update({
+        "clients": N_CLIENTS,
+        "jobs_per_round": jobs_per_round,
+        "solves_per_sec": solves_per_sec,
+        "p50_ms": p50 * 1e3,
+        "p99_ms": p99 * 1e3,
+        "encodes": status["cache"]["encodes"],
+        "cache_hits": status["cache"]["hits"],
+    })
+    # Encode-once under load: every round, every client, ONE encode.
+    assert status["cache"]["encodes"] == 1, status["cache"]
+    write_report(
+        "serve",
+        "Serving layer under concurrent load "
+        f"({N_CLIENTS} clients x {JOBS_PER_CLIENT} jobs/round, "
+        f"grid {GRID} five-point, deferred protection)\n"
+        f"  solves / second         : {solves_per_sec:.1f}\n"
+        f"  p50 submit-to-result    : {p50 * 1e3:.1f} ms\n"
+        f"  p99 submit-to-result    : {p99 * 1e3:.1f} ms\n"
+        f"  matrix encodes (total)  : {status['cache']['encodes']}\n"
+        f"  encoded-cache hits      : {status['cache']['hits']}",
+    )
+
+
+def test_serve_single_stream(benchmark):
+    """One client, sequential submit+result pairs: the per-job floor."""
+    benchmark.group = "t1-serve-single"
+    _, port, thread = _start_server()
+    client = ServeClient(port=port)
+
+    def one_job():
+        tag = f"single-{next(_round)}"
+        response = client.submit(_job(tag, 7))
+        client.result(response["job_id"])
+
+    try:
+        benchmark.pedantic(one_job, iterations=1, rounds=10, warmup_rounds=2)
+    finally:
+        try:
+            ServeClient(port=port).shutdown()
+        except OSError:
+            pass
+        thread.join(10)
+    benchmark.extra_info["solves_per_sec"] = 1.0 / benchmark.stats["mean"]

@@ -22,7 +22,13 @@ Public surface (see README.md for a guided tour):
 * :mod:`repro.tealeaf` — the TeaLeaf heat-conduction miniapp;
 * :mod:`repro.faults` — fault models, injection, campaigns;
 * :mod:`repro.platforms` — the calibrated cross-platform cost model;
-* :mod:`repro.harness` — per-figure experiment runners.
+* :mod:`repro.harness` — per-figure experiment runners;
+* :mod:`repro.sweeps` — declarative, resumable experiment grids;
+* :mod:`repro.serve` — the batched, journalled solve server
+  (protection-as-a-service; ``python -m repro.serve``).
+
+docs/architecture.md walks the lifecycle of a protected solve through
+these modules; docs/serving.md covers the serving layer.
 """
 
 from repro.protect.config import ProtectionConfig
@@ -30,7 +36,7 @@ from repro.protect.session import ProtectionSession
 from repro.recover import RecoveryPolicy
 from repro.solvers.registry import available_methods, solve
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -10,6 +10,8 @@ single shell command away:
   (``--preset resilience-matrix`` renders the full solver x scheme x
   rate x recovery matrix);
 * ``campaign [--trials T]`` — the guarantee-matrix sweep preset;
+* ``serve [--port P] [--journal J]`` — the batched solve server
+  (protection-as-a-service; see docs/serving.md);
 * ``anchors`` — the paper's quoted numbers vs the platform model.
 """
 
@@ -100,6 +102,12 @@ def _cmd_sweep(args) -> int:
     return run(args)
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.__main__ import run
+
+    return run(args)
+
+
 def _cmd_anchors(args) -> int:
     from repro.platforms import PAPER_ANCHORS, predict_overhead
 
@@ -166,6 +174,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_sweep_arguments(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve", help="batched, journalled solve server",
+        description="Serve solve jobs over TCP with warm protected "
+                    "sessions and an encoded-matrix cache "
+                    "(see docs/serving.md).",
+    )
+    from repro.serve.__main__ import add_serve_arguments
+
+    add_serve_arguments(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("anchors", help="paper numbers vs platform model")
     p.set_defaults(func=_cmd_anchors)

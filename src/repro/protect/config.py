@@ -168,10 +168,12 @@ class ProtectionConfig:
     # -- derived views --------------------------------------------------
     @property
     def protects_matrix(self) -> bool:
+        """True when any matrix region (elements or row pointer) carries ECC."""
         return self.element_scheme is not None or self.rowptr_scheme is not None
 
     @property
     def protects_vectors(self) -> bool:
+        """True when solver state vectors carry ECC."""
         return self.vector_scheme is not None
 
     @property

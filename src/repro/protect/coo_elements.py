@@ -83,22 +83,27 @@ class ProtectedCOOElements:
     # ------------------------------------------------------------------
     @property
     def row_mask(self) -> np.uint32:
+        """Bit mask of the row-index bits that hold data rather than ECC."""
         return _LOW31 if self.scheme == "sed" else _LOW24
 
     @property
     def col_mask(self) -> np.uint32:
+        """Bit mask of the column-index bits that hold data rather than ECC."""
         return np.uint32(0xFFFFFFFF) if self.scheme == "sed" else _LOW24
 
     @property
     def n_codewords(self) -> int:
+        """Number of ECC codewords covering this container."""
         if self.scheme == "crc32c":
             return self._n_paired // 2 + (self.nnz - self._n_paired)
         return self.nnz
 
     def rowidx_clean(self) -> np.ndarray:
+        """Row indices with the embedded ECC bits masked off."""
         return self.rowidx & self.row_mask
 
     def colidx_clean(self) -> np.ndarray:
+        """Column indices with the embedded ECC bits masked off."""
         return self.colidx & self.col_mask
 
     # ------------------------------------------------------------------
@@ -118,6 +123,7 @@ class ProtectedCOOElements:
         self.colidx[idx] = (lanes[idx, 1] >> np.uint64(32)).astype(np.uint32)
 
     def encode(self) -> None:
+        """(Re-)compute and embed the ECC bits over the current storage."""
         if self.scheme == "sed":
             data = self.rowidx & _LOW31
             p = (
@@ -134,6 +140,7 @@ class ProtectedCOOElements:
             self._encode_crc()
 
     def detect(self) -> np.ndarray:
+        """Per-codeword error flags from one syndrome pass; never corrects."""
         if self.scheme == "sed":
             p = (
                 parity64(f64_to_u64(self.values))
@@ -150,6 +157,7 @@ class ProtectedCOOElements:
         return flags
 
     def check(self, correct: bool = True) -> CheckReport:
+        """Verify every codeword, correcting where the scheme and ``correct`` allow."""
         if not correct or self.scheme == "sed":
             flags = self.detect()
             return CheckReport(
@@ -308,27 +316,34 @@ class ProtectedCOOMatrix:
 
     @property
     def values(self) -> np.ndarray:
+        """The stored element values (raw storage, ECC bits included)."""
         return self.elements.values
 
     @property
     def rowidx(self) -> np.ndarray:
+        """The stored row indices (raw storage, ECC bits included)."""
         return self.elements.rowidx
 
     @property
     def colidx(self) -> np.ndarray:
+        """The stored column indices (raw storage, ECC bits included)."""
         return self.elements.colidx
 
     @property
     def nnz(self) -> int:
+        """Number of stored nonzeros."""
         return self.elements.nnz
 
     def check_all(self, correct: bool = True) -> dict[str, CheckReport]:
+        """Run a full check over every protected region; reports keyed by region."""
         return {"coo_elements": self.elements.check(correct=correct)}
 
     def detect_any(self) -> bool:
+        """True when any codeword currently carries a detectable upset."""
         return bool(self.elements.detect().any())
 
     def bounds_check(self) -> None:
+        """Raise :class:`BoundsViolationError` when a clean index exceeds the shape."""
         from repro.errors import BoundsViolationError
 
         rows = self.elements.rowidx_clean()
@@ -339,6 +354,7 @@ class ProtectedCOOMatrix:
             raise BoundsViolationError("coo_elements")
 
     def matvec_unchecked(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """SpMV over the clean views with no integrity checks (caller schedules them)."""
         if out is None:
             out = np.zeros(self.shape[0], dtype=np.float64)
         else:

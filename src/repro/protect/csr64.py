@@ -100,13 +100,16 @@ class ProtectedCSRElements64:
     # ------------------------------------------------------------------
     @property
     def index_mask(self) -> np.uint64:
+        """Bit mask of the index bits that hold data rather than ECC."""
         return {"sed": _LOW63, "secded": _LOW55, "crc32c": _LOW56}[self.scheme]
 
     @property
     def n_codewords(self) -> int:
+        """Number of ECC codewords covering this container."""
         return self.rowptr.size - 1 if self.scheme == "crc32c" else self.nnz
 
     def colidx_clean(self) -> np.ndarray:
+        """Column indices with the embedded ECC bits masked off."""
         return self.colidx & self.index_mask
 
     def _lanes(self) -> np.ndarray:
@@ -125,6 +128,7 @@ class ProtectedCSRElements64:
 
     # ------------------------------------------------------------------
     def encode(self) -> None:
+        """(Re-)compute and embed the ECC bits over the current storage."""
         if self.scheme == "sed":
             data = self.colidx & _LOW63
             p = (
@@ -139,6 +143,7 @@ class ProtectedCSRElements64:
             self._encode_crc()
 
     def detect(self) -> np.ndarray:
+        """Per-codeword error flags from one syndrome pass; never corrects."""
         if self.scheme == "sed":
             return (
                 parity64(f64_to_u64(self.values)) ^ parity64(self.colidx)
@@ -152,6 +157,7 @@ class ProtectedCSRElements64:
         return flags
 
     def check(self, correct: bool = True) -> CheckReport:
+        """Verify every codeword, correcting where the scheme and ``correct`` allow."""
         if not correct or self.scheme == "sed":
             flags = self.detect()
             return CheckReport(
@@ -274,19 +280,23 @@ class ProtectedRowPointer64:
 
     @property
     def tail_size(self) -> int:
+        """Number of entries in the final, partial codeword group."""
         return self.raw.size - self._n_grouped
 
     @property
     def entry_mask(self) -> np.uint64:
+        """Bit mask of the row-pointer bits that hold data rather than ECC."""
         return _LOW63 if self.scheme == "sed" else _LOW56
 
     def clean(self) -> np.ndarray:
+        """Row-pointer entries with the embedded ECC bits masked off."""
         out = self.raw & self.entry_mask
         if self.tail_size:
             out[self._n_grouped :] = self.raw[self._n_grouped :] & _LOW63
         return out
 
     def encode(self) -> None:
+        """(Re-)compute and embed the ECC bits over the current storage."""
         if self.scheme == "sed":
             data = self.raw & _LOW63
             self.raw[:] = data | (parity64(data).astype(np.uint64) << np.uint64(63))
@@ -307,6 +317,7 @@ class ProtectedRowPointer64:
         self.raw[sl] = data | (parity64(data).astype(np.uint64) << np.uint64(63))
 
     def detect(self) -> np.ndarray:
+        """Per-codeword error flags from one syndrome pass; never corrects."""
         if self.scheme == "sed":
             return parity64(self.raw).astype(bool)
         flags = np.zeros(0, dtype=bool)
@@ -324,6 +335,7 @@ class ProtectedRowPointer64:
         return flags
 
     def check(self, correct: bool = True) -> CheckReport:
+        """Verify every codeword, correcting where the scheme and ``correct`` allow."""
         if not correct or self.scheme == "sed":
             flags = self.detect()
             return CheckReport(

@@ -101,6 +101,7 @@ class ProtectedCSRElements:
     # ------------------------------------------------------------------
     @property
     def n_codewords(self) -> int:
+        """Number of ECC codewords covering this container."""
         if self.scheme == "crc32c":
             return self.rowptr.size - 1
         if self.scheme == "secded128":

@@ -76,6 +76,7 @@ class DeferredVerificationEngine:
 
     @property
     def stats(self):
+        """The engine's accumulated check/verification statistics."""
         return self.policy.stats
 
     # -- registration ---------------------------------------------------

@@ -127,6 +127,7 @@ class ProtectedCSRMatrix:
     # ------------------------------------------------------------------
     @property
     def values(self) -> np.ndarray:
+        """The stored element values (raw storage, ECC bits included)."""
         return self.elements.values
 
     @property
@@ -141,14 +142,17 @@ class ProtectedCSRMatrix:
 
     @property
     def nnz(self) -> int:
+        """Number of stored nonzeros."""
         return self.elements.nnz
 
     @property
     def n_rows(self) -> int:
+        """Number of matrix rows."""
         return self.shape[0]
 
     @property
     def n_cols(self) -> int:
+        """Number of matrix columns."""
         return self.shape[1]
 
     # ------------------------------------------------------------------

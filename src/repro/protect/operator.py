@@ -54,6 +54,7 @@ class ProtectedOperator(LinearOperator):
 
     @property
     def shape(self) -> tuple[int, int]:
+        """The operator's ``(n_rows, n_cols)``."""
         return self.matrix.shape
 
     def to_scipy(self):

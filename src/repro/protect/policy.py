@@ -40,6 +40,7 @@ class PolicyStats:
     uncorrectable: int = 0
 
     def reset(self) -> None:
+        """Zero every counter."""
         for field in dataclasses.fields(self):
             setattr(self, field.name, 0)
 

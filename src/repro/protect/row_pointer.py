@@ -71,14 +71,17 @@ class ProtectedRowPointer:
 
     @property
     def tail_size(self) -> int:
+        """Number of entries in the final, partial codeword group."""
         return self.raw.size - self._n_grouped
 
     @property
     def n_codewords(self) -> int:
+        """Number of ECC codewords covering this container."""
         return self._n_grouped // self.group + self.tail_size
 
     @property
     def entry_mask(self) -> np.uint32:
+        """Bit mask of the row-pointer bits that hold data rather than ECC."""
         return _LOW31 if self.scheme == "sed" else _LOW28
 
     def clean(self, out: np.ndarray | None = None) -> np.ndarray:
@@ -119,6 +122,7 @@ class ProtectedRowPointer:
         )
         return self._lane_buf[glo:ghi]
     def encode(self) -> None:
+        """(Re-)compute and embed the ECC bits over the current storage."""
         if self.scheme == "sed":
             data = self.raw & _LOW31
             p = (np.bitwise_count(data) & np.uint8(1)).astype(np.uint32)
@@ -146,6 +150,7 @@ class ProtectedRowPointer:
 
     # ------------------------------------------------------------------
     def detect(self) -> np.ndarray:
+        """Per-codeword error flags from one syndrome pass; never corrects."""
         if self.scheme == "sed":
             return (np.bitwise_count(self.raw) & np.uint8(1)).astype(bool)
         flags = np.zeros(0, dtype=bool)

@@ -91,6 +91,7 @@ class ProtectedVector:
 
     @property
     def tail_size(self) -> int:
+        """Number of entries in the final, partial codeword group."""
         return self.raw.size - self._n_grouped
 
     @property

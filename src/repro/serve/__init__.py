@@ -1,0 +1,42 @@
+"""repro.serve — protection-as-a-service: the batched async solve server.
+
+The serving layer turns the library into a system: a trusted asyncio
+control plane (`SolveService` / `SolveServer`) multiplexes untrusted
+solve jobs over warm :class:`~repro.protect.session.ProtectionSession`
+pools with a content-hash-keyed encoded-matrix cache (encode once, serve
+thousands of solves), batches same-matrix RHS solves into single
+protected sweeps, journals every job for kill-anywhere restart
+(reopen == resume, exactly the sweeps' `RunStore` contract), and streams
+progress/recovery events to clients over newline-delimited JSON.
+
+Entry points:
+
+* ``python -m repro.serve`` / ``repro serve`` — run a server;
+* :mod:`repro.serve.client` — ``submit`` / ``stream`` / ``result`` and
+  the :class:`~repro.serve.client.ServeClient` convenience wrapper;
+* :class:`SolveService` — the embeddable asyncio core (no sockets), used
+  directly by the benchmarks and tests.
+
+See docs/serving.md for deployment, batching rules, the event stream
+format and the journal's recovery semantics.
+"""
+
+from repro.serve.cache import MatrixCache, SessionPool
+from repro.serve.jobs import JobValidationError, batch_key, job_key, normalise_job
+from repro.serve.journal import JobJournal
+from repro.serve.server import SolveServer, run_server
+from repro.serve.service import ServeConfig, SolveService
+
+__all__ = [
+    "JobJournal",
+    "JobValidationError",
+    "MatrixCache",
+    "ServeConfig",
+    "SessionPool",
+    "SolveServer",
+    "SolveService",
+    "batch_key",
+    "job_key",
+    "normalise_job",
+    "run_server",
+]

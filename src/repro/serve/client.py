@@ -1,0 +1,105 @@
+"""Synchronous client for the solve service: submit jobs, stream events.
+
+Stdlib sockets only, so the client imports nothing heavier than the job
+helpers.  The three module-level functions mirror the wire ops; the
+:class:`ServeClient` object adds connection reuse and the
+:meth:`~ServeClient.solve_many` convenience (submit a batch, stream all
+to completion, return the result records in submit order).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.errors import ConfigurationError
+
+DEFAULT_PORT = 8642
+
+
+class ServeClientError(ConfigurationError):
+    """The server rejected a request (validation failure, unknown job…)."""
+
+
+class ServeClient:
+    """One service endpoint; every op opens a short-lived connection.
+
+    Per-op connections keep the client trivially thread-safe (each
+    benchmark client thread owns nothing shared) and match the server's
+    stream semantics: a ``stream`` op owns its connection until the
+    job's terminal event closes it.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    def _roundtrip(self, request: dict) -> dict:
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as conn:
+            conn.sendall(json.dumps(request).encode() + b"\n")
+            line = conn.makefile("rb").readline()
+        if not line:
+            raise ServeClientError("connection closed before a response arrived")
+        return json.loads(line)
+
+    # -- ops -------------------------------------------------------------
+    def submit(self, job: dict) -> dict:
+        """Submit one job; returns ``{"job_id", "cached"}`` or raises."""
+        response = self._roundtrip({"op": "submit", "job": job})
+        if not response.get("ok"):
+            raise ServeClientError(response.get("error", "submit failed"))
+        return response
+
+    def stream(self, job_id: str, from_seq: int = 0):
+        """Yield the job's events (replay + follow) until the terminal one."""
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as conn:
+            conn.sendall(json.dumps(
+                {"op": "stream", "job_id": job_id, "from_seq": from_seq}
+            ).encode() + b"\n")
+            for line in conn.makefile("rb"):
+                event = json.loads(line)
+                if event.get("ok") is False:
+                    raise ServeClientError(event.get("error", "stream failed"))
+                yield event
+                if event.get("event") in ("done", "failed"):
+                    return
+
+    def result(self, job_id: str) -> dict:
+        """Block until the job is terminal; return its result record."""
+        response = self._roundtrip({"op": "result", "job_id": job_id})
+        if not response.get("ok"):
+            raise ServeClientError(response.get("error", "result failed"))
+        return response["result"]
+
+    def status(self) -> dict:
+        """The server's point-in-time status summary."""
+        return self._roundtrip({"op": "status"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop (acknowledged before it exits)."""
+        return self._roundtrip({"op": "shutdown"})
+
+    # -- conveniences ----------------------------------------------------
+    def solve_many(self, jobs: list[dict]) -> list[dict]:
+        """Submit ``jobs``, wait for all, return records in submit order."""
+        ids = [self.submit(job)["job_id"] for job in jobs]
+        return [self.result(job_id) for job_id in ids]
+
+
+def submit(job: dict, host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> dict:
+    """One-shot :meth:`ServeClient.submit`."""
+    return ServeClient(host, port).submit(job)
+
+
+def stream(job_id: str, host: str = "127.0.0.1", port: int = DEFAULT_PORT):
+    """One-shot :meth:`ServeClient.stream` (a generator of events)."""
+    return ServeClient(host, port).stream(job_id)
+
+
+def result(job_id: str, host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> dict:
+    """One-shot :meth:`ServeClient.result`."""
+    return ServeClient(host, port).result(job_id)

@@ -1,0 +1,92 @@
+"""The job journal: RunStore semantics applied to in-flight solve jobs.
+
+Exactly the sweeps' durability contract, transplanted: every state
+transition is one appended-and-flushed JSON line keyed by ``job_id``,
+the file is append-only and order-insensitive, a torn final line is
+skipped on load, and **reopening the file is the resume path** — there
+is no separate recovery mode.
+
+Two record shapes flow through the store's last-record-per-key map:
+
+* ``{"key": job_id, "status": "submitted", "spec": {...}}`` — written at
+  admission, carrying the full canonical job spec;
+* ``{"key": job_id, "status": "done" | "failed", "result": {...}}`` —
+  written at completion, *replacing* the submitted record for that key.
+
+So after any crash the journal reads back as: terminal records for every
+job whose result was committed, submitted records for every job that was
+admitted but never finished.  :meth:`JobJournal.pending` returns the
+latter — the jobs a restarted server re-adopts — and because terminal
+records survive, re-adoption can never duplicate a completed solve.
+"""
+
+from __future__ import annotations
+
+from repro.sweeps.store import RunStore
+
+#: Job states with a committed result; everything else is re-adoptable.
+TERMINAL = ("done", "failed")
+
+
+class JobJournal:
+    """Append-only JSONL job ledger with reopen-is-resume semantics."""
+
+    def __init__(self, path):
+        self.store = RunStore(path)
+
+    @property
+    def path(self):
+        """Where the ledger lives on disk."""
+        return self.store.path
+
+    # -- writes ----------------------------------------------------------
+    def record_submitted(self, job: dict) -> None:
+        """Persist an admitted job (its spec travels with the record)."""
+        self.store.append(
+            {"key": job["job_id"], "status": "submitted", "spec": job}
+        )
+
+    def record_result(self, job_id: str, record: dict) -> None:
+        """Persist a terminal result, superseding the submitted record."""
+        status = record.get("status", "done")
+        if status not in TERMINAL:
+            status = "done"
+        self.store.append({"key": job_id, "status": status, "result": record})
+
+    def close(self) -> None:
+        """Flush and release the underlying file handle."""
+        self.store.close()
+
+    # -- reads -----------------------------------------------------------
+    def result(self, job_id: str) -> dict | None:
+        """The committed result for ``job_id``, or ``None`` if not terminal."""
+        record = self.store.get(job_id)
+        if record is not None and record.get("status") in TERMINAL:
+            return record["result"]
+        return None
+
+    def pending(self) -> list[dict]:
+        """Specs of every admitted-but-unfinished job, in journal order.
+
+        This is the restarted server's work list: jobs whose submitted
+        record was never superseded by a terminal one.
+        """
+        return [
+            record["spec"]
+            for record in self.store.records()
+            if record.get("status") == "submitted" and "spec" in record
+        ]
+
+    def summary(self) -> dict:
+        """Counts by status (``submitted`` means in-flight at last write)."""
+        counts: dict[str, int] = {}
+        for record in self.store.records():
+            status = record.get("status", "?")
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobJournal({str(self.path)!r}, jobs={len(self)})"

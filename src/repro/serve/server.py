@@ -1,0 +1,139 @@
+"""The wire layer: newline-delimited JSON over TCP, one op per line.
+
+The protocol is deliberately minimal — stdlib sockets on both ends, one
+JSON object per line, so any language (or ``nc``) can drive it:
+
+* ``{"op": "submit", "job": {...}}`` →
+  ``{"ok": true, "job_id": "...", "cached": bool}`` (or
+  ``{"ok": false, "error": "..."}`` for a rejected job);
+* ``{"op": "stream", "job_id": "..."}`` → one JSON line per event,
+  replayed from the start and followed live; the stream ends after the
+  terminal ``done``/``failed`` event;
+* ``{"op": "result", "job_id": "..."}`` → blocks until terminal, then
+  the full result record;
+* ``{"op": "status"}`` → the service's point-in-time summary;
+* ``{"op": "shutdown"}`` → acknowledges, then stops the server loop.
+
+See docs/serving.md for the event stream format and journal semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve.jobs import JobValidationError
+from repro.serve.service import ServeConfig, SolveService
+
+
+class SolveServer:
+    """Binds a :class:`SolveService` to a TCP endpoint."""
+
+    def __init__(self, service: SolveService | None = None,
+                 host: str = "127.0.0.1", port: int = 0, **service_overrides):
+        self.service = service if service is not None else SolveService(**service_overrides)
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> tuple[str, int]:
+        """Start the service and the listener; returns the bound address."""
+        await self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Run until a ``shutdown`` op (or cancellation) arrives."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close the listener and the service (journal flushes on close)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    # -- connection handling --------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError:
+                    await self._send(writer, {"ok": False, "error": "bad JSON"})
+                    continue
+                done = await self._dispatch(request, writer)
+                if done:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: dict, writer) -> bool:
+        op = request.get("op")
+        if op == "submit":
+            try:
+                response = await self.service.submit(request.get("job") or {})
+                await self._send(writer, {"ok": True, **response})
+            except JobValidationError as exc:
+                await self._send(writer, {"ok": False, "error": str(exc)})
+        elif op == "stream":
+            job_id = request.get("job_id", "")
+            if job_id not in self.service._events and \
+                    job_id not in self.service._inflight and \
+                    job_id not in self.service._results:
+                await self._send(writer, {"ok": False,
+                                          "error": f"unknown job {job_id!r}"})
+                return False
+            async for event in self.service.events(job_id,
+                                                   int(request.get("from_seq", 0))):
+                await self._send(writer, event)
+        elif op == "result":
+            try:
+                record = await self.service.result(request.get("job_id", ""))
+                await self._send(writer, {"ok": True, "result": record})
+            except KeyError as exc:
+                await self._send(writer, {"ok": False, "error": str(exc)})
+        elif op == "status":
+            await self._send(writer, {"ok": True, **self.service.status()})
+        elif op == "shutdown":
+            await self._send(writer, {"ok": True, "stopping": True})
+            self._shutdown.set()
+            return True
+        else:
+            await self._send(writer, {"ok": False, "error": f"unknown op {op!r}"})
+        return False
+
+    @staticmethod
+    async def _send(writer, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+
+
+async def run_server(host: str = "127.0.0.1", port: int = 8642,
+                     config: ServeConfig | None = None, *,
+                     announce=print) -> None:
+    """Entry point behind ``python -m repro.serve``: serve until shutdown."""
+    server = SolveServer(SolveService(config), host=host, port=port)
+    host, port = await server.start()
+    announce(f"repro.serve listening on {host}:{port}", flush=True)
+    if server.service.journal is not None:
+        pending = server.service.stats["adopted"]
+        announce(f"journal {server.service.journal.path}: "
+                 f"re-adopted {pending} in-flight job(s)", flush=True)
+    await server.serve_forever()

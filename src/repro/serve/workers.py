@@ -1,0 +1,241 @@
+"""Batch solve runner: what the service's executor actually executes.
+
+One :func:`run_batch` call is one batch — jobs sharing a matrix handle
+and a protection config — served by this process's warm state:
+
+* a module-global :class:`~repro.serve.cache.MatrixCache` and
+  :class:`~repro.serve.cache.SessionPool`, so the encoded matrix and the
+  deferred-verification session persist *across* batches for the life of
+  the process (in-process execution shares one cache; each spawn-pool
+  worker warms its own);
+* each job is one :meth:`ProtectionSession.solve` against the shared
+  encoded matrix, and the whole batch closes with a single
+  ``session.end_step()`` — the paper's mandatory sweep, paid once per
+  batch instead of once per solve.
+
+The runner is addressed as ``"repro.serve.workers:run_batch"`` — the
+importable-reference form :mod:`repro.sweeps.executor` requires — and
+returns a JSON-serialisable record (per-job results + cache/session
+stats) streamed back to the service via ``on_record``.
+
+A vector DUE under an escalating recovery policy is repaired inside the
+solve (the engine's transparent rebuild); the runner diffs the session's
+:class:`~repro.recover.manager.RecoveryStats` around each job and turns
+any delta into ``recovered`` events for the job's stream.  A DUE that
+*aborts* a solve (the ``raise`` strategy) fails only that job: the
+session released its regions when the error unwound, so the runner drops
+the session, invalidates the possibly-corrupt encoded matrix, and later
+jobs in the batch re-encode from the pristine raw build.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import BoundsViolationError, DetectedUncorrectableError
+from repro.serve.cache import MatrixCache, SessionPool
+from repro.serve.jobs import build_rhs, protection_from_spec
+
+#: Per-process warm state (one instance per serving/worker process).
+CACHE = MatrixCache()
+SESSIONS = SessionPool()
+
+#: Environment hook mirroring the sweeps' ``SWEEP_PROBE_DIR``: when set,
+#: every executed solve drops a marker file, so resume tests can assert
+#: "no duplicate solves" as a filesystem fact rather than a log claim.
+PROBE_ENV = "SERVE_PROBE_DIR"
+
+_INTEGRITY_ERRORS = (DetectedUncorrectableError, BoundsViolationError)
+
+
+def _probe(job_id: str) -> None:
+    probe_dir = os.environ.get(PROBE_ENV)
+    if probe_dir:
+        with open(Path(probe_dir) / f"solved-{job_id}.ran", "a") as fh:
+            fh.write("ran\n")
+
+
+def _recovery_delta(session, before: dict | None) -> dict:
+    if session is None or session.recovery is None:
+        return {}
+    after = dataclasses.asdict(session.recovery.stats)
+    if before is None:
+        return after
+    return {k: after[k] - before.get(k, 0) for k in after if after[k] != before.get(k, 0)}
+
+
+def _recovery_snapshot(session) -> dict | None:
+    if session is None or session.recovery is None:
+        return None
+    return dataclasses.asdict(session.recovery.stats)
+
+
+def _solve_one(job: dict, session, matrix_arg, config) -> dict:
+    """Run one job's solve and shape its result record."""
+    import repro
+
+    b = build_rhs(job, matrix_arg.n_rows)
+    x0 = np.asarray(job["x0"], dtype=np.float64) if job.get("x0") is not None else None
+    t0 = time.perf_counter()
+    before = _recovery_snapshot(session)
+    if session is not None:
+        result = session.solve(
+            matrix_arg, b, x0, method=job["method"],
+            eps=job["eps"], max_iters=job["max_iters"],
+        )
+    else:
+        result = repro.solve(
+            matrix_arg, b, x0, method=job["method"], protection=config,
+            eps=job["eps"], max_iters=job["max_iters"],
+        )
+    duration = time.perf_counter() - t0
+    _probe(job["job_id"])
+    record = {
+        "job_id": job["job_id"],
+        "status": "done",
+        "method": job["method"],
+        "converged": bool(result.converged),
+        "iterations": int(result.iterations),
+        "residual": float(result.final_residual),
+        "x_norm": float(np.linalg.norm(result.x)),
+        "duration_ms": duration * 1e3,
+        "events": [],
+    }
+    delta = _recovery_delta(session, before)
+    recovered = delta.get("rollbacks", 0) + delta.get("repopulates", 0) \
+        + delta.get("vector_repairs", 0)
+    if recovered or delta.get("dues"):
+        record["recovered"] = int(recovered)
+        record["events"].append({"event": "recovered", **delta})
+    if job.get("return_x"):
+        record["x"] = [float(v) for v in result.x]
+    return record
+
+
+def _solve_injected(job: dict, config) -> dict:
+    """Fault-injection jobs: a live Poisson process over a *private* matrix.
+
+    Injection mutates matrix storage, so these jobs never touch the
+    shared cache — :func:`faulty_solve` encodes its own copy from the
+    raw build and reports what the recovery layer did about the upsets.
+    """
+    from repro.faults.process import PoissonProcess, faulty_solve
+    from repro.protect.config import ProtectionConfig
+
+    inject = job["inject"]
+    cfg = config if config is not None else ProtectionConfig.paper_default()
+    raw = CACHE.raw(job["matrix"])
+    b = build_rhs(job, raw.n_rows)
+    process = PoissonProcess(
+        float(inject["rate"]),
+        rng=np.random.default_rng(int(inject.get("seed", 0))),
+    )
+    t0 = time.perf_counter()
+    report = faulty_solve(
+        raw, b, process, method=job["method"], config=cfg,
+        eps=job["eps"], max_iters=job["max_iters"],
+    )
+    duration = time.perf_counter() - t0
+    _probe(job["job_id"])
+    result = report.result
+    record = {
+        "job_id": job["job_id"],
+        "status": "done" if result is not None else "failed",
+        "method": job["method"],
+        "converged": bool(result.converged) if result is not None else False,
+        "iterations": int(result.iterations) if result is not None else 0,
+        "residual": float(result.final_residual) if result is not None else float("nan"),
+        "x_norm": float(np.linalg.norm(result.x)) if result is not None else 0.0,
+        "duration_ms": duration * 1e3,
+        "injected": int(report.injected),
+        "dues": int(report.detected_uncorrectable),
+        "recovered": int(report.recovered),
+        "events": [],
+    }
+    if report.injected:
+        record["events"].append({
+            "event": "injected", "upsets": int(report.injected),
+            "iterations": list(report.injection_iterations),
+        })
+    if report.recovered:
+        record["events"].append({
+            "event": "recovered", "recoveries": int(report.recovered),
+            "strategy": report.recovery,
+        })
+    if result is not None and job.get("return_x"):
+        record["x"] = [float(v) for v in result.x]
+    return record
+
+
+def run_batch(*, jobs: list[dict], protection=None, throttle: float = 0.0,
+              seed=None) -> dict:
+    """Serve one batch of same-matrix jobs; the executor's task runner.
+
+    Parameters
+    ----------
+    jobs:
+        Canonical job dicts (see :func:`repro.serve.jobs.normalise_job`),
+        all sharing one matrix handle and one protection spec — the
+        batcher's grouping invariant.
+    protection:
+        The shared protection spec (``None`` / preset name / field dict).
+    throttle:
+        Artificial seconds of sleep per solve; load-shaping knob for
+        demos and kill-mid-stream tests, never set in production.
+    seed:
+        Executor-owned seeding slot (unused: job randomness is explicit
+        in each job's spec, so batches are reproducible by content).
+    """
+    del seed
+    records: list[dict] = []
+    config = protection_from_spec(protection)
+    matrix_spec = jobs[0]["matrix"]
+    session = None
+    for job in jobs:
+        if throttle > 0.0:
+            time.sleep(throttle)
+        try:
+            if job.get("inject") is not None:
+                records.append(_solve_injected(job, config))
+                continue
+            if config is not None and config.enabled:
+                # (Re-)acquire lazily: a DUE in an earlier job dropped
+                # the session and the encoded matrix, so this re-warms.
+                session = SESSIONS.get(matrix_spec, protection)
+                pmat = CACHE.encoded(matrix_spec, protection)
+                matrix_arg = pmat if pmat is not None else CACHE.raw(matrix_spec)
+            else:
+                session = None
+                matrix_arg = CACHE.raw(matrix_spec)
+            records.append(_solve_one(job, session, matrix_arg, config))
+        except _INTEGRITY_ERRORS as exc:
+            SESSIONS.drop(matrix_spec, protection)
+            CACHE.invalidate(matrix_spec, protection)
+            session = None
+            records.append({
+                "job_id": job["job_id"], "status": "failed",
+                "method": job["method"], "converged": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "events": [{"event": "due", "error": type(exc).__name__}],
+            })
+        except Exception as exc:  # malformed-but-admitted jobs fail alone
+            records.append({
+                "job_id": job["job_id"], "status": "failed",
+                "method": job["method"], "converged": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "events": [],
+            })
+    if session is not None:
+        # One mandatory sweep closes the whole batch's deferral window.
+        session.end_step()
+    return {
+        "jobs": records,
+        "batch_size": len(jobs),
+        "cache": dict(CACHE.stats),
+        "sessions": dict(SESSIONS.stats),
+    }

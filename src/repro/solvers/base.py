@@ -22,9 +22,11 @@ class LinearOperator:
         self._diagonal = diagonal
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the operator: return ``A @ x``."""
         return self._matvec(x)
 
     def diagonal(self) -> np.ndarray:
+        """The operator's main diagonal (for Jacobi-style preconditioning)."""
         if self._diagonal is None:
             raise NotImplementedError("operator has no diagonal accessor")
         return self._diagonal() if callable(self._diagonal) else self._diagonal
@@ -68,4 +70,5 @@ class SolverResult:
 
     @property
     def final_residual(self) -> float:
+        """The last residual norm the solve recorded."""
         return self.residual_norms[-1] if self.residual_norms else float("nan")

@@ -9,6 +9,7 @@ class IdentityPreconditioner:
     """No-op preconditioner (TeaLeaf's default)."""
 
     def apply(self, r: np.ndarray) -> np.ndarray:
+        """Apply the preconditioner: return ``M^{-1} r``."""
         return r
 
 
@@ -27,7 +28,9 @@ class JacobiPreconditioner:
 
     @classmethod
     def from_operator(cls, A) -> "JacobiPreconditioner":
+        """Build the preconditioner from an operator's diagonal."""
         return cls(A.diagonal())
 
     def apply(self, r: np.ndarray) -> np.ndarray:
+        """Apply the preconditioner: return ``M^{-1} r``."""
         return r * self._inv

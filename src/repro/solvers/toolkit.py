@@ -173,6 +173,7 @@ class ProtectedIteration:
 
     @property
     def n(self) -> int:
+        """Problem size (number of unknowns)."""
         return self.matrix.n_rows
 
     # -- state-vector plumbing ------------------------------------------
