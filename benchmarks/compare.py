@@ -9,7 +9,10 @@ regressed by more than the threshold.  With no flags, two gates run:
   verification-pipeline microbenchmarks at 20 %;
 * ``benchmarks/BENCH_serve.json`` gates the ``t1-serve*`` serving-layer
   benchmarks at 50 % — client-observed latency includes batch windows
-  and thread scheduling, so it is inherently noisier than kernel time.
+  and thread scheduling, so it is inherently noisier than kernel time;
+* ``benchmarks/BENCH_dist.json`` gates the ``t1-dist*`` distributed
+  spawn-to-solution solves, also at 50 % — process spawn and pipe
+  round-trips dominate there.
 
 Passing ``--baseline``/``--groups``/``--threshold`` collapses that to a
 single explicit gate (the pre-serve behaviour).
@@ -31,6 +34,7 @@ import sys
 
 DEFAULT_BASELINE = pathlib.Path(__file__).parent / "BENCH_t1.json"
 SERVE_BASELINE = pathlib.Path(__file__).parent / "BENCH_serve.json"
+DIST_BASELINE = pathlib.Path(__file__).parent / "BENCH_dist.json"
 #: Gated by default: the headline deferred-verification solves AND the
 #: verification-pipeline microbenchmarks (codewords/sec of a SECDED
 #: check), so kernel regressions are caught independently of solver noise.
@@ -39,6 +43,7 @@ DEFAULT_GROUPS = ("t1-full-protection*", "t1-check-throughput*")
 DEFAULT_GATES = (
     (DEFAULT_BASELINE, DEFAULT_GROUPS, 0.20),
     (SERVE_BASELINE, ("t1-serve*",), 0.50),
+    (DIST_BASELINE, ("t1-dist*",), 0.50),
 )
 
 

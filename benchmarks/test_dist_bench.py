@@ -1,0 +1,75 @@
+"""Distributed-solve throughput: full sharded CG solves per second.
+
+One benchmark round is one *complete* ``repro.dist`` solve — spawn the
+shard workers, partition and re-encode per shard, run the lockstep CG
+to convergence, merge — because that is the unit the serving layer's
+``--dist-shards`` routing pays for.  Process spawn dominates at this
+grid size, so the ``t1-dist`` group is gated by
+``benchmarks/compare.py`` against ``benchmarks/BENCH_dist.json`` at the
+serving tier's forgiving 50 % threshold rather than the 20 % kernel
+bar.
+
+The single-shard row measures the pure protocol overhead (one worker,
+no halo traffic); the two-shard row adds halo exchange and a second
+protection domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import write_report
+from repro.csr import five_point_operator
+from repro.dist import distributed_solve
+from repro.protect.config import ProtectionConfig
+
+GRID = 16  # 256-row five-point operator, the serving benchmark's size
+
+_results: dict[int, dict] = {}
+
+
+def _system(seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (GRID, GRID)
+    matrix = five_point_operator(
+        GRID, GRID, rng.uniform(0.5, 2.0, shape), rng.uniform(0.5, 2.0, shape), 0.3
+    )
+    return matrix, rng.standard_normal(matrix.n_rows)
+
+
+@pytest.mark.parametrize("n_shards", [1, 2])
+def test_dist_solve(benchmark, n_shards):
+    """End-to-end sharded protected CG, spawn-to-solution."""
+    benchmark.group = "t1-dist"
+    matrix, b = _system()
+    config = ProtectionConfig.resilient()
+    outcome = {}
+
+    def one_solve():
+        outcome["result"] = distributed_solve(
+            matrix, b, n_shards=n_shards, protection=config, eps=1e-18
+        )
+
+    benchmark.pedantic(one_solve, iterations=1, rounds=3, warmup_rounds=1)
+    result = outcome["result"]
+    assert result.converged
+    mean = benchmark.stats["mean"]
+    benchmark.extra_info.update({
+        "n_shards": n_shards,
+        "n_rows": matrix.n_rows,
+        "iterations": int(result.iterations),
+        "solves_per_sec": 1.0 / mean,
+    })
+    _results[n_shards] = {"mean": mean, "iterations": int(result.iterations)}
+    if set(_results) == {1, 2}:
+        lines = ["distributed CG, spawn-to-solution "
+                 f"(grid {GRID}, {matrix.n_rows} rows, resilient protection)",
+                 "shards  mean/solve  solves/sec  iters"]
+        for shards in sorted(_results):
+            row = _results[shards]
+            lines.append(
+                f"{shards:6d}  {row['mean'] * 1e3:8.1f} ms  "
+                f"{1.0 / row['mean']:10.2f}  {row['iterations']:5d}"
+            )
+        write_report("dist", "\n".join(lines))

@@ -25,10 +25,14 @@ Public surface (see README.md for a guided tour):
 * :mod:`repro.harness` — per-figure experiment runners;
 * :mod:`repro.sweeps` — declarative, resumable experiment grids;
 * :mod:`repro.serve` — the batched, journalled solve server
-  (protection-as-a-service; ``python -m repro.serve``).
+  (protection-as-a-service; ``python -m repro.serve``);
+* :mod:`repro.dist` — row-sharded distributed CG with per-shard
+  protection domains and shard-death recovery
+  (``repro.solve(..., distributed=n)``; ``python -m repro.dist``).
 
 docs/architecture.md walks the lifecycle of a protected solve through
-these modules; docs/serving.md covers the serving layer.
+these modules; docs/serving.md covers the serving layer;
+docs/distributed.md covers the distributed solver.
 """
 
 from repro.protect.config import ProtectionConfig
@@ -36,7 +40,7 @@ from repro.protect.session import ProtectionSession
 from repro.recover import RecoveryPolicy
 from repro.solvers.registry import available_methods, solve
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

@@ -12,6 +12,9 @@ single shell command away:
 * ``campaign [--trials T]`` — the guarantee-matrix sweep preset;
 * ``serve [--port P] [--journal J]`` — the batched solve server
   (protection-as-a-service; see docs/serving.md);
+* ``dist [--shards N] [--kill-iter K]`` — one row-sharded solve with
+  shard-death recovery, verified against the single-process reference
+  (see docs/distributed.md);
 * ``anchors`` — the paper's quoted numbers vs the platform model.
 """
 
@@ -108,6 +111,12 @@ def _cmd_serve(args) -> int:
     return run(args)
 
 
+def _cmd_dist(args) -> int:
+    from repro.dist.__main__ import run
+
+    return run(args)
+
+
 def _cmd_anchors(args) -> int:
     from repro.platforms import PAPER_ANCHORS, predict_overhead
 
@@ -185,6 +194,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_serve_arguments(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "dist", help="row-sharded solve with shard-death recovery",
+        description="Run one distributed CG solve across worker shards, "
+                    "optionally killing one mid-solve, and verify the "
+                    "result against the single-process reference "
+                    "(see docs/distributed.md).",
+    )
+    from repro.dist.__main__ import add_dist_arguments
+
+    add_dist_arguments(p)
+    p.set_defaults(func=_cmd_dist)
 
     p = sub.add_parser("anchors", help="paper numbers vs platform model")
     p.set_defaults(func=_cmd_anchors)

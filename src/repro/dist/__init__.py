@@ -1,0 +1,41 @@
+"""repro.dist — distributed row-sharded protected solves.
+
+Partitions one large sparse system into contiguous row shards, runs a
+single conjugate-gradient solve across spawn-context worker processes —
+each shard owning its *own* protection domain (a per-shard
+:class:`~repro.protect.engine.DeferredVerificationEngine` over its matrix
+block and vector slices) — and survives whole-shard process loss by
+respawning the dead worker and re-encoding its block from the pristine
+partition while the surviving shards keep their state.
+
+The subsystem splits into four layers:
+
+* :mod:`repro.dist.partition` — the deterministic row partitioner:
+  per-shard CSR blocks with locally remapped columns plus the halo index
+  maps (which external columns each shard reads, which owned rows it
+  must publish);
+* :mod:`repro.dist.exchange` — the wire layer: spawn-context worker
+  processes over duplex pipes, lockstep broadcast/collect rounds with
+  shard-death detection, and the halo/reduction assembly helpers;
+* :mod:`repro.dist.workers` — the worker-process runtime: a command
+  server around one shard's protected CG state;
+* :mod:`repro.dist.solve` — the coordinator: the distributed CG driver,
+  checkpointing, and the :class:`~repro.recover.policy.RecoveryPolicy`-
+  driven shard-death respawn path.
+
+Entry points: ``repro.solve(A, b, method="cg", distributed=n)`` routes
+here via the solver registry, and ``python -m repro.dist`` is the CLI
+smoke driver.  See docs/distributed.md for the protocol and recovery
+semantics.
+"""
+
+from repro.dist.partition import PartitionPlan, ShardBlock, partition_matrix, partition_rows
+from repro.dist.solve import distributed_solve
+
+__all__ = [
+    "PartitionPlan",
+    "ShardBlock",
+    "distributed_solve",
+    "partition_matrix",
+    "partition_rows",
+]

@@ -1,0 +1,238 @@
+"""The wire layer: spawn-context shard workers and lockstep rounds.
+
+The distributed solve is *coordinator-driven*: worker shards never talk
+to each other, they answer commands.  Each iteration the coordinator
+broadcasts one command to every live shard, collects exactly one reply
+per shard, and only then moves on — a lockstep request/reply round over
+duplex :func:`multiprocessing.Pipe` connections.  That discipline is
+what makes whole-shard loss recoverable at *any* point: a round either
+completed on a shard (its reply was read) or it did not, so after a
+death the coordinator knows every survivor sits at the same step of the
+recurrence and can restart it globally.
+
+Death detection is part of :meth:`ShardPool.collect`: a shard whose
+process has exited and whose pipe holds no pending reply is declared
+dead for the round.  Replies already readable from a dying shard are
+still drained first — a shard that answered before being killed counts
+as having completed the round.  The pool reports deaths to the caller
+(the :mod:`repro.dist.solve` coordinator) rather than raising; policy —
+respawn vs :class:`~repro.errors.ShardDeathError` — lives there.
+
+Workers are spawn-context processes (consistent with the sweep executor:
+BLAS thread pools and fork do not mix) running
+:func:`repro.dist.workers.shard_worker_main`, so everything crossing the
+pipe — the start-up payload and every message — must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.errors import ShardDeathError
+from repro.sweeps.executor import resolve_runner
+
+#: How long one collect round may take before an unresponsive-but-alive
+#: shard is treated as dead (terminated and reported like a crash).  A
+#: whole round is a handful of local SpMVs, so minutes means a hang.
+DEFAULT_ROUND_TIMEOUT = 120.0
+
+#: Seconds between liveness polls while waiting for a reply.
+_POLL_TICK = 0.01
+
+
+class ShardLink:
+    """One worker shard: its process handle plus the coordinator's pipe end.
+
+    Created (and re-created, after a death) by :class:`ShardPool`; the
+    link owns process lifecycle for its shard — spawn, terminate, join —
+    and the raw send/receive primitives the pool's rounds are built on.
+    """
+
+    def __init__(self, index: int, runner: str, payload: dict, ctx):
+        self.index = index
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=resolve_runner(runner),
+            args=(child_conn, payload),
+            name=f"repro-dist-shard-{index}",
+        )
+        self.process.start()
+        # The parent must drop its handle on the child end or EOF on the
+        # pipe can never be observed after the worker dies.
+        child_conn.close()
+
+    def alive(self) -> bool:
+        """True while the worker process is running."""
+        return self.process.is_alive()
+
+    def send(self, message: dict) -> bool:
+        """Send one command; False when the pipe is already broken."""
+        try:
+            self.conn.send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def try_recv(self):
+        """Non-blocking receive: the pending reply, or ``None``."""
+        try:
+            if self.conn.poll(0):
+                return self.conn.recv()
+        except (EOFError, OSError):
+            pass
+        return None
+
+    def terminate(self) -> None:
+        """Kill the worker process (the shard-death fault injector)."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Release the pipe and reap the process."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        self.process.close()
+
+
+class ShardPool:
+    """All shard links of one distributed solve, with lockstep rounds.
+
+    Parameters
+    ----------
+    payloads:
+        Per-shard picklable start-up dicts (see
+        :func:`repro.dist.workers.shard_worker_main` for the schema).
+        Kept by the pool: a respawn re-sends the pristine payload, which
+        is what "re-encode the lost shard from its source" means.
+    runner:
+        Importable ``"module:function"`` worker entry point, resolved in
+        the spawned process exactly like sweep-executor runners.
+    round_timeout:
+        Seconds a :meth:`collect` round may wait before alive-but-silent
+        shards are terminated and reported as dead.
+    """
+
+    def __init__(
+        self,
+        payloads: list[dict],
+        *,
+        runner: str = "repro.dist.workers:shard_worker_main",
+        round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+    ):
+        self._ctx = multiprocessing.get_context("spawn")
+        self._runner = runner
+        self._payloads = list(payloads)
+        self.round_timeout = float(round_timeout)
+        self.links: list[ShardLink] = [
+            ShardLink(i, runner, payload, self._ctx)
+            for i, payload in enumerate(self._payloads)
+        ]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (dead or alive) in the pool."""
+        return len(self.links)
+
+    def respawn(self, index: int) -> None:
+        """Replace a dead shard with a fresh worker from its pristine payload."""
+        self.links[index].close()
+        self.links[index] = ShardLink(
+            index, self._runner, self._payloads[index], self._ctx
+        )
+
+    def kill(self, index: int) -> None:
+        """Terminate one shard mid-solve — the fault-injection hook."""
+        self.links[index].terminate()
+
+    def broadcast(self, messages) -> None:
+        """Send one command per shard (a shared dict, or one per shard)."""
+        if isinstance(messages, dict):
+            messages = [messages] * self.n_shards
+        for link, message in zip(self.links, messages):
+            link.send(message)
+
+    def collect(self) -> tuple[dict[int, dict], list[int]]:
+        """Read one reply per shard; report who died instead.
+
+        Returns ``(replies, dead)``: ``replies`` maps shard index to the
+        reply dict for every shard that completed the round, ``dead``
+        lists the shards that did not (process gone with nothing left in
+        the pipe, or alive but silent past the round timeout — those are
+        terminated first so the two cases converge).  Dead shards'
+        replies are drained before the verdict, so a shard killed
+        *after* answering still counts as having finished the round.
+        """
+        replies: dict[int, dict] = {}
+        dead: list[int] = []
+        pending = set(range(self.n_shards))
+        deadline = time.monotonic() + self.round_timeout
+        while pending:
+            progressed = False
+            for index in sorted(pending):
+                link = self.links[index]
+                reply = link.try_recv()
+                if reply is not None:
+                    replies[index] = reply
+                    pending.discard(index)
+                    progressed = True
+                elif not link.alive():
+                    # Drain once more: the reply may have raced the exit.
+                    reply = link.try_recv()
+                    if reply is not None:
+                        replies[index] = reply
+                    else:
+                        dead.append(index)
+                    pending.discard(index)
+                    progressed = True
+            if not pending or progressed:
+                continue
+            if time.monotonic() > deadline:
+                for index in sorted(pending):
+                    self.links[index].terminate()
+                    dead.extend([index])
+                    pending.discard(index)
+                break
+            time.sleep(_POLL_TICK)
+        return replies, sorted(dead)
+
+    def roundtrip(self, messages) -> tuple[dict[int, dict], list[int]]:
+        """One full lockstep round: broadcast then collect."""
+        self.broadcast(messages)
+        return self.collect()
+
+    def require_all(
+        self, replies: dict[int, dict], dead: list[int], iteration: int | None = None
+    ) -> list[dict]:
+        """Replies in shard order, or :class:`ShardDeathError` listing the dead.
+
+        The convenience for rounds where death is *not* being handled
+        (set-up, teardown, raise-strategy solves): any loss becomes the
+        error the caller propagates.
+        """
+        if dead:
+            raise ShardDeathError(dead, iteration)
+        return [replies[i] for i in range(self.n_shards)]
+
+    def shutdown(self) -> None:
+        """Best-effort orderly stop: ask workers to exit, then reap them."""
+        for link in self.links:
+            if link.alive():
+                link.send({"cmd": "shutdown"})
+        for link in self.links:
+            link.process.join(timeout=2.0)
+            link.close()
+
+    def __enter__(self) -> "ShardPool":
+        """Context-manager entry: the pool itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: always tear the workers down."""
+        self.shutdown()

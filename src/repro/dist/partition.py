@@ -1,0 +1,244 @@
+"""Deterministic row partitioner: per-shard CSR blocks + halo index maps.
+
+One square CSR matrix becomes ``n_shards`` contiguous row blocks.  Each
+shard's block is itself a valid :class:`~repro.csr.matrix.CSRMatrix`
+whose columns are *locally remapped*: owned columns (those inside the
+shard's row range) come first as ``0..n_local-1``, followed by the
+shard's **halo** — the sorted external columns its rows reference, which
+other shards own.  An SpMV against the block therefore consumes the
+concatenation ``[x_local, x_halo]``, which is exactly what the exchange
+layer delivers each iteration.
+
+Everything here is a pure function of ``(matrix, n_shards)`` — no RNG,
+no worker-count dependence — so the same partition plan is rebuilt
+identically by the coordinator, by a respawned worker, and by any test
+asserting halo maps.  The plan also precomputes the communication
+schedule the coordinator needs:
+
+* ``boundary_idx[s]`` — which of shard *s*'s local rows any other shard
+  reads (what *s* must publish each halo exchange);
+* ``halo_src_shard[t]`` / ``halo_src_pos[t]`` — for each entry of shard
+  *t*'s halo, which shard publishes it and at which position of that
+  shard's boundary array (how the coordinator assembles halos from the
+  published boundaries).
+
+Degenerate shapes are first-class: ``n_shards > n_rows`` clamps to one
+row per shard, a single shard has an empty halo, and a (block-)diagonal
+matrix partitions into shards with empty halos and empty boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.csr.matrix import CSRMatrix
+from repro.errors import ConfigurationError
+
+
+def partition_rows(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
+    """Balanced contiguous row ranges, one per shard.
+
+    The first ``n_rows % n_shards`` shards take one extra row, so shard
+    sizes differ by at most one.  ``n_shards`` is clamped to ``n_rows``
+    (a shard must own at least one row); callers read the effective
+    shard count off the returned list's length.
+    """
+    if n_rows < 1:
+        raise ConfigurationError("cannot partition an empty matrix")
+    if n_shards < 1:
+        raise ConfigurationError("n_shards must be >= 1")
+    n_shards = min(n_shards, n_rows)
+    base, extra = divmod(n_rows, n_shards)
+    ranges = []
+    lo = 0
+    for s in range(n_shards):
+        hi = lo + base + (1 if s < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardBlock:
+    """One shard's slice of the partitioned system.
+
+    Attributes
+    ----------
+    index:
+        The shard's position in the plan.
+    row_start / row_stop:
+        The global half-open row range ``[row_start, row_stop)`` this
+        shard owns.
+    matrix:
+        The local CSR block, shape ``(n_local, n_local + n_halo)`` with
+        columns remapped as described in the module docstring.
+    halo_cols:
+        Sorted *global* column indices of the halo (``int64``); empty
+        when the shard's rows only touch owned columns.
+    boundary_idx:
+        Sorted *local* row indices (``int64``) that at least one other
+        shard reads — the values this shard publishes each exchange.
+    """
+
+    index: int
+    row_start: int
+    row_stop: int
+    matrix: CSRMatrix
+    halo_cols: np.ndarray
+    boundary_idx: np.ndarray
+
+    @property
+    def n_local(self) -> int:
+        """Rows (and owned columns) of this shard."""
+        return self.row_stop - self.row_start
+
+    @property
+    def n_halo(self) -> int:
+        """External columns this shard reads each iteration."""
+        return int(self.halo_cols.size)
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionPlan:
+    """The full deterministic decomposition of one matrix.
+
+    Attributes
+    ----------
+    n_rows:
+        Global problem size.
+    row_ranges:
+        Tuple of per-shard global ``(lo, hi)`` row ranges.
+    blocks:
+        One :class:`ShardBlock` per shard.
+    halo_src_shard / halo_src_pos:
+        Per shard *t*, parallel ``int64`` arrays over ``halo_cols[t]``:
+        entry *k* of *t*'s halo is published by shard
+        ``halo_src_shard[t][k]`` at position ``halo_src_pos[t][k]`` of
+        that shard's boundary array.
+    """
+
+    n_rows: int
+    row_ranges: tuple[tuple[int, int], ...]
+    blocks: tuple[ShardBlock, ...]
+    halo_src_shard: tuple[np.ndarray, ...]
+    halo_src_pos: tuple[np.ndarray, ...]
+
+    @property
+    def n_shards(self) -> int:
+        """The effective shard count (after clamping to ``n_rows``)."""
+        return len(self.blocks)
+
+    def owner_of(self, cols: np.ndarray) -> np.ndarray:
+        """Map global column indices to the shard index owning each."""
+        starts = np.array([lo for lo, _ in self.row_ranges], dtype=np.int64)
+        return np.searchsorted(starts, np.asarray(cols, dtype=np.int64),
+                               side="right") - 1
+
+    def slice_vector(self, x: np.ndarray, shard: int) -> np.ndarray:
+        """Shard ``shard``'s owned slice of a global vector (a copy)."""
+        lo, hi = self.row_ranges[shard]
+        return np.array(x[lo:hi], dtype=np.float64, copy=True)
+
+    def assemble(self, slices) -> np.ndarray:
+        """Concatenate per-shard owned slices back into a global vector."""
+        out = np.empty(self.n_rows, dtype=np.float64)
+        for (lo, hi), part in zip(self.row_ranges, slices):
+            out[lo:hi] = part
+        return out
+
+    def halo_for(self, shard: int, boundaries) -> np.ndarray:
+        """Assemble shard ``shard``'s halo values from published boundaries.
+
+        ``boundaries`` is a sequence of per-shard arrays, each shard's
+        values at its ``boundary_idx`` positions (what the exchange
+        round collected).  Order of the result matches
+        ``blocks[shard].halo_cols``.
+        """
+        src = self.halo_src_shard[shard]
+        pos = self.halo_src_pos[shard]
+        halo = np.empty(src.size, dtype=np.float64)
+        for s in np.unique(src):
+            mask = src == s
+            halo[mask] = boundaries[s][pos[mask]]
+        return halo
+
+
+def partition_matrix(matrix: CSRMatrix, n_shards: int) -> PartitionPlan:
+    """Partition a square CSR matrix into row shards with halo maps.
+
+    Raises :class:`~repro.errors.ConfigurationError` for non-square
+    input — row ownership doubles as column ownership, so the two index
+    spaces must coincide (every solver this feeds is SPD anyway).
+    """
+    if matrix.n_rows != matrix.n_cols:
+        raise ConfigurationError(
+            f"row sharding needs a square matrix, got shape {matrix.shape}"
+        )
+    ranges = partition_rows(matrix.n_rows, n_shards)
+    ptr = matrix.rowptr.astype(np.int64)
+    colidx = matrix.colidx.astype(np.int64)
+
+    blocks_raw = []
+    for s, (lo, hi) in enumerate(ranges):
+        seg = slice(ptr[lo], ptr[hi])
+        cols = colidx[seg]
+        values = matrix.values[seg]
+        local_ptr = ptr[lo:hi + 1] - ptr[lo]
+        n_local = hi - lo
+        owned = (cols >= lo) & (cols < hi)
+        halo_cols = np.unique(cols[~owned])
+        local_cols = np.empty(cols.size, dtype=np.int64)
+        local_cols[owned] = cols[owned] - lo
+        local_cols[~owned] = n_local + np.searchsorted(halo_cols, cols[~owned])
+        local = CSRMatrix(
+            values.copy(),
+            local_cols.astype(np.uint32),
+            local_ptr.astype(np.uint32),
+            (n_local, n_local + int(halo_cols.size)),
+        )
+        blocks_raw.append((s, lo, hi, local, halo_cols))
+
+    # Publication maps: which local rows of each shard anyone else reads.
+    starts = np.array([lo for lo, _ in ranges], dtype=np.int64)
+    needed_by_shard: list[set] = [set() for _ in ranges]
+    for s, lo, hi, _local, halo_cols in blocks_raw:
+        owners = np.searchsorted(starts, halo_cols, side="right") - 1
+        for o in np.unique(owners):
+            o_lo = ranges[o][0]
+            needed_by_shard[int(o)].update(
+                (halo_cols[owners == o] - o_lo).tolist()
+            )
+    boundary_idx = [
+        np.array(sorted(needed), dtype=np.int64) for needed in needed_by_shard
+    ]
+
+    blocks = tuple(
+        ShardBlock(index=s, row_start=lo, row_stop=hi, matrix=local,
+                   halo_cols=halo_cols, boundary_idx=boundary_idx[s])
+        for s, lo, hi, local, halo_cols in blocks_raw
+    )
+
+    # Assembly maps: where each halo entry comes from.
+    halo_src_shard = []
+    halo_src_pos = []
+    for block in blocks:
+        owners = np.searchsorted(starts, block.halo_cols, side="right") - 1
+        pos = np.empty(block.halo_cols.size, dtype=np.int64)
+        for o in np.unique(owners):
+            mask = owners == o
+            o_lo = ranges[int(o)][0]
+            pos[mask] = np.searchsorted(
+                boundary_idx[int(o)], block.halo_cols[mask] - o_lo
+            )
+        halo_src_shard.append(owners.astype(np.int64))
+        halo_src_pos.append(pos)
+
+    return PartitionPlan(
+        n_rows=matrix.n_rows,
+        row_ranges=tuple(ranges),
+        blocks=blocks,
+        halo_src_shard=tuple(halo_src_shard),
+        halo_src_pos=tuple(halo_src_pos),
+    )

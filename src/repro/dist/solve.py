@@ -1,0 +1,323 @@
+"""The coordinator: distributed CG over shard workers, death included.
+
+The recurrence is the textbook one from
+:func:`repro.solvers.cg.protected_cg_run`, re-cut along the process
+boundary: vector updates happen inside the shards, the coordinator owns
+only the scalars (``alpha``/``beta``/``rr``) and the halo routing.  One
+CG iteration is three lockstep rounds —
+
+1. ``spmv``   — ship each shard its p-halo, get partial ``p·w`` back;
+2. ``update`` — broadcast ``alpha``, get partial ``r·r`` back;
+3. ``pbound`` — broadcast ``beta``, get fresh p-boundaries back —
+
+with every global scalar reduced by summing the per-shard partials in
+shard-index order, an *ordered* allreduce: results are bitwise
+deterministic for a fixed shard count, and differ from the
+single-process solve only by float re-association (tolerance-level, see
+docs/distributed.md).
+
+Shard death (a worker process lost mid-round, whether injected through
+``kill_plan`` or real) surfaces from the exchange layer's collect and is
+handled here by the solve's
+:class:`~repro.recover.policy.RecoveryPolicy`: ``"raise"`` (or no
+policy) propagates :class:`~repro.errors.ShardDeathError`; the
+escalating strategies respawn the dead worker from its pristine payload
+— re-encoding the lost block — seed its x-slice from the coordinator's
+checkpoint (``repopulate``: dead shard only, survivors keep their
+iterate; ``rollback``: every shard restored, iteration counter reset)
+and restart the recurrence from the resulting global iterate.  A
+``status: "due"`` reply (a shard recovered a *local* DUE by itself)
+triggers the same recurrence restart without any respawn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.exchange import DEFAULT_ROUND_TIMEOUT, ShardPool
+from repro.dist.partition import PartitionPlan, partition_matrix
+from repro.errors import (
+    BoundsViolationError,
+    ConfigurationError,
+    DetectedUncorrectableError,
+    ShardDeathError,
+)
+from repro.recover.policy import RecoveryPolicy
+from repro.solvers.base import SolverResult
+
+
+class _DeathSignal(Exception):
+    """Internal: a round lost shards; carries who died."""
+
+    def __init__(self, shards):
+        self.shards = tuple(shards)
+        super().__init__(f"shards {list(shards)} died")
+
+
+class _RestartSignal(Exception):
+    """Internal: a shard recovered a local DUE; restart the recurrence."""
+
+
+def _reraise_shard_error(index: int, reply: dict) -> None:
+    """Map a worker's ``status: "error"`` reply back onto a real exception."""
+    name = reply.get("error", "RuntimeError")
+    message = f"shard {index}: {reply.get('message', 'worker failed')}"
+    if name == "DetectedUncorrectableError":
+        raise DetectedUncorrectableError(f"dist-shard-{index}", message=message)
+    if name == "BoundsViolationError":
+        raise BoundsViolationError(f"dist-shard-{index}", message=message)
+    raise RuntimeError(message)
+
+
+class _Coordinator:
+    """One distributed solve's mutable state: pool, scalars, checkpoint."""
+
+    def __init__(self, plan: PartitionPlan, pool: ShardPool,
+                 recovery: RecoveryPolicy | None, x0: np.ndarray):
+        self.plan = plan
+        self.pool = pool
+        self.recovery = recovery
+        self.escalates = recovery is not None and recovery.escalates
+        self.retries_left = recovery.max_retries if self.escalates else 0
+        # The initial checkpoint: x0's slices, so a recovery target exists
+        # from the very first iteration on (mirrors maybe_checkpoint(0)).
+        self.saved_it = 0
+        self.saved_slices = [
+            plan.slice_vector(x0, s) for s in range(plan.n_shards)
+        ]
+        self.it = 0
+        self.rr = float("inf")
+        self.pb: list[np.ndarray] = []
+        self.norms: list[float] = []
+        self.converged = False
+        self.deaths = 0
+        self.respawns = 0
+        self.restarts = 0
+
+    # -- rounds ---------------------------------------------------------
+    def round(self, messages) -> list[dict]:
+        """One lockstep round; deaths/DUEs/errors become control flow."""
+        replies, dead = self.pool.roundtrip(messages)
+        if dead:
+            raise _DeathSignal(dead)
+        due = False
+        for index in range(self.pool.n_shards):
+            reply = replies[index]
+            status = reply.get("status", "ok")
+            if status == "error":
+                _reraise_shard_error(index, reply)
+            due = due or status == "due"
+        if due:
+            raise _RestartSignal
+        return [replies[i] for i in range(self.pool.n_shards)]
+
+    def halos(self, boundaries: list[np.ndarray]) -> list[np.ndarray]:
+        """Per-shard halo vectors assembled from published boundaries."""
+        return [
+            self.plan.halo_for(s, boundaries)
+            for s in range(self.plan.n_shards)
+        ]
+
+    def restart(self, slices=None) -> None:
+        """(Re)derive the recurrence from the current global iterate.
+
+        ``slices`` seeds per-shard x values first (``None`` entries keep
+        the shard's current x); then one ``xstart`` + one ``residual``
+        round rebuild ``r = b - A x``, ``p = r`` and the global ``rr``.
+        """
+        if slices is None:
+            slices = [None] * self.plan.n_shards
+        xb = self.round([
+            {"cmd": "xstart", "x": x_s} for x_s in slices
+        ])
+        halos = self.halos([reply["xb"] for reply in xb])
+        replies = self.round([
+            {"cmd": "residual", "halo": halo} for halo in halos
+        ])
+        self.rr = sum(reply["rr"] for reply in replies)  # ordered reduce
+        self.pb = [reply["pb"] for reply in replies]
+        self.norms.append(float(np.sqrt(self.rr)))
+
+    def maybe_checkpoint(self) -> None:
+        """Gather x slices on the recovery cadence (escalating policies)."""
+        if not self.escalates:
+            return
+        if self.it % self.recovery.checkpoint_interval:
+            return
+        replies = self.round([{"cmd": "checkpoint"}] * self.plan.n_shards)
+        self.saved_slices = [reply["x"] for reply in replies]
+        self.saved_it = self.it
+
+    # -- shard-death recovery -------------------------------------------
+    def recover_death(self, shards) -> list:
+        """Respawn the dead shards; return the xstart slices to seed.
+
+        Raises :class:`ShardDeathError` when no escalating policy is
+        attached or the retry budget is exhausted — the unrecovered
+        outcome the campaign counts as an abort.
+        """
+        self.deaths += len(shards)
+        if not self.escalates or self.retries_left <= 0:
+            raise ShardDeathError(shards, self.it)
+        self.retries_left -= 1
+        for index in shards:
+            self.pool.respawn(index)
+            self.respawns += 1
+        if self.recovery.strategy == "rollback":
+            # Everyone back to the checkpointed iterate; the counter too.
+            self.it = self.saved_it
+            return list(self.saved_slices)
+        # repopulate: only the lost shards are seeded (from the newest
+        # checkpointed slice); survivors keep their current iterate.
+        return [
+            self.saved_slices[s] if s in shards else None
+            for s in range(self.plan.n_shards)
+        ]
+
+
+def distributed_solve(
+    A,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    *,
+    n_shards: int = 2,
+    method: str = "cg",
+    protection=None,
+    eps: float = 1e-15,
+    max_iters: int = 10_000,
+    kill_plan=None,
+    round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+) -> SolverResult:
+    """Solve ``A x = b`` by CG sharded across worker processes.
+
+    Parameters
+    ----------
+    A:
+        A square :class:`~repro.csr.matrix.CSRMatrix` (a
+        :class:`~repro.protect.matrix.ProtectedCSRMatrix` is decoded
+        first — each shard re-encodes its own block under its own
+        protection domain, so a pre-encoded global matrix cannot be
+        sharded as-is).
+    n_shards:
+        Worker-process count; clamped to ``n_rows`` by the partitioner.
+    protection:
+        A :class:`~repro.protect.config.ProtectionConfig` applied
+        *per shard* (each worker gets its own engine over its block and
+        slices), or ``None`` for unprotected shards.  The config's
+        ``recovery`` policy does double duty: inside a shard it handles
+        local DUEs exactly as in a single-process solve, and at the
+        coordinator it governs shard-death respawns (strategy, retry
+        budget, checkpoint cadence).
+    kill_plan:
+        Fault-injection hook: ``(iteration, shard)`` pairs; at the start
+        of each listed iteration the coordinator terminates that shard's
+        process, exercising the recovery path deterministically.
+    round_timeout:
+        Seconds one lockstep round may take before an unresponsive shard
+        is declared dead (see :mod:`repro.dist.exchange`).
+
+    Returns a :class:`~repro.solvers.base.SolverResult` whose ``info``
+    carries a ``distributed`` block (shard count, deaths, respawns,
+    recurrence restarts) plus each shard's own counter block.
+    """
+    if method != "cg":
+        raise ConfigurationError(
+            f"distributed solves support method='cg' only, not {method!r}"
+        )
+    if protection is not None and not hasattr(protection, "enabled"):
+        raise ConfigurationError(
+            "distributed solves take a ProtectionConfig (or None); sessions "
+            "are single-process by design"
+        )
+    if hasattr(A, "to_csr"):
+        A = A.to_csr()
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (A.n_rows,):
+        raise ConfigurationError(
+            f"b has shape {b.shape}, expected ({A.n_rows},)"
+        )
+    x0 = np.zeros(A.n_rows) if x0 is None else np.asarray(x0, dtype=np.float64)
+
+    plan = partition_matrix(A, n_shards)
+    payloads = [
+        {
+            "index": block.index,
+            "matrix": block.matrix,
+            "b": plan.slice_vector(b, block.index),
+            "boundary_idx": block.boundary_idx,
+            "protection": protection,
+        }
+        for block in plan.blocks
+    ]
+    kills: dict[int, list[int]] = {}
+    for kill_it, kill_shard in (kill_plan or ()):
+        kills.setdefault(int(kill_it), []).append(int(kill_shard))
+    recovery = protection.recovery if protection is not None else None
+
+    with ShardPool(payloads, round_timeout=round_timeout) as pool:
+        coord = _Coordinator(plan, pool, recovery, x0)
+        slices = [plan.slice_vector(x0, s) for s in range(plan.n_shards)]
+        need_restart = True
+        while True:
+            try:
+                if need_restart:  # initial start or post-recovery restart
+                    coord.restart(slices)
+                    need_restart = False
+                coord.converged = coord.rr < eps
+                while not coord.converged and coord.it < max_iters:
+                    for shard in kills.pop(coord.it, ()):
+                        pool.kill(shard)
+                    halos = coord.halos(coord.pb)
+                    spmv = coord.round([
+                        {"cmd": "spmv", "halo": halo} for halo in halos
+                    ])
+                    pw = sum(reply["pw"] for reply in spmv)  # ordered reduce
+                    if pw == 0.0:
+                        break
+                    alpha = coord.rr / pw
+                    update = coord.round(
+                        [{"cmd": "update", "alpha": alpha, "it": coord.it + 1}]
+                        * plan.n_shards
+                    )
+                    rr_new = sum(reply["rr"] for reply in update)
+                    coord.it += 1
+                    coord.norms.append(float(np.sqrt(rr_new)))
+                    if rr_new < eps:
+                        coord.rr = rr_new
+                        coord.converged = True
+                        break
+                    pbound = coord.round(
+                        [{"cmd": "pbound", "beta": rr_new / coord.rr}]
+                        * plan.n_shards
+                    )
+                    coord.pb = [reply["pb"] for reply in pbound]
+                    coord.rr = rr_new
+                    coord.maybe_checkpoint()
+                finish = coord.round([{"cmd": "finish"}] * plan.n_shards)
+                break
+            except _DeathSignal as signal:
+                slices = coord.recover_death(signal.shards)
+                need_restart = True
+            except _RestartSignal:
+                coord.restarts += 1
+                slices = [None] * plan.n_shards
+                need_restart = True
+        x = plan.assemble([reply["x"] for reply in finish])
+
+    info = {
+        "distributed": {
+            "n_shards": plan.n_shards,
+            "deaths": coord.deaths,
+            "respawns": coord.respawns,
+            "restarts": coord.restarts,
+            "recovery": recovery.strategy if recovery is not None else "raise",
+        },
+        "shards": [reply["info"] for reply in finish],
+    }
+    return SolverResult(
+        x=x,
+        iterations=coord.it,
+        converged=coord.converged,
+        residual_norms=coord.norms,
+        info=info,
+    )

@@ -1,0 +1,218 @@
+"""The worker-process runtime: a command server around one shard's state.
+
+Each shard process owns exactly the state a single-process protected CG
+owns — the (protected) matrix block, the protected ``x``/``r``/``p``
+slices, the plain SpMV output ``w`` — but *no* control flow: the CG
+recurrence lives in the coordinator, which drives the shard through the
+lockstep command protocol below.  Protection is genuinely per-shard: a
+shard with protection enabled runs its own
+:class:`~repro.solvers.toolkit.ProtectedIteration` (own engine, own
+check schedule, own recovery manager), so a bit flip in one shard's
+block is detected, corrected or escalated entirely inside that shard.
+
+Command protocol (one request dict in, one reply dict out, always):
+
+========== =============================== ================================
+command    request fields                  reply fields
+========== =============================== ================================
+xstart     ``x`` (local slice or None)     ``xb`` — x at boundary rows
+residual   ``halo`` (x halo values)        ``rr`` partial, ``pb`` boundary
+spmv       ``halo`` (p halo values)        ``pw`` partial
+update     ``alpha``, ``it``               ``rr`` partial
+pbound     ``beta``                        ``pb`` — p at boundary rows
+checkpoint —                               ``x`` — the local x slice
+finish     —                               ``x``, ``info`` counter block
+shutdown   —                               (no reply; the worker exits)
+========== =============================== ================================
+
+Every reply carries ``status``: ``"ok"``; ``"due"`` when a local DUE was
+*recovered* by the shard's own policy (the coordinator must then restart
+the global recurrence, since this shard's state may have rolled back);
+or ``"error"`` with ``error``/``message`` fields when the command failed
+terminally (unrecovered DUE, bug) — the coordinator re-raises those.
+
+Halo values cross the pipe as plain floats: the wire is outside every
+protection domain, exactly as the paper's ABFT protects memory-resident
+structures, not interconnect traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.recover.policy import RECOVERABLE_ERRORS
+from repro.solvers.toolkit import ProtectedIteration
+
+
+class ShardState:
+    """One shard's matrix block, vector slices and protection domain.
+
+    Built from the pool's pickled payload (schema below); a respawned
+    worker reconstructs this object from the same pristine payload,
+    which re-encodes the block from source — the "recover by re-encoding"
+    path of the shard-death story.
+
+    Payload schema: ``index`` (shard number), ``matrix`` (the local
+    :class:`~repro.csr.matrix.CSRMatrix` block, owned columns first),
+    ``b`` (the local right-hand-side slice), ``boundary_idx`` (local rows
+    to publish each exchange) and ``protection`` (a
+    :class:`~repro.protect.config.ProtectionConfig` or ``None``).
+    """
+
+    def __init__(self, payload: dict):
+        self.index = int(payload["index"])
+        self.b = np.asarray(payload["b"], dtype=np.float64)
+        self.boundary_idx = np.asarray(payload["boundary_idx"], dtype=np.int64)
+        self.n_local = int(self.b.size)
+        matrix = payload["matrix"]
+        protection = payload.get("protection")
+        if protection is not None and protection.enabled:
+            self.ctx = ProtectedIteration(
+                protection.wrap_matrix(matrix),
+                engine=protection.engine(),
+                vector_scheme=protection.vector_scheme,
+            )
+        else:
+            self.ctx = None
+            self.matrix = matrix
+        zeros = np.zeros(self.n_local)
+        self.x = self._wrap(zeros, "x")
+        self.r = self._wrap(zeros, "r")
+        self.p = self._wrap(zeros, "p")
+        self.w = np.zeros(self.n_local)
+
+    # -- protection-transparent vector plumbing -------------------------
+    def _wrap(self, values, name):
+        if self.ctx is not None:
+            return self.ctx.wrap(values, name)
+        return np.array(values, dtype=np.float64, copy=True)
+
+    def _read(self, container) -> np.ndarray:
+        return self.ctx.read(container) if self.ctx is not None else container
+
+    def _write(self, container, values):
+        # Returns the (possibly new) container — callers must rebind,
+        # exactly like the solver bodies do: for unprotected vectors the
+        # toolkit's write returns the fresh array instead of mutating.
+        if self.ctx is not None:
+            return self.ctx.write(container, values)
+        container[:] = values
+        return container
+
+    def _spmv(self, x_ext: np.ndarray) -> np.ndarray:
+        if self.ctx is not None:
+            return self.ctx.spmv(x_ext)
+        return self.matrix.matvec(x_ext)
+
+    def _extend(self, local: np.ndarray, halo) -> np.ndarray:
+        """``[local, halo]`` — the column space the local block consumes."""
+        halo = np.asarray(halo, dtype=np.float64)
+        return np.concatenate([local, halo]) if halo.size else np.asarray(local)
+
+    # -- command handlers -----------------------------------------------
+    def execute(self, msg: dict) -> dict:
+        """Run one command; local recovered DUEs become ``status: "due"``."""
+        try:
+            return self._dispatch(msg)
+        except RECOVERABLE_ERRORS as exc:
+            if self.ctx is None:
+                raise
+            # Shard-local recovery: repairs the block / rolls the slices
+            # back per this shard's own policy, or re-raises when the
+            # policy says so.  The coordinator restarts the recurrence.
+            self.ctx.recover(exc)
+            return {"status": "due", "error": type(exc).__name__,
+                    "message": str(exc)}
+
+    def _dispatch(self, msg: dict) -> dict:
+        cmd = msg["cmd"]
+        if cmd == "xstart":
+            if msg.get("x") is not None:
+                self.x = self._write(
+                    self.x, np.asarray(msg["x"], dtype=np.float64)
+                )
+            return {"xb": self._read(self.x)[self.boundary_idx].copy()}
+        if cmd == "residual":
+            x_ext = self._extend(self._read(self.x), msg["halo"])
+            r_val = self.b - self._spmv(x_ext)
+            self.r = self._write(self.r, r_val)
+            self.p = self._write(self.p, r_val)
+            return {
+                "rr": float(np.dot(r_val, r_val)),
+                "pb": r_val[self.boundary_idx].copy(),
+            }
+        if cmd == "spmv":
+            if self.ctx is not None:
+                self.ctx.begin_iteration()
+            p_val = self._read(self.p)
+            self.w = self._spmv(self._extend(p_val, msg["halo"]))
+            return {"pw": float(np.dot(p_val, self.w))}
+        if cmd == "update":
+            alpha = float(msg["alpha"])
+            self.x = self._write(
+                self.x, self._read(self.x) + alpha * self._read(self.p)
+            )
+            r_val = self._read(self.r) - alpha * self.w
+            self.r = self._write(self.r, r_val)
+            if self.ctx is not None:
+                self.ctx.maybe_checkpoint(int(msg["it"]))
+            return {"rr": float(np.dot(r_val, r_val))}
+        if cmd == "pbound":
+            beta = float(msg["beta"])
+            p_val = self._read(self.r) + beta * self._read(self.p)
+            self.p = self._write(self.p, p_val)
+            return {"pb": p_val[self.boundary_idx].copy()}
+        if cmd == "checkpoint":
+            return {"x": self._value(self.x)}
+        if cmd == "finish":
+            x_final = self._value(self.x)
+            info = {}
+            if self.ctx is not None:
+                self.ctx.finish()  # the mandatory end-of-step sweep
+                info = self.ctx.info()
+            return {"x": x_final, "info": info}
+        raise ValueError(f"unknown shard command {cmd!r}")
+
+    def _value(self, container) -> np.ndarray:
+        values = (
+            self.ctx.value_of(container) if self.ctx is not None else container
+        )
+        return np.array(values, dtype=np.float64, copy=True)
+
+
+def shard_worker_main(conn, payload: dict) -> None:
+    """The worker-process entry point: serve commands until shutdown.
+
+    Runs in a spawn-context child (resolved by name through the sweep
+    executor's runner machinery, so it must stay at module scope).
+    Construction failures and terminal command errors are reported as
+    ``status: "error"`` replies rather than tracebacks on stderr — the
+    coordinator owns surfacing them.
+    """
+    try:
+        state = ShardState(payload)
+    except Exception as exc:  # noqa: BLE001 - reported to the coordinator
+        try:
+            conn.send({"status": "error", "error": type(exc).__name__,
+                       "message": f"shard start-up failed: {exc}"})
+        finally:
+            conn.close()
+        return
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg.get("cmd") == "shutdown":
+            break
+        try:
+            reply = state.execute(msg)
+            reply.setdefault("status", "ok")
+        except Exception as exc:  # noqa: BLE001 - reported to the coordinator
+            reply = {"status": "error", "error": type(exc).__name__,
+                     "message": str(exc)}
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()

@@ -59,6 +59,36 @@ class DetectedUncorrectableError(ABFTError):
         super().__init__(message)
 
 
+class ShardDeathError(ABFTError):
+    """A whole worker shard of a distributed solve died mid-computation.
+
+    The fault model the bit-flip injector cannot express: process loss
+    takes out a shard's matrix block, its state-vector slices and its
+    protection domain in one event.  Raised by the
+    :mod:`repro.dist` coordinator when a shard stops responding and the
+    recovery policy is ``"raise"`` (or the respawn budget is exhausted);
+    with an escalating policy the coordinator respawns the shard and
+    re-encodes its block from the pristine partition instead.
+
+    Attributes
+    ----------
+    shards:
+        Indices of the shards that were lost.
+    iteration:
+        The distributed iteration during which the loss was detected.
+    """
+
+    def __init__(self, shards, iteration: int | None = None,
+                 message: str | None = None):
+        self.shards = tuple(shards)
+        self.iteration = iteration
+        if message is None:
+            message = f"worker shard(s) {list(self.shards)} died"
+            if iteration is not None:
+                message += f" at distributed iteration {iteration}"
+        super().__init__(message)
+
+
 class BoundsViolationError(ABFTError):
     """An index range check failed.
 

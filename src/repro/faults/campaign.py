@@ -466,6 +466,142 @@ def run_poisson_campaign(
 
 
 # ---------------------------------------------------------------------------
+def run_shard_death_campaign(
+    matrix: CSRMatrix,
+    b: np.ndarray,
+    *,
+    mtbf: float = 8.0,
+    n_shards: int = 2,
+    method: str = "cg",
+    element_scheme: str | None = "secded64",
+    rowptr_scheme: str | None = "secded64",
+    vector_scheme: str | None = None,
+    interval: int = 4,
+    recovery=None,
+    n_trials: int = 5,
+    seed: int | np.random.SeedSequence = 0,
+    eps: float = 1e-20,
+    max_iters: int = 2_000,
+    reference_x: np.ndarray | None = None,
+) -> CampaignResult:
+    """Time-to-solution and recovery rate under whole-shard process loss.
+
+    The fault model the bit-flip injector cannot express: each trial
+    runs one *distributed* solve (:func:`repro.dist.solve.distributed_solve`,
+    ``n_shards`` worker processes, per-shard protection domains) with a
+    kill plan sampled from the trial's RNG stream — inter-death gaps are
+    geometric with mean ``mtbf`` iterations, the victim shard uniform —
+    and the coordinator's :class:`~repro.recover.policy.RecoveryPolicy`
+    must respawn and re-seed the lost shards for the solve to finish.
+
+    Sampling is capped at ``max_retries + 1`` death events per trial
+    (one past the respawn budget: anything further could never change
+    the outcome), which keeps the plan finite without coupling it to the
+    solve's unknown iteration count.
+
+    Classification: a trial with no death that landed on the reference
+    solution is CLEAN; deaths survived to a correct solution are
+    DETECTED with ``info["recovered"]`` incremented (process loss is
+    always "seen" — there is nothing silent about a dead worker);
+    :class:`~repro.errors.ShardDeathError` (``"raise"`` policy or
+    exhausted budget) counts DETECTED + ``info["aborted"]``; a wrong
+    answer splits SILENT/RESIDUAL by convergence exactly as the other
+    solve campaigns do.  ``info["injected"]`` totals the deaths actually
+    delivered, so the merged record reports a recovery rate as
+    ``recovered`` vs ``aborted`` over ``injected`` events —
+    bitwise-identically for any worker count, since the kill plans
+    derive from the sharded campaign's per-trial streams.
+    """
+    import time
+
+    from repro.dist.solve import distributed_solve
+    from repro.errors import ShardDeathError
+    from repro.recover.policy import RecoveryPolicy
+
+    rng = np.random.default_rng(seed)
+    if mtbf < 1.0:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError("mtbf must be >= 1 iteration")
+    recovery = RecoveryPolicy.coerce(recovery)
+    config = ProtectionConfig(
+        element_scheme=element_scheme, rowptr_scheme=rowptr_scheme,
+        vector_scheme=vector_scheme, interval=interval,
+        correct=interval <= 1, recovery=recovery,
+    )
+    if reference_x is None:
+        reference_x = solve(matrix, b, method=method, eps=eps,
+                            max_iters=max_iters).x
+    max_kills = (recovery.max_retries if recovery is not None else 0) + 1
+    outcomes = []
+    recovered = aborted = injected = 0
+    t_total = 0.0
+    iters_total = 0
+    for _ in range(n_trials):
+        kill_plan = []
+        t = 0
+        for _kill in range(max_kills):
+            t += int(rng.geometric(1.0 / mtbf))
+            kill_plan.append((t, int(rng.integers(n_shards))))
+        t0 = time.perf_counter()
+        try:
+            result = distributed_solve(
+                matrix, b, n_shards=n_shards, method=method,
+                protection=config, eps=eps, max_iters=max_iters,
+                kill_plan=kill_plan,
+            )
+        except ShardDeathError:
+            t_total += time.perf_counter() - t0
+            # Every sampled death up to the fatal one was delivered: the
+            # budget spends one respawn per death, so an abort means
+            # max_retries survived kills plus the fatal one ("raise" and
+            # no-policy solves die on the first).
+            escalates = recovery is not None and recovery.escalates
+            injected += (recovery.max_retries + 1) if escalates else 1
+            aborted += 1
+            outcomes.append(Outcome.DETECTED)
+            continue
+        t_total += time.perf_counter() - t0
+        iters_total += result.iterations
+        deaths = result.info["distributed"]["deaths"]
+        injected += deaths
+        solution_ok = bool(
+            np.allclose(result.x, reference_x, rtol=1e-6, atol=1e-9)
+        )
+        if not solution_ok:
+            outcomes.append(
+                Outcome.SILENT if result.converged else Outcome.RESIDUAL
+            )
+        elif deaths:
+            recovered += 1
+            outcomes.append(Outcome.DETECTED)
+        else:
+            outcomes.append(Outcome.CLEAN)
+    scheme = "+".join(
+        s if s is not None else "none"
+        for s in (element_scheme, rowptr_scheme, vector_scheme)
+    )
+    return CampaignResult(
+        scheme=scheme,
+        region="process",
+        model=f"shard-death-{mtbf:g}",
+        n_trials=n_trials,
+        counts=_tally(outcomes),
+        info={
+            "method": method,
+            "recovery": getattr(config.recovery, "strategy", "raise"),
+            "mtbf": mtbf,
+            "n_shards": n_shards,
+            "recovered": recovered,
+            "aborted": aborted,
+            "injected": injected,
+            "mean_time": t_total / max(n_trials, 1),
+            "mean_iters": iters_total / max(n_trials, 1),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # CLI: python -m repro.faults.campaign --kind solver --workers 4 --out x.jsonl
 def _build_model(name: str):
     """Model spec → FaultModel: single, double, multi<k>, burst<len>."""
@@ -487,7 +623,8 @@ def build_parser():
                     "across worker counts; see README 'Resilience').",
     )
     parser.add_argument("--kind", default="matrix",
-                        choices=sorted(["matrix", "vector", "solver", "poisson"]),
+                        choices=sorted(["matrix", "vector", "solver", "poisson",
+                                        "shard-death"]),
                         help="campaign family (default: matrix)")
     parser.add_argument("--trials", type=int, default=200)
     parser.add_argument("--workers", type=int, default=1,
@@ -517,7 +654,13 @@ def build_parser():
     parser.add_argument("--rate", type=float, default=1e-6,
                         help="per-bit per-iteration upset rate for --kind poisson")
     parser.add_argument("--interval", type=int, default=1,
-                        help="check interval for --kind poisson")
+                        help="check interval for --kind poisson/shard-death")
+    parser.add_argument("--mtbf", type=float, default=8.0,
+                        help="mean iterations between shard kills for "
+                             "--kind shard-death")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker shards per distributed solve for "
+                             "--kind shard-death")
     return parser
 
 
@@ -563,6 +706,21 @@ def _build_task(args) -> "tuple":
             element_scheme=args.scheme, rowptr_scheme=rowptr_scheme,
             region=Region(args.region), model=_build_model(args.model),
             method=args.method, recovery=recovery,
+            eps=eps, max_iters=max_iters, reference_x=reference.x,
+        )
+    elif args.kind == "shard-death":
+        b = rng.standard_normal(matrix.n_rows)
+        eps, max_iters = 1e-20, 2_000
+        # One clean reference solve in the parent; shards classify
+        # against it instead of each redoing the identical solve.
+        reference = solve(matrix, b, method=args.method, eps=eps,
+                          max_iters=max_iters)
+        params = dict(
+            matrix=matrix, b=b, mtbf=args.mtbf, n_shards=args.shards,
+            method=args.method,
+            element_scheme=args.scheme, rowptr_scheme=rowptr_scheme,
+            vector_scheme=None, interval=args.interval,
+            recovery=recovery or "rollback",
             eps=eps, max_iters=max_iters, reference_x=reference.x,
         )
     else:  # poisson

@@ -34,6 +34,7 @@ from repro.faults.campaign import (
     CampaignResult,
     run_matrix_campaign,
     run_poisson_campaign,
+    run_shard_death_campaign,
     run_solver_campaign,
     run_vector_campaign,
 )
@@ -41,12 +42,15 @@ from repro.sweeps.executor import Task, run_tasks, spawn_streams
 
 #: Campaign kind → runner.  Every runner accepts ``n_trials`` and a
 #: ``seed`` that may be a SeedSequence; everything else rides in
-#: :attr:`CampaignTask.params`.
+#: :attr:`CampaignTask.params`.  The ``shard-death`` kind nests its own
+#: process fan-out (each trial is a whole distributed solve), which the
+#: shared executor's non-daemonic pool workers allow.
 CAMPAIGN_KINDS = {
     "matrix": run_matrix_campaign,
     "vector": run_vector_campaign,
     "solver": run_solver_campaign,
     "poisson": run_poisson_campaign,
+    "shard-death": run_shard_death_campaign,
 }
 
 

@@ -25,6 +25,12 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-batch", type=int, default=32)
     parser.add_argument("--throttle", type=float, default=0.0,
                         help="artificial seconds per solve (demo/test load shaping)")
+    parser.add_argument("--dist-shards", type=int, default=0,
+                        help="route large CG jobs to the row-sharded solver "
+                             "with this many worker shards (0 disables)")
+    parser.add_argument("--dist-threshold", type=int, default=4096,
+                        help="row count at which a job counts as large for "
+                             "--dist-shards routing")
 
 
 def run(args) -> int:
@@ -35,6 +41,7 @@ def run(args) -> int:
         journal=args.journal, workers=args.workers,
         batch_window=args.batch_window, max_batch=args.max_batch,
         throttle=args.throttle,
+        dist_shards=args.dist_shards, dist_threshold=args.dist_threshold,
     )
     try:
         asyncio.run(run_server(args.host, args.port, config))

@@ -51,6 +51,14 @@ class ServeConfig:
     throttle:
         Artificial per-solve delay (seconds) forwarded to the batch
         runner; load-shaping for demos and kill/restart tests.
+    dist_shards:
+        ``>= 2`` routes large CG jobs to the row-sharded distributed
+        solver (:mod:`repro.dist`) with this many worker shards;
+        ``0``/``1`` (default) keeps every job single-process.
+    dist_threshold:
+        Row count at which a job counts as "large" for ``dist_shards``
+        routing.  Below it nothing changes — same solver, same warm
+        caches, and the job identity hash never depends on either knob.
     """
 
     journal: str | None = None
@@ -58,6 +66,8 @@ class ServeConfig:
     batch_window: float = 0.01
     max_batch: int = 32
     throttle: float = 0.0
+    dist_shards: int = 0
+    dist_threshold: int = 4096
 
 
 class SolveService:
@@ -241,6 +251,8 @@ class SolveService:
                             "jobs": chunk,
                             "protection": chunk[0].get("protection"),
                             "throttle": self.config.throttle,
+                            "dist_shards": self.config.dist_shards,
+                            "dist_threshold": self.config.dist_threshold,
                         },
                     ))
                     for job in chunk:

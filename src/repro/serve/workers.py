@@ -117,6 +117,62 @@ def _solve_one(job: dict, session, matrix_arg, config) -> dict:
     return record
 
 
+def _solve_distributed(job: dict, config, n_shards: int) -> dict:
+    """Serve one above-threshold job on the row-sharded solver.
+
+    The distributed path takes the *raw* matrix (each shard re-encodes
+    its own block under its own protection domain), so the shared
+    encoded cache and warm sessions are bypassed — which is the point:
+    this is the large-problem path :mod:`repro.serve` previously punted
+    on.  The job record matches :func:`_solve_one`'s shape plus a
+    ``distributed`` event carrying the shard/recovery counters.
+    """
+    from repro.dist.solve import distributed_solve
+
+    raw = CACHE.raw(job["matrix"])
+    b = build_rhs(job, raw.n_rows)
+    x0 = np.asarray(job["x0"], dtype=np.float64) if job.get("x0") is not None else None
+    t0 = time.perf_counter()
+    result = distributed_solve(
+        raw, b, x0, n_shards=n_shards, method=job["method"],
+        protection=config if config is not None and config.enabled else None,
+        eps=job["eps"], max_iters=job["max_iters"],
+    )
+    duration = time.perf_counter() - t0
+    _probe(job["job_id"])
+    stats = result.info["distributed"]
+    record = {
+        "job_id": job["job_id"],
+        "status": "done",
+        "method": job["method"],
+        "converged": bool(result.converged),
+        "iterations": int(result.iterations),
+        "residual": float(result.final_residual),
+        "x_norm": float(np.linalg.norm(result.x)),
+        "duration_ms": duration * 1e3,
+        "events": [{"event": "distributed", **stats}],
+    }
+    if stats["respawns"]:
+        record["recovered"] = int(stats["respawns"])
+    if job.get("return_x"):
+        record["x"] = [float(v) for v in result.x]
+    return record
+
+
+def _routes_distributed(job: dict, dist_shards: int, dist_threshold: int) -> bool:
+    """Whether a job goes to the sharded solver: opted in, CG, and large.
+
+    Injection jobs keep their private-matrix path, and non-CG methods
+    stay single-process (the distributed driver is CG-only) — routing
+    never changes what a below-threshold or unroutable job would do.
+    """
+    if dist_shards < 2 or job.get("inject") is not None:
+        return False
+    if job["method"] != "cg":
+        return False
+    return CACHE.raw(job["matrix"]).n_rows >= dist_threshold
+
+
 def _solve_injected(job: dict, config) -> dict:
     """Fault-injection jobs: a live Poisson process over a *private* matrix.
 
@@ -173,6 +229,7 @@ def _solve_injected(job: dict, config) -> dict:
 
 
 def run_batch(*, jobs: list[dict], protection=None, throttle: float = 0.0,
+              dist_shards: int = 0, dist_threshold: int = 4096,
               seed=None) -> dict:
     """Serve one batch of same-matrix jobs; the executor's task runner.
 
@@ -187,6 +244,11 @@ def run_batch(*, jobs: list[dict], protection=None, throttle: float = 0.0,
     throttle:
         Artificial seconds of sleep per solve; load-shaping knob for
         demos and kill-mid-stream tests, never set in production.
+    dist_shards / dist_threshold:
+        When ``dist_shards >= 2``, CG jobs on matrices of at least
+        ``dist_threshold`` rows run on the row-sharded distributed
+        solver instead of the warm single-process session (see
+        :func:`_routes_distributed`); everything else is untouched.
     seed:
         Executor-owned seeding slot (unused: job randomness is explicit
         in each job's spec, so batches are reproducible by content).
@@ -202,6 +264,9 @@ def run_batch(*, jobs: list[dict], protection=None, throttle: float = 0.0,
         try:
             if job.get("inject") is not None:
                 records.append(_solve_injected(job, config))
+                continue
+            if _routes_distributed(job, dist_shards, dist_threshold):
+                records.append(_solve_distributed(job, config, dist_shards))
                 continue
             if config is not None and config.enabled:
                 # (Re-)acquire lazily: a DUE in an earlier job dropped

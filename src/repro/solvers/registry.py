@@ -129,6 +129,7 @@ def solve(
     protection: ProtectionConfig | ProtectionSession | None = None,
     eps: float = 1e-15,
     max_iters: int = 10_000,
+    distributed: int | None = None,
     **kwargs,
 ) -> SolverResult:
     """Solve ``A x = b`` with any registered method under any protection.
@@ -144,10 +145,29 @@ def solve(
         ``None`` for the plain solver, a :class:`ProtectionConfig` for a
         one-shot protected solve, or a :class:`ProtectionSession` to run
         under a shared cross-solve engine.
+    distributed:
+        Shard the solve across this many worker processes via
+        :func:`repro.dist.solve.distributed_solve` (CG only; any
+        ``protection`` config then applies per shard and its recovery
+        policy also governs shard-death respawns).  ``None``/``0`` stays
+        single-process.
     kwargs:
         Method-specific extras (``preconditioner``, ``inner_steps``,
-        ``eig_bounds``, ``eig_min``/``eig_max``, ``check_every``).
+        ``eig_bounds``, ``eig_min``/``eig_max``, ``check_every``;
+        ``kill_plan``/``round_timeout`` for distributed solves).
     """
+    if distributed:
+        if isinstance(protection, ProtectionSession):
+            raise ConfigurationError(
+                "distributed solves take a ProtectionConfig (or None); a "
+                "ProtectionSession's engine cannot span shard processes"
+            )
+        from repro.dist.solve import distributed_solve
+
+        return distributed_solve(
+            A, b, x0, n_shards=int(distributed), method=method,
+            protection=protection, eps=eps, max_iters=max_iters, **kwargs,
+        )
     if isinstance(protection, ProtectionSession):
         return protection.solve(A, b, x0, method=method, eps=eps,
                                 max_iters=max_iters, **kwargs)

@@ -21,6 +21,7 @@ persist finished work before a crash takes the rest.
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import importlib
 import multiprocessing
@@ -108,8 +109,13 @@ def run_tasks(
     workers:
         ``<= 1`` runs in-process (same tasks, same records — the
         determinism guarantee is exactly this equivalence); ``> 1`` fans
-        out over a ``multiprocessing`` spawn pool (spawn, not fork: BLAS
-        thread pools and fork do not mix), capped at the task count.
+        out over a spawn-context :class:`~concurrent.futures.ProcessPoolExecutor`
+        (spawn, not fork: BLAS thread pools and fork do not mix), capped
+        at the task count.  A futures pool rather than
+        ``multiprocessing.Pool`` because its workers are *non-daemonic*:
+        a task is then allowed to spawn processes of its own, which is
+        what lets :mod:`repro.dist` run a whole sharded solve — worker
+        processes included — inside one campaign trial.
     on_record:
         Called in the parent as ``on_record(key, record)`` the moment
         each task completes, in completion order — the streaming hook
@@ -132,6 +138,10 @@ def run_tasks(
         _drain(map(_execute, tasks))
     else:
         ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
-            _drain(pool.imap_unordered(_execute, tasks))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)), mp_context=ctx
+        ) as pool:
+            futures = [pool.submit(_execute, task) for task in tasks]
+            for future in concurrent.futures.as_completed(futures):
+                _drain([future.result()])
     return results

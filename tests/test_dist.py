@@ -1,0 +1,489 @@
+"""repro.dist: partitioner, lockstep solve, shard-death recovery, routing.
+
+The acceptance bars (ISSUE 7):
+
+* the deterministic row partitioner survives its edge cases —
+  ``n_rows < n_shards``, a single shard, diagonal (empty-halo) matrices —
+  and its five-point halo maps are asserted index by index;
+* distributed CG across >= 2 shards converges to the single-process
+  solution.  One shard is *bitwise* identical to :func:`cg_solve`; more
+  shards re-associate the reductions (each shard sums its partial dot
+  product locally, the coordinator sums the partials in shard order), so
+  multi-shard parity is tolerance-level (~1e-10 on these tiny systems)
+  while remaining bitwise *repeatable* for a fixed shard count;
+* a mid-solve shard kill under an escalating
+  :class:`~repro.recover.policy.RecoveryPolicy` still completes with a
+  correct solution, and the non-escalating paths abort with
+  :class:`~repro.errors.ShardDeathError`;
+* the ``shard-death`` campaign kind merges bitwise-identically for any
+  worker count, and ``repro.serve`` routes large CG jobs to the sharded
+  solver without changing job identity or below-threshold behaviour.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.csr import five_point_operator
+from repro.csr.matrix import CSRMatrix
+from repro.dist import (
+    PartitionPlan,
+    distributed_solve,
+    partition_matrix,
+    partition_rows,
+)
+from repro.dist.workers import ShardState
+from repro.errors import ConfigurationError, Outcome, ShardDeathError
+from repro.faults import CampaignTask, run_sharded_campaign
+from repro.protect.config import ProtectionConfig
+from repro.protect.session import ProtectionSession
+from repro.recover.policy import RecoveryPolicy
+from repro.solvers import cg_solve
+
+#: Multi-shard solves re-associate the global reductions, so parity with
+#: the single-process solver is at rounding level, not bitwise.  1e-10
+#: is generous for the ~1e2-unknown systems used here (observed ~1e-13).
+PARITY_TOL = 1e-10
+
+#: Recovery paths replay iterations from a checkpoint, so the iterate
+#: that finally meets ``eps`` differs more from the fault-free run; the
+#: CLI smoke uses the same 1e-8 bar.
+RECOVERY_TOL = 1e-8
+
+
+def make_system(grid=8, seed=0):
+    """The campaign-style randomised five-point system."""
+    rng = np.random.default_rng(seed)
+    shape = (grid, grid)
+    matrix = five_point_operator(
+        grid, grid, rng.uniform(0.5, 2.0, shape), rng.uniform(0.5, 2.0, shape), 0.3
+    )
+    return matrix, rng.standard_normal(matrix.n_rows)
+
+
+def diagonal_matrix(n=7):
+    values = 2.0 + np.arange(n, dtype=np.float64)
+    return CSRMatrix(
+        values,
+        np.arange(n, dtype=np.uint32),
+        np.arange(n + 1, dtype=np.uint32),
+        (n, n),
+    )
+
+
+# ---------------------------------------------------------------------------
+class TestPartitionRows:
+    def test_balanced_ranges_cover_all_rows(self):
+        ranges = partition_rows(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_exact_division(self):
+        assert partition_rows(8, 2) == [(0, 4), (4, 8)]
+
+    def test_more_shards_than_rows_clamps(self):
+        ranges = partition_rows(3, 8)
+        assert ranges == [(0, 1), (1, 2), (2, 3)]
+
+    def test_single_shard(self):
+        assert partition_rows(5, 1) == [(0, 5)]
+
+    def test_rejects_empty_or_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            partition_rows(0, 2)
+        with pytest.raises(ConfigurationError):
+            partition_rows(4, 0)
+
+
+class TestPartitionMatrix:
+    def test_rejects_non_square(self):
+        matrix = CSRMatrix(
+            np.ones(2), np.array([0, 1], dtype=np.uint32),
+            np.array([0, 1, 2], dtype=np.uint32), (2, 3),
+        )
+        with pytest.raises(ConfigurationError):
+            partition_matrix(matrix, 2)
+
+    def test_diagonal_matrix_has_empty_halos(self):
+        plan = partition_matrix(diagonal_matrix(7), 3)
+        assert plan.n_shards == 3
+        for shard, block in enumerate(plan.blocks):
+            assert block.n_halo == 0
+            assert block.boundary_idx.size == 0
+            assert plan.halo_src_shard[shard].size == 0
+
+    def test_clamps_to_one_row_per_shard(self):
+        plan = partition_matrix(diagonal_matrix(3), 8)
+        assert plan.n_shards == 3
+        assert all(b.n_local == 1 for b in plan.blocks)
+
+    def test_single_shard_has_no_halo(self):
+        matrix, _ = make_system(grid=4)
+        plan = partition_matrix(matrix, 1)
+        assert plan.n_shards == 1
+        assert plan.blocks[0].n_halo == 0
+        assert plan.blocks[0].matrix.shape == matrix.shape
+
+    def test_five_point_halo_maps(self):
+        # grid 4: rows [0,8) / [8,16); the stencil couples row i to i+-4,
+        # so each shard's halo is exactly the first stencil-row across
+        # the cut, and the owner publishes exactly its cut-facing rows.
+        matrix, _ = make_system(grid=4)
+        plan = partition_matrix(matrix, 2)
+        assert plan.row_ranges == ((0, 8), (8, 16))
+        np.testing.assert_array_equal(plan.blocks[0].halo_cols, [8, 9, 10, 11])
+        np.testing.assert_array_equal(plan.blocks[1].halo_cols, [4, 5, 6, 7])
+        np.testing.assert_array_equal(plan.blocks[0].boundary_idx, [4, 5, 6, 7])
+        np.testing.assert_array_equal(plan.blocks[1].boundary_idx, [0, 1, 2, 3])
+        np.testing.assert_array_equal(plan.halo_src_shard[0], [1, 1, 1, 1])
+        np.testing.assert_array_equal(plan.halo_src_pos[0], [0, 1, 2, 3])
+
+    def test_owner_of_matches_row_ranges(self):
+        plan = partition_matrix(make_system(grid=4)[0], 3)
+        owners = plan.owner_of(np.arange(plan.n_rows))
+        for shard, (lo, hi) in enumerate(plan.row_ranges):
+            assert set(owners[lo:hi]) == {shard}
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5])
+    def test_local_spmv_is_bitwise_global_spmv(self, n_shards):
+        # Column remap preserves within-row nonzero order, so each local
+        # matvec accumulates in exactly the global order: bitwise parity.
+        matrix, _ = make_system(grid=5, seed=2)
+        plan = partition_matrix(matrix, n_shards)
+        x = np.random.default_rng(9).standard_normal(matrix.n_rows)
+        expected = matrix.matvec(x)
+        boundaries = [x[lo:hi][b.boundary_idx]
+                      for (lo, hi), b in zip(plan.row_ranges, plan.blocks)]
+        for shard, block in enumerate(plan.blocks):
+            halo = plan.halo_for(shard, boundaries)
+            np.testing.assert_array_equal(halo, x[block.halo_cols])
+            local = block.matrix.matvec(
+                np.concatenate([plan.slice_vector(x, shard), halo])
+            )
+            lo, hi = plan.row_ranges[shard]
+            np.testing.assert_array_equal(local, expected[lo:hi])
+
+    def test_slice_assemble_roundtrip(self):
+        plan = partition_matrix(make_system(grid=4)[0], 3)
+        x = np.arange(plan.n_rows, dtype=np.float64)
+        slices = [plan.slice_vector(x, s) for s in range(plan.n_shards)]
+        np.testing.assert_array_equal(plan.assemble(slices), x)
+
+    def test_plan_is_deterministic(self):
+        matrix, _ = make_system(grid=4)
+        a, b = partition_matrix(matrix, 3), partition_matrix(matrix, 3)
+        assert isinstance(a, PartitionPlan)
+        assert a.row_ranges == b.row_ranges
+        for ba, bb in zip(a.blocks, b.blocks):
+            np.testing.assert_array_equal(ba.matrix.values, bb.matrix.values)
+            np.testing.assert_array_equal(ba.halo_cols, bb.halo_cols)
+            np.testing.assert_array_equal(ba.boundary_idx, bb.boundary_idx)
+
+
+# ---------------------------------------------------------------------------
+class TestShardState:
+    """The worker runtime driven in-process (no child processes)."""
+
+    def payload(self, protection=None, grid=4):
+        matrix, b = make_system(grid=grid)
+        plan = partition_matrix(matrix, 1)
+        return matrix, b, {
+            "index": 0, "matrix": plan.blocks[0].matrix, "b": b,
+            "boundary_idx": plan.blocks[0].boundary_idx,
+            "protection": protection,
+        }
+
+    def test_residual_round_initialises_r_and_p(self):
+        _matrix, b, payload = self.payload()
+        state = ShardState(payload)
+        reply = state.execute({"cmd": "residual", "halo": np.empty(0)})
+        assert reply["status"] == "ok" if "status" in reply else True
+        assert reply["rr"] == pytest.approx(float(np.dot(b, b)))
+        np.testing.assert_array_equal(state._read(state.r), b)
+        np.testing.assert_array_equal(state._read(state.p), b)
+
+    def test_matrix_only_protection_rebinds_unprotected_vectors(self):
+        # Regression: with vector_scheme=None the toolkit's write returns
+        # a fresh array instead of mutating in place; a handler that
+        # fails to rebind leaves r = p = 0 and CG "converges" at once.
+        _matrix, b, payload = self.payload(
+            protection=ProtectionConfig.matrix_only()
+        )
+        state = ShardState(payload)
+        state.execute({"cmd": "residual", "halo": np.empty(0)})
+        np.testing.assert_array_equal(state._read(state.r), b)
+        reply = state.execute({"cmd": "spmv", "halo": np.empty(0)})
+        assert reply["pw"] > 0.0
+
+    def test_update_and_pbound_recurrences(self):
+        matrix, b, payload = self.payload()
+        state = ShardState(payload)
+        rr = state.execute({"cmd": "residual", "halo": np.empty(0)})["rr"]
+        pw = state.execute({"cmd": "spmv", "halo": np.empty(0)})["pw"]
+        alpha = rr / pw
+        rr_new = state.execute({"cmd": "update", "alpha": alpha, "it": 1})["rr"]
+        assert 0.0 < rr_new < rr
+        np.testing.assert_allclose(
+            state._read(state.x), alpha * b, rtol=0, atol=0
+        )
+        beta = rr_new / rr
+        pb = state.execute({"cmd": "pbound", "beta": beta})["pb"]
+        expected_p = state._read(state.r) + beta * b
+        np.testing.assert_array_equal(state._read(state.p), expected_p)
+        np.testing.assert_array_equal(pb, expected_p[state.boundary_idx])
+
+    def test_finish_reports_shard_info(self):
+        _matrix, _b, payload = self.payload(
+            protection=ProtectionConfig.resilient()
+        )
+        state = ShardState(payload)
+        state.execute({"cmd": "residual", "halo": np.empty(0)})
+        reply = state.execute({"cmd": "finish"})
+        assert reply["x"].shape == state.b.shape
+        assert "checks" in reply["info"] or reply["info"]
+
+    def test_unknown_command_raises(self):
+        _matrix, _b, payload = self.payload()
+        with pytest.raises(ValueError):
+            ShardState(payload).execute({"cmd": "bogus"})
+
+
+# ---------------------------------------------------------------------------
+class TestDistributedSolve:
+    def test_single_shard_is_bitwise_cg_solve(self):
+        matrix, b = make_system(grid=6)
+        reference = cg_solve(matrix, b, eps=1e-18)
+        result = distributed_solve(matrix, b, n_shards=1, eps=1e-18)
+        assert result.converged
+        assert result.iterations == reference.iterations
+        np.testing.assert_array_equal(result.x, reference.x)
+
+    def test_two_shards_match_single_process(self):
+        matrix, b = make_system(grid=6)
+        reference = cg_solve(matrix, b, eps=1e-18)
+        result = distributed_solve(matrix, b, n_shards=2, eps=1e-18)
+        assert result.converged
+        assert np.max(np.abs(result.x - reference.x)) < PARITY_TOL
+        stats = result.info["distributed"]
+        assert stats["n_shards"] == 2
+        assert stats["deaths"] == 0 and stats["respawns"] == 0
+        assert len(result.info["shards"]) == 2
+
+    def test_three_shards_protected_parity_and_repeatability(self):
+        matrix, b = make_system(grid=6)
+        reference = cg_solve(matrix, b, eps=1e-18)
+        config = ProtectionConfig.resilient()
+        first = distributed_solve(
+            matrix, b, n_shards=3, protection=config, eps=1e-18
+        )
+        again = distributed_solve(
+            matrix, b, n_shards=3, protection=config, eps=1e-18
+        )
+        assert first.converged
+        assert np.max(np.abs(first.x - reference.x)) < PARITY_TOL
+        # Fixed shard count => fixed reduction order => bitwise repeat.
+        np.testing.assert_array_equal(first.x, again.x)
+        assert first.iterations == again.iterations
+
+    def test_rejects_non_cg_methods(self):
+        matrix, b = make_system(grid=4)
+        with pytest.raises(ConfigurationError):
+            distributed_solve(matrix, b, method="jacobi")
+
+    def test_rejects_sessions(self):
+        matrix, b = make_system(grid=4)
+        with pytest.raises(ConfigurationError):
+            distributed_solve(
+                matrix, b, protection=ProtectionSession(ProtectionConfig.deferred())
+            )
+
+    def test_rejects_mismatched_rhs(self):
+        matrix, _ = make_system(grid=4)
+        with pytest.raises(ConfigurationError):
+            distributed_solve(matrix, np.ones(3))
+
+
+class TestShardDeathRecovery:
+    def solve_with_kill(self, strategy, kill_iter=4, max_retries=3):
+        matrix, b = make_system(grid=6)
+        protection = ProtectionConfig(
+            correct=False,
+            recovery=RecoveryPolicy(
+                strategy=strategy, max_retries=max_retries,
+                checkpoint_interval=4,
+            ),
+        )
+        result = distributed_solve(
+            matrix, b, n_shards=2, protection=protection, eps=1e-18,
+            kill_plan=[(kill_iter, 1)],
+        )
+        reference = cg_solve(matrix, b, eps=1e-18)
+        return result, reference
+
+    @pytest.mark.parametrize("strategy", ["rollback", "repopulate"])
+    def test_kill_recovers_to_correct_solution(self, strategy):
+        result, reference = self.solve_with_kill(strategy)
+        assert result.converged
+        assert np.max(np.abs(result.x - reference.x)) < RECOVERY_TOL
+        stats = result.info["distributed"]
+        assert stats["deaths"] == 1
+        assert stats["respawns"] >= 1
+        assert stats["recovery"] == result.info["distributed"]["recovery"]
+
+    def test_raise_policy_aborts_with_shard_identity(self):
+        with pytest.raises(ShardDeathError) as err:
+            self.solve_with_kill("raise")
+        assert err.value.shards == (1,)
+        assert err.value.iteration == 4
+
+    def test_unprotected_kill_aborts(self):
+        matrix, b = make_system(grid=6)
+        with pytest.raises(ShardDeathError):
+            distributed_solve(
+                matrix, b, n_shards=2, eps=1e-18, kill_plan=[(3, 0)],
+            )
+
+    def test_exhausted_retry_budget_aborts(self):
+        with pytest.raises(ShardDeathError):
+            self.solve_with_kill("rollback", max_retries=0)
+
+    def test_cli_smoke_kill_and_verify(self, capsys):
+        # The exact command CI runs: kill shard 1 mid-solve, respawn
+        # under rollback, assert the merged solution matches reference.
+        from repro.dist.__main__ import main
+
+        rc = main(["--grid", "6", "--shards", "2", "--kill-iter", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out and "1 death(s)" in out
+
+
+# ---------------------------------------------------------------------------
+class TestRegistryRouting:
+    def test_solve_distributed_keyword(self):
+        matrix, b = make_system(grid=5)
+        reference = cg_solve(matrix, b, eps=1e-18)
+        result = repro.solve(matrix, b, method="cg", distributed=2, eps=1e-18)
+        assert result.converged
+        assert np.max(np.abs(result.x - reference.x)) < PARITY_TOL
+        assert result.info["distributed"]["n_shards"] == 2
+
+    def test_session_plus_distributed_is_rejected(self):
+        matrix, b = make_system(grid=4)
+        session = ProtectionSession(ProtectionConfig.deferred())
+        with pytest.raises(ConfigurationError):
+            repro.solve(matrix, b, protection=session, distributed=2)
+
+    def test_non_cg_distributed_is_rejected(self):
+        matrix, b = make_system(grid=4)
+        with pytest.raises(ConfigurationError):
+            repro.solve(matrix, b, method="jacobi", distributed=2)
+
+
+# ---------------------------------------------------------------------------
+class TestShardDeathCampaign:
+    def campaign_task(self):
+        return CampaignTask("shard-death", dict(
+            matrix=make_system(grid=6)[0],
+            b=make_system(grid=6)[1],
+            mtbf=12.0, n_shards=2, interval=4,
+            recovery=RecoveryPolicy(strategy="rollback", max_retries=5,
+                                    checkpoint_interval=4),
+            eps=1e-16, max_iters=500,
+        ))
+
+    def test_merge_is_bitwise_identical_across_worker_counts(self):
+        task = self.campaign_task()
+        serial = run_sharded_campaign(task, 2, workers=1, seed=7, shard_size=1)
+        pooled = run_sharded_campaign(task, 2, workers=2, seed=7, shard_size=1)
+        assert serial.counts == pooled.counts
+        assert serial.n_trials == pooled.n_trials == 2
+        drop_timing = lambda info: {  # noqa: E731 - tiny local projection
+            k: v for k, v in info.items() if not k.startswith("mean_")
+        }
+        assert drop_timing(serial.info) == drop_timing(pooled.info)
+        # Process loss is never silent: every outcome is CLEAN/DETECTED.
+        assert set(serial.counts) <= {Outcome.CLEAN, Outcome.DETECTED}
+        assert serial.info["injected"] >= serial.info["recovered"]
+
+    def test_task_validation(self):
+        with pytest.raises(ConfigurationError):
+            CampaignTask("shard-death", {"n_trials": 3})
+
+
+# ---------------------------------------------------------------------------
+class TestServeRouting:
+    def run_service(self, jobs, **config):
+        from repro.serve.service import ServeConfig, SolveService
+
+        async def main():
+            service = SolveService(ServeConfig(**config))
+            await service.start()
+            submits = [await service.submit(job) for job in jobs]
+            records = [await service.result(s["job_id"]) for s in submits]
+            events = {
+                s["job_id"]: [e["event"] for e in service._events[s["job_id"]]]
+                for s in submits
+            }
+            await service.stop()
+            return records, events
+
+        return asyncio.run(main())
+
+    def grid_job(self, **extra):
+        job = {
+            "matrix": {"kind": "five-point", "grid": 8, "seed": 3},
+            "b": {"seed": 1}, "method": "cg", "eps": 1e-12,
+            "protection": None, "return_x": True,
+        }
+        job.update(extra)
+        return job
+
+    @pytest.fixture
+    def fresh_workers(self, monkeypatch):
+        from repro.serve import workers as serve_workers
+        from repro.serve.cache import MatrixCache, SessionPool
+
+        monkeypatch.setattr(serve_workers, "CACHE", MatrixCache())
+        monkeypatch.setattr(serve_workers, "SESSIONS", SessionPool())
+        return serve_workers
+
+    def test_routing_never_changes_job_identity(self):
+        from repro.serve.service import job_identity
+
+        # Identity is a pure function of the spec; the dist knobs live
+        # in ServeConfig, so the same spec must hash identically no
+        # matter how the serving process is configured.
+        assert job_identity(self.grid_job()) == job_identity(self.grid_job())
+
+    def test_large_cg_jobs_route_to_the_sharded_solver(self, fresh_workers):
+        records, events = self.run_service(
+            [self.grid_job()], dist_shards=2, dist_threshold=10,
+        )
+        record = records[0]
+        assert record["status"] == "done" and record["converged"]
+        assert events[record["job_id"]] == [
+            "accepted", "started", "distributed", "done",
+        ]
+        dist_events = [e for e in record["events"]
+                       if e["event"] == "distributed"]
+        assert dist_events[0]["n_shards"] == 2
+        assert dist_events[0]["deaths"] == 0
+
+    def test_below_threshold_jobs_are_untouched(self, fresh_workers):
+        routed, _ = self.run_service(
+            [self.grid_job()], dist_shards=2, dist_threshold=10,
+        )
+        plain, events = self.run_service(
+            [self.grid_job()], dist_shards=2, dist_threshold=4096,
+        )
+        record = plain[0]
+        assert events[record["job_id"]] == ["accepted", "started", "done"]
+        assert record["job_id"] == routed[0]["job_id"]
+        np.testing.assert_allclose(
+            np.asarray(record["x"]), np.asarray(routed[0]["x"]),
+            rtol=0, atol=PARITY_TOL,
+        )

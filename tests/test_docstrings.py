@@ -1,7 +1,7 @@
 """Docstring coverage gate for the public API surface.
 
 CI's lint job enforces ruff's pydocstyle D1 subset on
-``src/repro/{protect,solvers,serve}`` (see ``pyproject.toml``); this
+``src/repro/{protect,solvers,serve,dist}`` (see ``pyproject.toml``); this
 test mirrors the same rules with ``ast`` so the gate also runs in
 environments without ruff — and so a missing public docstring fails the
 fast tier, not just lint.
@@ -20,7 +20,7 @@ SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
 #: The surfaces whose docstrings are API contract, per pyproject's
 #: per-file-ignores: everything else in src/repro/ is exempt.
-GATED = ("protect", "solvers", "serve")
+GATED = ("protect", "solvers", "serve", "dist")
 
 
 def gated_modules():
