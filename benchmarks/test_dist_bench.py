@@ -11,7 +11,10 @@ bar.
 
 The single-shard row measures the pure protocol overhead (one worker,
 no halo traffic); the two-shard row adds halo exchange and a second
-protection domain.
+protection domain.  The ``t1-dist-kill`` group times the same solve
+with a shard killed mid-solve under each recovery strategy — rollback
+pays its checkpoint replay, erasure pays one reconstruction round —
+gated at the same 50 % threshold.
 """
 
 from __future__ import annotations
@@ -23,10 +26,16 @@ from _common import write_report
 from repro.csr import five_point_operator
 from repro.dist import distributed_solve
 from repro.protect.config import ProtectionConfig
+from repro.recover.policy import RecoveryPolicy
 
 GRID = 16  # 256-row five-point operator, the serving benchmark's size
 
+#: Kill shard 1 at iteration 6 — off the rollback checkpoint cadence,
+#: so the rollback row includes the replayed window it pays in practice.
+KILL_PLAN = [(6, 1)]
+
 _results: dict[int, dict] = {}
+_kill_results: dict[str, dict] = {}
 
 
 def _system(seed=0):
@@ -73,3 +82,63 @@ def test_dist_solve(benchmark, n_shards):
                 f"{1.0 / row['mean']:10.2f}  {row['iterations']:5d}"
             )
         write_report("dist", "\n".join(lines))
+
+
+def _kill_protection(strategy):
+    if strategy == "erasure":
+        recovery = RecoveryPolicy(strategy="erasure", max_retries=3,
+                                  erasure_shards=1)
+    else:
+        recovery = RecoveryPolicy(strategy=strategy, max_retries=3,
+                                  checkpoint_interval=4)
+    return ProtectionConfig(correct=False, recovery=recovery)
+
+
+@pytest.mark.parametrize("strategy", ["rollback", "erasure"])
+def test_dist_killed_shard_solve(benchmark, strategy):
+    """Time-to-solution with a mid-solve shard kill, per recovery mode."""
+    benchmark.group = "t1-dist-kill"
+    matrix, b = _system()
+    config = _kill_protection(strategy)
+    outcome = {}
+
+    def one_solve():
+        outcome["result"] = distributed_solve(
+            matrix, b, n_shards=2, protection=config, eps=1e-18,
+            kill_plan=list(KILL_PLAN),
+        )
+
+    benchmark.pedantic(one_solve, iterations=1, rounds=3, warmup_rounds=1)
+    result = outcome["result"]
+    stats = result.info["distributed"]
+    assert result.converged
+    assert stats["deaths"] == 1
+    if strategy == "erasure":
+        assert stats["checkpoints"] == 0
+    mean = benchmark.stats["mean"]
+    benchmark.extra_info.update({
+        "strategy": strategy,
+        "n_rows": matrix.n_rows,
+        "iterations": int(result.iterations),
+        "iters_executed": int(stats["iters_executed"]),
+        "checkpoints": int(stats["checkpoints"]),
+        "solves_per_sec": 1.0 / mean,
+    })
+    _kill_results[strategy] = {
+        "mean": mean,
+        "iterations": int(result.iterations),
+        "iters_executed": int(stats["iters_executed"]),
+        "checkpoints": int(stats["checkpoints"]),
+    }
+    if set(_kill_results) == {"rollback", "erasure"}:
+        lines = ["distributed CG with shard 1 killed at iteration "
+                 f"{KILL_PLAN[0][0]} (grid {GRID}, {matrix.n_rows} rows, "
+                 "2 shards)",
+                 "strategy  mean/solve  iters  iters_exec  checkpoints"]
+        for name in ("rollback", "erasure"):
+            row = _kill_results[name]
+            lines.append(
+                f"{name:8s}  {row['mean'] * 1e3:8.1f} ms  {row['iterations']:5d}"
+                f"  {row['iters_executed']:10d}  {row['checkpoints']:11d}"
+            )
+        write_report("dist-kill", "\n".join(lines))

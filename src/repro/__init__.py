@@ -13,7 +13,9 @@ The one protection API (see README's "One API" section):
   shared across many solves/time-steps;
 * :class:`repro.RecoveryPolicy` — what happens when a DUE surfaces:
   ``raise`` (historical), ``repopulate`` or ``rollback`` with retry
-  budgets, so a detected-uncorrectable error no longer kills the solve.
+  budgets, so a detected-uncorrectable error no longer kills the solve;
+  distributed solves add ``erasure`` — checksum shards that reconstruct
+  a lost shard algebraically, no checkpoints.
 
 Public surface (see README.md for a guided tour):
 

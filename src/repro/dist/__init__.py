@@ -6,7 +6,11 @@ each shard owning its *own* protection domain (a per-shard
 :class:`~repro.protect.engine.DeferredVerificationEngine` over its matrix
 block and vector slices) — and survives whole-shard process loss by
 respawning the dead worker and re-encoding its block from the pristine
-partition while the surviving shards keep their state.
+partition while the surviving shards keep their state.  Under
+``RecoveryPolicy(strategy="erasure")`` the pool carries ``k`` extra
+checksum shards (:func:`~repro.dist.partition.encode_partition`) and a
+dead shard's state is *reconstructed algebraically* from the survivors
+instead of restored from checkpoints — the fault-oblivious mode.
 
 The subsystem splits into four layers:
 
@@ -29,13 +33,24 @@ smoke driver.  See docs/distributed.md for the protocol and recovery
 semantics.
 """
 
-from repro.dist.partition import PartitionPlan, ShardBlock, partition_matrix, partition_rows
+from repro.dist.partition import (
+    ErasureBlock,
+    ErasurePlan,
+    PartitionPlan,
+    ShardBlock,
+    encode_partition,
+    partition_matrix,
+    partition_rows,
+)
 from repro.dist.solve import distributed_solve
 
 __all__ = [
+    "ErasureBlock",
+    "ErasurePlan",
     "PartitionPlan",
     "ShardBlock",
     "distributed_solve",
+    "encode_partition",
     "partition_matrix",
     "partition_rows",
 ]

@@ -28,14 +28,20 @@ def add_dist_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--interval", type=int, default=4,
                         help="per-shard check interval (deferred engine)")
     parser.add_argument("--recovery", default="rollback",
-                        choices=["raise", "repopulate", "rollback"],
+                        choices=["raise", "repopulate", "rollback", "erasure"],
                         help="shard-death / DUE policy")
     parser.add_argument("--max-retries", type=int, default=3)
+    parser.add_argument("--erasure-shards", type=int, default=1,
+                        help="checksum shards kept by --recovery erasure")
     parser.add_argument("--kill-iter", type=int, default=None,
                         help="terminate a shard at this iteration "
                              "(omit for a fault-free run)")
     parser.add_argument("--kill-shard", type=int, default=None,
                         help="which shard to kill (default: the last one)")
+    parser.add_argument("--round-timeout", type=float, default=None,
+                        help="seconds before an unresponsive shard is "
+                             "declared dead (default: the exchange "
+                             "layer's 120 s)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--eps", type=float, default=1e-20)
     parser.add_argument("--max-iters", type=int, default=10_000)
@@ -47,6 +53,7 @@ def add_dist_arguments(parser: argparse.ArgumentParser) -> None:
 def run(args) -> int:
     """Execute one verified distributed solve; 0 on match, 1 otherwise."""
     from repro.csr.build import five_point_operator
+    from repro.dist.exchange import DEFAULT_ROUND_TIMEOUT
     from repro.dist.solve import distributed_solve
     from repro.protect.config import ProtectionConfig
     from repro.recover.policy import RecoveryPolicy
@@ -68,7 +75,8 @@ def run(args) -> int:
             interval=0 if scheme is None else args.interval,
             correct=False,
             recovery=RecoveryPolicy(strategy=args.recovery,
-                                    max_retries=args.max_retries),
+                                    max_retries=args.max_retries,
+                                    erasure_shards=args.erasure_shards),
         )
     kill_plan = None
     if args.kill_iter is not None:
@@ -79,16 +87,22 @@ def run(args) -> int:
     result = distributed_solve(
         matrix, b, n_shards=args.shards, protection=protection,
         eps=args.eps, max_iters=args.max_iters, kill_plan=kill_plan,
+        round_timeout=(DEFAULT_ROUND_TIMEOUT if args.round_timeout is None
+                       else args.round_timeout),
     )
     reference = solve(matrix, b, method="cg", eps=args.eps,
                       max_iters=args.max_iters)
     mismatch = float(np.max(np.abs(result.x - reference.x)))
     stats = result.info["distributed"]
-    print(f"distributed cg: {stats['n_shards']} shards, "
+    extra = (f" + {stats['erasure_shards']} erasure"
+             if stats["erasure_shards"] else "")
+    print(f"distributed cg: {stats['n_shards']} shards{extra}, "
           f"{result.iterations} iters, converged={result.converged}, "
           f"residual {result.final_residual:.3e}")
     print(f"recovery: {stats['deaths']} death(s), {stats['respawns']} "
           f"respawn(s), {stats['restarts']} DUE restart(s), "
+          f"{stats['checkpoints']} checkpoint(s), "
+          f"{stats['reconstructions']} reconstruction(s), "
           f"policy {stats['recovery']}")
     print(f"max |x_dist - x_ref| = {mismatch:.3e} (tol {args.tol:.1e})")
     if not result.converged or mismatch > args.tol:

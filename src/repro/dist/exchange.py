@@ -158,7 +158,7 @@ class ShardPool:
         for link, message in zip(self.links, messages):
             link.send(message)
 
-    def collect(self) -> tuple[dict[int, dict], list[int]]:
+    def collect(self, indices=None) -> tuple[dict[int, dict], list[int]]:
         """Read one reply per shard; report who died instead.
 
         Returns ``(replies, dead)``: ``replies`` maps shard index to the
@@ -168,10 +168,12 @@ class ShardPool:
         terminated first so the two cases converge).  Dead shards'
         replies are drained before the verdict, so a shard killed
         *after* answering still counts as having finished the round.
+        ``indices`` restricts the round to a subset of shards (the
+        erasure-recovery sub-rounds); the default is every shard.
         """
         replies: dict[int, dict] = {}
         dead: list[int] = []
-        pending = set(range(self.n_shards))
+        pending = set(range(self.n_shards) if indices is None else indices)
         deadline = time.monotonic() + self.round_timeout
         while pending:
             progressed = False
@@ -206,6 +208,21 @@ class ShardPool:
         """One full lockstep round: broadcast then collect."""
         self.broadcast(messages)
         return self.collect()
+
+    def subround(self, indices, messages) -> tuple[dict[int, dict], list[int]]:
+        """A lockstep round over a *subset* of shards.
+
+        ``messages`` is either one shared dict or a mapping from shard
+        index to its message.  Used by the erasure recovery's
+        snapshot/seed sub-protocol, where the survivors and the
+        respawned shards get different commands.
+        """
+        indices = sorted(indices)
+        if isinstance(messages, dict) and "cmd" in messages:
+            messages = {index: messages for index in indices}
+        for index in indices:
+            self.links[index].send(messages[index])
+        return self.collect(indices)
 
     def require_all(
         self, replies: dict[int, dict], dead: list[int], iteration: int | None = None

@@ -25,6 +25,13 @@ schedule the coordinator needs:
 Degenerate shapes are first-class: ``n_shards > n_rows`` clamps to one
 row per shard, a single shard has an empty halo, and a (block-)diagonal
 matrix partitions into shards with empty halos and empty boundaries.
+
+:func:`encode_partition` builds the *encoded layout* the
+``"erasure"`` recovery strategy runs on: the same data-shard plan plus
+``k`` extra erasure shards whose blocks are weighted-sum combinations
+of the data shards' rows (:mod:`repro.recover.erasure`), with the
+boundary/halo maps extended so the erasure shards' reads ride the same
+exchange rounds as everyone else's.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import numpy as np
 
 from repro.csr.matrix import CSRMatrix
 from repro.errors import ConfigurationError
+from repro.recover.erasure import ErasureCodec
 
 
 def partition_rows(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
@@ -156,30 +164,24 @@ class PartitionPlan:
         round collected).  Order of the result matches
         ``blocks[shard].halo_cols``.
         """
-        src = self.halo_src_shard[shard]
-        pos = self.halo_src_pos[shard]
-        halo = np.empty(src.size, dtype=np.float64)
-        for s in np.unique(src):
-            mask = src == s
-            halo[mask] = boundaries[s][pos[mask]]
-        return halo
-
-
-def partition_matrix(matrix: CSRMatrix, n_shards: int) -> PartitionPlan:
-    """Partition a square CSR matrix into row shards with halo maps.
-
-    Raises :class:`~repro.errors.ConfigurationError` for non-square
-    input — row ownership doubles as column ownership, so the two index
-    spaces must coincide (every solver this feeds is SPD anyway).
-    """
-    if matrix.n_rows != matrix.n_cols:
-        raise ConfigurationError(
-            f"row sharding needs a square matrix, got shape {matrix.shape}"
+        return _assemble_halo(
+            self.halo_src_shard[shard], self.halo_src_pos[shard], boundaries
         )
-    ranges = partition_rows(matrix.n_rows, n_shards)
+
+
+def _assemble_halo(src: np.ndarray, pos: np.ndarray, boundaries) -> np.ndarray:
+    """Gather one requester's halo from the published boundary arrays."""
+    halo = np.empty(src.size, dtype=np.float64)
+    for s in np.unique(src):
+        mask = src == s
+        halo[mask] = boundaries[s][pos[mask]]
+    return halo
+
+
+def _row_blocks(matrix: CSRMatrix, ranges) -> list[tuple]:
+    """Cut the CSR into per-shard local blocks (owned columns first)."""
     ptr = matrix.rowptr.astype(np.int64)
     colidx = matrix.colidx.astype(np.int64)
-
     blocks_raw = []
     for s, (lo, hi) in enumerate(ranges):
         seg = slice(ptr[lo], ptr[hi])
@@ -199,46 +201,231 @@ def partition_matrix(matrix: CSRMatrix, n_shards: int) -> PartitionPlan:
             (n_local, n_local + int(halo_cols.size)),
         )
         blocks_raw.append((s, lo, hi, local, halo_cols))
+    return blocks_raw
 
-    # Publication maps: which local rows of each shard anyone else reads.
+
+def _communication_maps(ranges, halo_lists):
+    """Boundary + assembly maps for a set of halo requesters.
+
+    ``halo_lists`` holds one sorted global-column array per requester —
+    the data shards first, optionally followed by erasure shards.  Rows
+    are only ever *owned* by the data shards described by ``ranges``;
+    extra requesters simply widen what the owners must publish.
+
+    Returns ``(boundary_idx, src_shard, src_pos)``: per *owner* the
+    sorted local rows anyone reads, and per *requester* the parallel
+    (owner shard, boundary position) arrays over its halo.
+    """
     starts = np.array([lo for lo, _ in ranges], dtype=np.int64)
     needed_by_shard: list[set] = [set() for _ in ranges]
-    for s, lo, hi, _local, halo_cols in blocks_raw:
+    for halo_cols in halo_lists:
         owners = np.searchsorted(starts, halo_cols, side="right") - 1
         for o in np.unique(owners):
-            o_lo = ranges[o][0]
+            o_lo = ranges[int(o)][0]
             needed_by_shard[int(o)].update(
                 (halo_cols[owners == o] - o_lo).tolist()
             )
     boundary_idx = [
         np.array(sorted(needed), dtype=np.int64) for needed in needed_by_shard
     ]
+    src_shard, src_pos = [], []
+    for halo_cols in halo_lists:
+        owners = np.searchsorted(starts, halo_cols, side="right") - 1
+        pos = np.empty(halo_cols.size, dtype=np.int64)
+        for o in np.unique(owners):
+            mask = owners == o
+            o_lo = ranges[int(o)][0]
+            pos[mask] = np.searchsorted(
+                boundary_idx[int(o)], halo_cols[mask] - o_lo
+            )
+        src_shard.append(owners.astype(np.int64))
+        src_pos.append(pos)
+    return boundary_idx, src_shard, src_pos
 
+
+def _assemble_plan(matrix, ranges, blocks_raw, extra_halos=()):
+    """Build a :class:`PartitionPlan`, optionally serving extra requesters.
+
+    Returns ``(plan, extra_src)`` where ``extra_src`` pairs up the
+    ``(src_shard, src_pos)`` maps of the ``extra_halos`` requesters.
+    """
+    halo_lists = [halo_cols for *_rest, halo_cols in blocks_raw]
+    halo_lists += list(extra_halos)
+    boundary_idx, src_shard, src_pos = _communication_maps(ranges, halo_lists)
     blocks = tuple(
         ShardBlock(index=s, row_start=lo, row_stop=hi, matrix=local,
                    halo_cols=halo_cols, boundary_idx=boundary_idx[s])
         for s, lo, hi, local, halo_cols in blocks_raw
     )
-
-    # Assembly maps: where each halo entry comes from.
-    halo_src_shard = []
-    halo_src_pos = []
-    for block in blocks:
-        owners = np.searchsorted(starts, block.halo_cols, side="right") - 1
-        pos = np.empty(block.halo_cols.size, dtype=np.int64)
-        for o in np.unique(owners):
-            mask = owners == o
-            o_lo = ranges[int(o)][0]
-            pos[mask] = np.searchsorted(
-                boundary_idx[int(o)], block.halo_cols[mask] - o_lo
-            )
-        halo_src_shard.append(owners.astype(np.int64))
-        halo_src_pos.append(pos)
-
-    return PartitionPlan(
+    n_data = len(blocks_raw)
+    plan = PartitionPlan(
         n_rows=matrix.n_rows,
         row_ranges=tuple(ranges),
         blocks=blocks,
-        halo_src_shard=tuple(halo_src_shard),
-        halo_src_pos=tuple(halo_src_pos),
+        halo_src_shard=tuple(src_shard[:n_data]),
+        halo_src_pos=tuple(src_pos[:n_data]),
+    )
+    extra_src = list(zip(src_shard[n_data:], src_pos[n_data:]))
+    return plan, extra_src
+
+
+def partition_matrix(matrix: CSRMatrix, n_shards: int) -> PartitionPlan:
+    """Partition a square CSR matrix into row shards with halo maps.
+
+    Raises :class:`~repro.errors.ConfigurationError` for non-square
+    input — row ownership doubles as column ownership, so the two index
+    spaces must coincide (every solver this feeds is SPD anyway).
+    """
+    if matrix.n_rows != matrix.n_cols:
+        raise ConfigurationError(
+            f"row sharding needs a square matrix, got shape {matrix.shape}"
+        )
+    ranges = partition_rows(matrix.n_rows, n_shards)
+    blocks_raw = _row_blocks(matrix, ranges)
+    plan, _ = _assemble_plan(matrix, ranges, blocks_raw)
+    return plan
+
+
+@dataclasses.dataclass(frozen=True)
+class ErasureBlock:
+    """One erasure shard's encoded slice of the system.
+
+    The block's rows are the weighted sum of the data shards' rows
+    (each zero-padded to the stripe length), so applying it to the
+    global vector yields exactly the same weighted sum of the data
+    shards' SpMV outputs — which is how an erasure shard keeps its
+    checksums consistent by running the ordinary CG recurrence.
+
+    Attributes
+    ----------
+    index:
+        The checksum row ``j`` (``0..k-1``); the shard itself sits at
+        pool position ``n_data + j``.
+    weights:
+        The ``(n_data,)`` combination weights of checksum ``j``.
+    matrix:
+        The encoded CSR block, shape ``(stripe, n_halo)``: it owns no
+        global rows, so *every* column it reads is halo.
+    halo_cols:
+        Sorted global column indices the encoded rows reference.
+    """
+
+    index: int
+    weights: np.ndarray
+    matrix: CSRMatrix
+    halo_cols: np.ndarray
+
+    @property
+    def stripe(self) -> int:
+        """Checksum length (the largest data shard's row count)."""
+        return self.matrix.n_rows
+
+
+@dataclasses.dataclass(frozen=True)
+class ErasurePlan:
+    """The encoded layout: a data partition plus ``k`` erasure shards.
+
+    ``plan`` is a regular :class:`PartitionPlan` over the data shards
+    whose ``boundary_idx`` maps are *extended* to also publish the rows
+    the erasure shards read; erasure shards publish nothing (they own
+    no rows), so the data-side halo assembly is unchanged.
+    """
+
+    plan: PartitionPlan
+    blocks: tuple[ErasureBlock, ...]
+    halo_src_shard: tuple[np.ndarray, ...]
+    halo_src_pos: tuple[np.ndarray, ...]
+
+    @property
+    def k(self) -> int:
+        """Number of erasure shards."""
+        return len(self.blocks)
+
+    @property
+    def n_data(self) -> int:
+        """Number of data shards."""
+        return self.plan.n_shards
+
+    @property
+    def stripe(self) -> int:
+        """Checksum length shared by every erasure shard."""
+        return self.blocks[0].stripe
+
+    def codec(self) -> ErasureCodec:
+        """The matching vector codec (same sizes, same weights)."""
+        sizes = [block.n_local for block in self.plan.blocks]
+        return ErasureCodec(sizes, self.k)
+
+    def halo_for(self, j: int, boundaries) -> np.ndarray:
+        """Erasure shard ``j``'s halo from the data shards' boundaries."""
+        return _assemble_halo(
+            self.halo_src_shard[j], self.halo_src_pos[j], boundaries
+        )
+
+
+def encode_partition(matrix: CSRMatrix, n_shards: int, k: int = 1) -> ErasurePlan:
+    """Partition with ``k`` erasure shards riding the exchange schedule.
+
+    The data-shard blocks are byte-identical to
+    :func:`partition_matrix`'s except for their ``boundary_idx``, which
+    grows to cover the erasure shards' reads (for a stencil matrix that
+    typically means every data row is published each exchange — the
+    price of keeping the checksums hot).  Erasure shard ``j``'s block is
+    built by scaling each data shard's rows with ``weights[j][shard]``,
+    shifting them onto the common stripe, and summing overlaps.
+    """
+    if matrix.n_rows != matrix.n_cols:
+        raise ConfigurationError(
+            f"row sharding needs a square matrix, got shape {matrix.shape}"
+        )
+    ranges = partition_rows(matrix.n_rows, n_shards)
+    blocks_raw = _row_blocks(matrix, ranges)
+    codec = ErasureCodec([hi - lo for lo, hi in ranges], k)
+
+    # Encoded COO triples: global row r of data shard s lands on stripe
+    # row (r - lo_s) with its values scaled by weights[j][s].
+    ptr = matrix.rowptr.astype(np.int64)
+    colidx = matrix.colidx.astype(np.int64)
+    nnz_rows = np.repeat(np.arange(matrix.n_rows, dtype=np.int64), np.diff(ptr))
+    starts = np.array([lo for lo, _ in ranges], dtype=np.int64)
+    nnz_owner = np.searchsorted(starts, nnz_rows, side="right") - 1
+    stripe_rows = nnz_rows - starts[nnz_owner]
+
+    order = np.lexsort((colidx, stripe_rows))
+    sorted_rows = stripe_rows[order]
+    sorted_cols = colidx[order]
+    keys = sorted_rows * matrix.n_cols + sorted_cols
+    first = np.ones(keys.size, dtype=bool)
+    first[1:] = keys[1:] != keys[:-1]
+    group_starts = np.flatnonzero(first)
+    out_rows = sorted_rows[group_starts]
+    out_cols = sorted_cols[group_starts]
+    halo_cols = np.unique(out_cols)
+    local_cols = np.searchsorted(halo_cols, out_cols)
+    rowptr = np.searchsorted(out_rows, np.arange(codec.stripe + 1))
+
+    eblocks = []
+    for j in range(k):
+        scaled = matrix.values[order] * codec.weights[j][nnz_owner[order]]
+        values = np.add.reduceat(scaled, group_starts)
+        encoded = CSRMatrix(
+            values,
+            local_cols.astype(np.uint32),
+            rowptr.astype(np.uint32),
+            (codec.stripe, int(halo_cols.size)),
+        )
+        eblocks.append(
+            ErasureBlock(index=j, weights=codec.weights[j].copy(),
+                         matrix=encoded, halo_cols=halo_cols)
+        )
+
+    plan, extra_src = _assemble_plan(
+        matrix, ranges, blocks_raw,
+        extra_halos=[block.halo_cols for block in eblocks],
+    )
+    return ErasurePlan(
+        plan=plan,
+        blocks=tuple(eblocks),
+        halo_src_shard=tuple(src for src, _ in extra_src),
+        halo_src_pos=tuple(pos for _, pos in extra_src),
     )

@@ -21,9 +21,25 @@ spmv       ``halo`` (p halo values)        ``pw`` partial
 update     ``alpha``, ``it``               ``rr`` partial
 pbound     ``beta``                        ``pb`` — p at boundary rows
 checkpoint —                               ``x`` — the local x slice
+snapshot   —                               ``x``, ``r``, ``p``, ``w``
+seed       ``x``, ``r``, ``p``, ``w``      every round reply field
 finish     —                               ``x``, ``info`` counter block
 shutdown   —                               (no reply; the worker exits)
 ========== =============================== ================================
+
+``snapshot``/``seed`` are the erasure-recovery sub-protocol: after a
+shard death the coordinator snapshots every survivor's full solver
+state, reconstructs the dead shard's slices algebraically, and seeds
+the respawned worker with them.  The seed reply carries *all* round
+reply fields (``xb``/``pb``/``rr``/``pw``/``x``/``info``) so the healed
+round can stand in for whichever round the death interrupted.
+
+A shard started with ``erasure: True`` in its payload holds a checksum
+stripe instead of owned rows: its block (shape ``(stripe, n_halo)``)
+owns no columns, so its SpMV consumes the halo alone, and its ``b`` is
+the checksum of the data shards' slices.  Running the ordinary command
+handlers on that state keeps the checksums consistent with the data
+shards at every round boundary — the whole point of the encoded layout.
 
 Every reply carries ``status``: ``"ok"``; ``"due"`` when a local DUE was
 *recovered* by the shard's own policy (the coordinator must then restart
@@ -38,10 +54,16 @@ structures, not interconnect traffic.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.recover.policy import RECOVERABLE_ERRORS
 from repro.solvers.toolkit import ProtectedIteration
+
+#: How long a hang-injected worker sleeps — far past any round timeout,
+#: so the coordinator's liveness logic (not the sleep ending) decides.
+_HANG_SECONDS = 600.0
 
 
 class ShardState:
@@ -57,10 +79,17 @@ class ShardState:
     ``b`` (the local right-hand-side slice), ``boundary_idx`` (local rows
     to publish each exchange) and ``protection`` (a
     :class:`~repro.protect.config.ProtectionConfig` or ``None``).
+    Optional: ``erasure`` (True for a checksum shard — the block then
+    consumes the halo alone) and ``hang`` (fault injection: a command
+    spec this worker stops replying at, exercising timeout-expiry death
+    detection — e.g. ``{"cmd": "update", "it": 4}`` or
+    ``{"cmd": "finish"}``).
     """
 
     def __init__(self, payload: dict):
         self.index = int(payload["index"])
+        self.erasure = bool(payload.get("erasure"))
+        self.hang = payload.get("hang")
         self.b = np.asarray(payload["b"], dtype=np.float64)
         self.boundary_idx = np.asarray(payload["boundary_idx"], dtype=np.int64)
         self.n_local = int(self.b.size)
@@ -105,13 +134,32 @@ class ShardState:
         return self.matrix.matvec(x_ext)
 
     def _extend(self, local: np.ndarray, halo) -> np.ndarray:
-        """``[local, halo]`` — the column space the local block consumes."""
+        """The column space the local block consumes.
+
+        ``[local, halo]`` for a data shard; an erasure shard's encoded
+        block owns no columns, so its input is the halo alone.
+        """
         halo = np.asarray(halo, dtype=np.float64)
+        if self.erasure:
+            return halo
         return np.concatenate([local, halo]) if halo.size else np.asarray(local)
+
+    def _should_hang(self, msg: dict) -> bool:
+        """True when the injected hang spec matches this command."""
+        spec = self.hang
+        if not spec or spec.get("cmd") != msg.get("cmd"):
+            return False
+        if "it" in spec and int(msg.get("it", -1)) != int(spec["it"]):
+            return False
+        return True
 
     # -- command handlers -----------------------------------------------
     def execute(self, msg: dict) -> dict:
         """Run one command; local recovered DUEs become ``status: "due"``."""
+        if self._should_hang(msg):
+            # The injected hang: stop replying without exiting, so only
+            # the coordinator's round timeout can classify this shard.
+            time.sleep(_HANG_SECONDS)
         try:
             return self._dispatch(msg)
         except RECOVERABLE_ERRORS as exc:
@@ -164,6 +212,31 @@ class ShardState:
             return {"pb": p_val[self.boundary_idx].copy()}
         if cmd == "checkpoint":
             return {"x": self._value(self.x)}
+        if cmd == "snapshot":
+            return {
+                "x": self._value(self.x),
+                "r": self._value(self.r),
+                "p": self._value(self.p),
+                "w": np.array(self.w, dtype=np.float64, copy=True),
+            }
+        if cmd == "seed":
+            self.x = self._write(self.x, np.asarray(msg["x"], dtype=np.float64))
+            self.r = self._write(self.r, np.asarray(msg["r"], dtype=np.float64))
+            self.p = self._write(self.p, np.asarray(msg["p"], dtype=np.float64))
+            self.w = np.array(msg["w"], dtype=np.float64, copy=True)
+            x_val = self._read(self.x)
+            r_val = self._read(self.r)
+            p_val = self._read(self.p)
+            # The superset of every round's reply fields: the healed
+            # round hands these out as if the interrupted round finished.
+            return {
+                "xb": x_val[self.boundary_idx].copy(),
+                "pb": p_val[self.boundary_idx].copy(),
+                "rr": float(np.dot(r_val, r_val)),
+                "pw": float(np.dot(p_val, self.w)),
+                "x": self._value(self.x),
+                "info": self.ctx.info() if self.ctx is not None else {},
+            }
         if cmd == "finish":
             x_final = self._value(self.x)
             info = {}

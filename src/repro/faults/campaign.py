@@ -534,9 +534,10 @@ def run_shard_death_campaign(
                             max_iters=max_iters).x
     max_kills = (recovery.max_retries if recovery is not None else 0) + 1
     outcomes = []
-    recovered = aborted = injected = 0
+    recovered = aborted = injected = checkpoints = 0
     t_total = 0.0
     iters_total = 0
+    executed_total = 0
     for _ in range(n_trials):
         kill_plan = []
         t = 0
@@ -563,7 +564,10 @@ def run_shard_death_campaign(
             continue
         t_total += time.perf_counter() - t0
         iters_total += result.iterations
-        deaths = result.info["distributed"]["deaths"]
+        dist_stats = result.info["distributed"]
+        executed_total += dist_stats.get("iters_executed", result.iterations)
+        checkpoints += dist_stats.get("checkpoints", 0)
+        deaths = dist_stats["deaths"]
         injected += deaths
         solution_ok = bool(
             np.allclose(result.x, reference_x, rtol=1e-6, atol=1e-9)
@@ -595,10 +599,83 @@ def run_shard_death_campaign(
             "recovered": recovered,
             "aborted": aborted,
             "injected": injected,
+            "checkpoints": checkpoints,
             "mean_time": t_total / max(n_trials, 1),
             "mean_iters": iters_total / max(n_trials, 1),
+            # Update rounds actually executed, replays included — the
+            # deterministic time-to-solution measure (wall time folds in
+            # process-spawn noise at smoke sizes).
+            "mean_iters_executed": executed_total / max(n_trials, 1),
         },
     )
+
+
+def compare_shard_death_recoveries(
+    matrix: CSRMatrix,
+    b: np.ndarray,
+    strategies,
+    *,
+    mtbf: float = 8.0,
+    n_shards: int = 2,
+    erasure_shards: int = 1,
+    max_retries: int = 3,
+    n_trials: int = 5,
+    seed: int = 0,
+    workers: int = 1,
+    shard_size: int = 50,
+    **kwargs,
+) -> list[CampaignResult]:
+    """Run the shard-death campaign once per recovery strategy.
+
+    Every strategy sees the *same kill plans*: the plans derive from the
+    campaign's per-trial RNG streams, which depend only on the campaign
+    seed and ``max_retries`` (the sampling cap) — both held fixed here —
+    so the comparison isolates the recovery mechanism.  Returns one
+    :class:`CampaignResult` per strategy, in the given order; render
+    them with :func:`render_recovery_comparison`.
+    """
+    from repro.faults.sharding import CampaignTask, run_sharded_campaign
+    from repro.recover.policy import RecoveryPolicy
+
+    results = []
+    for strategy in strategies:
+        recovery = RecoveryPolicy(
+            strategy=strategy, max_retries=max_retries,
+            erasure_shards=erasure_shards,
+        )
+        task = CampaignTask("shard-death", dict(
+            matrix=matrix, b=b, mtbf=mtbf, n_shards=n_shards,
+            recovery=recovery, **kwargs,
+        ))
+        results.append(run_sharded_campaign(
+            task, n_trials, workers=workers, seed=seed,
+            shard_size=shard_size,
+        ))
+    return results
+
+
+def render_recovery_comparison(results) -> str:
+    """The time-to-solution table of a shard-death strategy comparison.
+
+    One row per strategy: survival tallies, mean wall time per trial,
+    converged iteration count, *executed* update rounds (replays
+    included — rollback pays its window here, erasure does not) and
+    coordinator checkpoints taken (zero under erasure, by design).
+    """
+    header = (f"{'strategy':12s}{'recovered':>10s}{'aborted':>9s}"
+              f"{'injected':>10s}{'mean_time':>11s}{'mean_iters':>12s}"
+              f"{'iters_exec':>12s}{'checkpoints':>13s}")
+    lines = [header]
+    for result in results:
+        info = result.info
+        lines.append(
+            f"{info['recovery']:12s}{info['recovered']:>10d}"
+            f"{info['aborted']:>9d}{info['injected']:>10d}"
+            f"{info['mean_time']:>10.3f}s{info['mean_iters']:>12.1f}"
+            f"{info['mean_iters_executed']:>12.1f}"
+            f"{info.get('checkpoints', 0):>13d}"
+        )
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------
@@ -647,10 +724,19 @@ def build_parser():
     parser.add_argument("--method", default="cg",
                         help="solver method for --kind solver/poisson")
     parser.add_argument("--recovery", default=None,
-                        choices=["raise", "repopulate", "rollback"],
-                        help="DUE recovery strategy for --kind solver/poisson")
+                        choices=["raise", "repopulate", "rollback", "erasure"],
+                        help="DUE recovery strategy for --kind solver/poisson; "
+                             "shard-death response for --kind shard-death "
+                             "(erasure needs the distributed layout)")
     parser.add_argument("--max-retries", type=int, default=3,
                         help="per-solve recovery budget (with --recovery)")
+    parser.add_argument("--erasure-shards", type=int, default=1,
+                        help="checksum shards for --recovery erasure")
+    parser.add_argument("--compare-recoveries", nargs="+", default=None,
+                        metavar="STRATEGY",
+                        help="--kind shard-death only: run the campaign once "
+                             "per strategy on identical kill plans and print "
+                             "a time-to-solution comparison table")
     parser.add_argument("--rate", type=float, default=1e-6,
                         help="per-bit per-iteration upset rate for --kind poisson")
     parser.add_argument("--interval", type=int, default=1,
@@ -681,7 +767,8 @@ def _build_task(args) -> "tuple":
         from repro.recover import RecoveryPolicy
 
         recovery = RecoveryPolicy(
-            strategy=args.recovery, max_retries=args.max_retries
+            strategy=args.recovery, max_retries=args.max_retries,
+            erasure_shards=args.erasure_shards,
         )
     if args.kind == "matrix":
         params = dict(
@@ -743,6 +830,10 @@ def main(argv=None) -> int:
     from repro.faults.sharding import run_sharded_campaign
 
     args = build_parser().parse_args(argv)
+    if args.compare_recoveries is not None:
+        if args.kind != "shard-death":
+            raise SystemExit("--compare-recoveries needs --kind shard-death")
+        return _run_comparison(args)
     task, n_trials = _build_task(args)
     result = run_sharded_campaign(
         task, n_trials, workers=args.workers, seed=args.seed,
@@ -755,6 +846,38 @@ def main(argv=None) -> int:
                       for k, v in extras.items()))
     if args.out:
         print(f"  per-shard records: {args.out}")
+    return 0
+
+
+def _run_comparison(args) -> int:
+    """``--compare-recoveries``: one campaign per strategy, one table."""
+    from repro.csr.build import five_point_operator
+
+    rng = np.random.default_rng(args.seed)
+    shape = (args.grid, args.grid)
+    matrix = five_point_operator(
+        args.grid, args.grid,
+        rng.uniform(0.5, 2.0, shape), rng.uniform(0.5, 2.0, shape), 0.3,
+    )
+    b = rng.standard_normal(matrix.n_rows)
+    eps, max_iters = 1e-20, 2_000
+    reference = solve(matrix, b, method=args.method, eps=eps,
+                      max_iters=max_iters)
+    results = compare_shard_death_recoveries(
+        matrix, b, args.compare_recoveries,
+        mtbf=args.mtbf, n_shards=args.shards,
+        erasure_shards=args.erasure_shards, max_retries=args.max_retries,
+        n_trials=args.trials, seed=args.seed, workers=args.workers,
+        shard_size=args.shard_size,
+        method=args.method, element_scheme=args.scheme,
+        rowptr_scheme=args.rowptr_scheme or args.scheme,
+        vector_scheme=None, interval=args.interval,
+        eps=eps, max_iters=max_iters, reference_x=reference.x,
+    )
+    print(f"shard-death recovery comparison (mtbf {args.mtbf:g}, "
+          f"{args.shards} shards, {args.trials} trials, "
+          f"identical kill plans)")
+    print(render_recovery_comparison(results))
     return 0
 
 

@@ -143,7 +143,7 @@ def shard_record(shard: Shard, result: CampaignResult) -> dict:
 #: Info keys that are per-shard tallies (summed at merge); ``mean_*``
 #: keys are trial-weighted averages; anything else is a campaign
 #: parameter, identical across shards, taken from the first record.
-_SUMMED_INFO_KEYS = {"recovered", "aborted", "injected"}
+_SUMMED_INFO_KEYS = {"recovered", "aborted", "injected", "checkpoints"}
 
 
 def merge_records(records: list[dict]) -> CampaignResult:

@@ -14,8 +14,10 @@ verification engine:
 * :class:`RecoveryPolicy` — *what to do* on a DUE: ``"raise"`` (the
   historical behaviour, default), ``"repopulate"`` (rebuild the damaged
   container from its pristine source / authoritative cache and restart
-  the recurrence in place) or ``"rollback"`` (restore the last solver
-  checkpoint and resume), with a per-solve retry budget;
+  the recurrence in place), ``"rollback"`` (restore the last solver
+  checkpoint and resume) or ``"erasure"`` (distributed solves: keep
+  checksum shards and reconstruct lost shards algebraically — see
+  :class:`ErasureCodec`), with a per-solve retry budget;
 * :class:`CheckpointStore` — in-memory snapshots of the solver's live
   state vectors plus the pristine matrix source captured right after the
   up-front forced verification;
@@ -30,6 +32,7 @@ restartable mid-solve.
 """
 
 from repro.recover.checkpoint import Checkpoint, CheckpointStore
+from repro.recover.erasure import ErasureCodec, erasure_weights
 from repro.recover.manager import RecoveryManager, RecoveryStats
 from repro.recover.policy import (
     RECOVERABLE_ERRORS,
@@ -42,7 +45,9 @@ __all__ = [
     "RECOVERY_STRATEGIES",
     "Checkpoint",
     "CheckpointStore",
+    "ErasureCodec",
     "RecoveryManager",
     "RecoveryPolicy",
     "RecoveryStats",
+    "erasure_weights",
 ]

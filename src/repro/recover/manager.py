@@ -106,13 +106,17 @@ class RecoveryManager:
 
         Returns the strategy to apply (``"repopulate"`` or
         ``"rollback"``); raises ``exc`` when the strategy is ``"raise"``
-        or the per-solve retry budget is exhausted.  Only the *attempt*
-        is recorded here — the caller reports a completed repair via
-        :meth:`note_recovered`, so ``total_recoveries`` counts solves
-        actually kept alive, not repairs that went on to fail.
+        or the per-solve retry budget is exhausted.  ``"erasure"`` also
+        raises: there is no in-process repair for it — a distributed
+        coordinator treats the escalation as a shard loss and
+        reconstructs the shard from its erasure peers instead.  Only the
+        *attempt* is recorded here — the caller reports a completed
+        repair via :meth:`note_recovered`, so ``total_recoveries``
+        counts solves actually kept alive, not repairs that went on to
+        fail.
         """
         self.stats.dues += 1
-        if self.policy.strategy == "raise":
+        if self.policy.strategy in ("raise", "erasure"):
             raise exc
         if self._retries_left <= 0:
             self.stats.retries_exhausted += 1

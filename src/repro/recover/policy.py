@@ -21,7 +21,7 @@ from repro.errors import (
 RECOVERABLE_ERRORS = (DetectedUncorrectableError, BoundsViolationError)
 
 #: Valid ``RecoveryPolicy.strategy`` values.
-RECOVERY_STRATEGIES = ("raise", "repopulate", "rollback")
+RECOVERY_STRATEGIES = ("raise", "repopulate", "rollback", "erasure")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -40,6 +40,13 @@ class RecoveryPolicy:
         ``"rollback"`` — restore the last solver checkpoint (state
         vectors + iteration counter) and resume from there; the damaged
         regions are overwritten by the restore.
+        ``"erasure"`` — distributed solves only: run ``erasure_shards``
+        extra checksum shards alongside the data shards and, on a shard
+        death, reconstruct the lost block *and iterates* algebraically
+        from the survivors (see :mod:`repro.recover.erasure`).  No
+        checkpoints are taken in this mode; inside a single process the
+        strategy behaves like ``"raise"`` (there is no peer to
+        reconstruct from).
     max_retries:
         Solver-level recoveries allowed per solve before the original
         error is re-raised.  Engine-level transparent vector repairs
@@ -48,11 +55,16 @@ class RecoveryPolicy:
         Iterations between rollback checkpoints.  Ignored unless
         ``strategy == "rollback"``; a checkpoint is always taken at
         iteration 0 so a rollback target exists from the first DUE on.
+    erasure_shards:
+        Number of checksum shards ``k`` kept by the ``"erasure"``
+        strategy — up to ``k`` shards may be lost *simultaneously* and
+        still be reconstructed.  Ignored by the other strategies.
     """
 
     strategy: str = "raise"
     max_retries: int = 3
     checkpoint_interval: int = 8
+    erasure_shards: int = 1
 
     def __post_init__(self):
         if self.strategy not in RECOVERY_STRATEGIES:
@@ -64,6 +76,8 @@ class RecoveryPolicy:
             raise ConfigurationError("max_retries must be >= 0")
         if self.checkpoint_interval < 1:
             raise ConfigurationError("checkpoint_interval must be >= 1")
+        if self.erasure_shards < 1:
+            raise ConfigurationError("erasure_shards must be >= 1")
 
     @classmethod
     def coerce(cls, value: "RecoveryPolicy | str | None") -> "RecoveryPolicy | None":

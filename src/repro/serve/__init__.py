@@ -25,13 +25,14 @@ from repro.serve.cache import MatrixCache, SessionPool
 from repro.serve.jobs import JobValidationError, batch_key, job_key, normalise_job
 from repro.serve.journal import JobJournal
 from repro.serve.server import SolveServer, run_server
-from repro.serve.service import ServeConfig, SolveService
+from repro.serve.service import ServeConfig, ServiceOverloadedError, SolveService
 
 __all__ = [
     "JobJournal",
     "JobValidationError",
     "MatrixCache",
     "ServeConfig",
+    "ServiceOverloadedError",
     "SessionPool",
     "SolveServer",
     "SolveService",

@@ -31,6 +31,9 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dist-threshold", type=int, default=4096,
                         help="row count at which a job counts as large for "
                              "--dist-shards routing")
+    parser.add_argument("--max-pending", type=int, default=0,
+                        help="admission quota: reject new jobs while this "
+                             "many are queued (0 = unlimited)")
 
 
 def run(args) -> int:
@@ -42,6 +45,7 @@ def run(args) -> int:
         batch_window=args.batch_window, max_batch=args.max_batch,
         throttle=args.throttle,
         dist_shards=args.dist_shards, dist_threshold=args.dist_threshold,
+        max_pending=args.max_pending,
     )
     try:
         asyncio.run(run_server(args.host, args.port, config))

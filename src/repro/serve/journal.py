@@ -46,6 +46,17 @@ class JobJournal:
             {"key": job["job_id"], "status": "submitted", "spec": job}
         )
 
+    def record_rejected(self, job_id: str) -> None:
+        """Persist an admission rejection (queue at its quota).
+
+        ``rejected`` is deliberately non-terminal *and* non-submitted:
+        it is never served as a cached result and never re-adopted on
+        restart, so a later resubmit of the same job — once the queue
+        has drained — is admitted from scratch and its records supersede
+        this one.
+        """
+        self.store.append({"key": job_id, "status": "rejected"})
+
     def record_result(self, job_id: str, record: dict) -> None:
         """Persist a terminal result, superseding the submitted record."""
         status = record.get("status", "done")

@@ -5,7 +5,9 @@ JSON object per line, so any language (or ``nc``) can drive it:
 
 * ``{"op": "submit", "job": {...}}`` →
   ``{"ok": true, "job_id": "...", "cached": bool}`` (or
-  ``{"ok": false, "error": "..."}`` for a rejected job);
+  ``{"ok": false, "error": "..."}`` for an invalid job, with
+  ``"overloaded": true`` added when the admission quota rejected it —
+  the retryable case);
 * ``{"op": "stream", "job_id": "..."}`` → one JSON line per event,
   replayed from the start and followed live; the stream ends after the
   terminal ``done``/``failed`` event;
@@ -23,7 +25,7 @@ import asyncio
 import json
 
 from repro.serve.jobs import JobValidationError
-from repro.serve.service import ServeConfig, SolveService
+from repro.serve.service import ServeConfig, ServiceOverloadedError, SolveService
 
 
 class SolveServer:
@@ -90,6 +92,9 @@ class SolveServer:
             try:
                 response = await self.service.submit(request.get("job") or {})
                 await self._send(writer, {"ok": True, **response})
+            except ServiceOverloadedError as exc:
+                await self._send(writer, {"ok": False, "overloaded": True,
+                                          "error": str(exc)})
             except JobValidationError as exc:
                 await self._send(writer, {"ok": False, "error": str(exc)})
         elif op == "stream":

@@ -30,6 +30,16 @@ from repro.sweeps.executor import Task, run_tasks
 TERMINAL_EVENTS = ("done", "failed")
 
 
+class ServiceOverloadedError(RuntimeError):
+    """Admission refused: the pending queue is at ``max_pending``.
+
+    Deliberately *not* a :class:`~repro.serve.jobs.JobValidationError` —
+    the job itself is fine, the server is busy.  The rejection is
+    journalled non-terminally, so resubmitting the identical job once
+    the queue drains admits it normally (no cache poisoning).
+    """
+
+
 @dataclasses.dataclass
 class ServeConfig:
     """Tunables of one serving process.
@@ -59,6 +69,13 @@ class ServeConfig:
         Row count at which a job counts as "large" for ``dist_shards``
         routing.  Below it nothing changes — same solver, same warm
         caches, and the job identity hash never depends on either knob.
+    max_pending:
+        Admission quota: a new job arriving while this many are already
+        queued for batching is rejected with
+        :class:`ServiceOverloadedError` instead of growing the queue
+        without bound.  ``0`` (default) disables the quota.  Cache hits
+        and joins of identical in-flight jobs are never rejected — they
+        add no queue pressure.
     """
 
     journal: str | None = None
@@ -68,6 +85,7 @@ class ServeConfig:
     throttle: float = 0.0
     dist_shards: int = 0
     dist_threshold: int = 4096
+    max_pending: int = 0
 
 
 class SolveService:
@@ -133,6 +151,8 @@ class SolveService:
         A job whose identity already has a committed result — in memory
         or in the journal — is served from that record without solving
         again; an identical in-flight job is joined, not duplicated.
+        A genuinely *new* job arriving with ``max_pending`` jobs already
+        queued raises :class:`ServiceOverloadedError`.
         """
         try:
             job = normalise_job(spec)
@@ -154,6 +174,15 @@ class SolveService:
             return {"job_id": job_id, "cached": True}
         if job_id in self._inflight:
             return {"job_id": job_id, "cached": False}
+        if (self.config.max_pending > 0
+                and len(self._queue) >= self.config.max_pending):
+            self.stats["rejected"] += 1
+            if self.journal is not None:
+                self.journal.record_rejected(job_id)
+            raise ServiceOverloadedError(
+                f"job {job_id} rejected: {len(self._queue)} jobs pending "
+                f"(max_pending={self.config.max_pending}); retry later"
+            )
         self.stats["submitted"] += 1
         if self.journal is not None:
             self.journal.record_submitted(job)

@@ -42,7 +42,7 @@ from repro.serve.jobs import (
 )
 from repro.serve.journal import JobJournal
 from repro.serve.server import SolveServer
-from repro.serve.service import ServeConfig, SolveService
+from repro.serve.service import ServeConfig, ServiceOverloadedError, SolveService
 
 REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
 DECK_TEXT = (
@@ -308,6 +308,112 @@ class TestServiceBatching:
             return status
 
         assert asyncio.run(main())["stats"]["rejected"] == 1
+
+
+# ---------------------------------------------------------------------------
+class TestAdmissionQuota:
+    """ISSUE 8 satellite: ``max_pending`` bounds the queue at admission."""
+
+    def test_overload_rejects_and_journals_without_poisoning(self, tmp_path,
+                                                             fresh_workers):
+        journal = str(tmp_path / "jobs.jsonl")
+
+        async def main():
+            # batch_window=30 parks the batcher, so submissions pile up
+            # in the queue and the quota is what we exercise.
+            service = SolveService(ServeConfig(
+                journal=journal, batch_window=30.0, max_pending=2))
+            await service.start()
+            first = await service.submit(five_point_job(b_seed=0))
+            await service.submit(five_point_job(b_seed=1))
+            with pytest.raises(ServiceOverloadedError):
+                await service.submit(five_point_job(b_seed=2))
+            # Joining an identical in-flight job adds no queue pressure,
+            # so it is admitted even at the quota.
+            joined = await service.submit(five_point_job(b_seed=0))
+            status = service.status()
+            record = service.journal.store.get(
+                normalise_job(five_point_job(b_seed=2))["job_id"])
+            pending = {job["job_id"] for job in service.journal.pending()}
+            await service.stop()
+            return first, joined, status, record, pending
+
+        first, joined, status, record, pending = asyncio.run(main())
+        assert joined["job_id"] == first["job_id"]
+        assert status["stats"]["rejected"] == 1
+        assert status["queued"] == 2
+        assert record["status"] == "rejected"
+        # Non-terminal and non-submitted: never re-adopted, never served
+        # as a cached result.
+        assert record["key"] not in pending
+
+    def test_rejected_job_resubmits_cleanly_after_drain(self, tmp_path,
+                                                        fresh_workers):
+        journal = str(tmp_path / "jobs.jsonl")
+        job = five_point_job(b_seed=7)
+
+        async def overload():
+            service = SolveService(ServeConfig(
+                journal=journal, batch_window=30.0, max_pending=1))
+            await service.start()
+            await service.submit(five_point_job(b_seed=8))
+            with pytest.raises(ServiceOverloadedError):
+                await service.submit(job)
+            await service.stop()
+
+        async def drain():
+            service = SolveService(ServeConfig(journal=journal,
+                                               batch_window=0.01))
+            await service.start()
+            adopted = service.stats["adopted"]
+            response = await service.submit(job)
+            record = await service.result(response["job_id"])
+            await service.stop()
+            return adopted, response, record
+
+        asyncio.run(overload())
+        adopted, response, record = asyncio.run(drain())
+        assert adopted == 1  # only the admitted job, not the rejected one
+        assert response["cached"] is False  # rejection never cached anything
+        assert record["status"] == "done"
+
+    def test_zero_quota_means_unlimited(self, fresh_workers):
+        jobs = [five_point_job(b_seed=i) for i in range(4)]
+        records, _, status = run_service(jobs, batch_window=0.05)
+        assert all(r["status"] == "done" for r in records)
+        assert status["stats"]["rejected"] == 0
+
+    def test_overload_is_flagged_retryable_on_the_wire(self, fresh_workers):
+        holder, ready = {}, threading.Event()
+
+        def runner():
+            async def amain():
+                server = SolveServer(SolveService(ServeConfig(
+                    batch_window=30.0, max_pending=1)))
+                holder["server"] = server
+                _, holder["port"] = await server.start()
+                ready.set()
+                await server.serve_forever()
+
+            asyncio.run(amain())
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        assert ready.wait(10), "server failed to start"
+        client = ServeClient(port=holder["port"])
+        try:
+            assert client.submit(five_point_job(b_seed=0))["ok"]
+            reply = client._roundtrip(
+                {"op": "submit", "job": five_point_job(b_seed=1)})
+            assert reply["ok"] is False
+            assert reply["overloaded"] is True
+            assert "retry" in reply["error"]
+        finally:
+            try:
+                client.shutdown()
+            except (ServeClientError, OSError):
+                pass
+            thread.join(10)
 
 
 # ---------------------------------------------------------------------------
