@@ -5,8 +5,9 @@ baselines and exits non-zero when any gated benchmark's mean time
 regressed by more than the threshold.  With no flags, two gates run:
 
 * ``benchmarks/BENCH_t1.json`` gates the ``t1-full-protection*``
-  deferred-verification solves and the ``t1-check-throughput*``
-  verification-pipeline microbenchmarks at 20 %;
+  deferred-verification solves, the ``t1-check-throughput*``
+  verification-pipeline microbenchmarks and the ``t1-fused-verify*``
+  verify-in-SpMV kernels at 20 %;
 * ``benchmarks/BENCH_serve.json`` gates the ``t1-serve*`` serving-layer
   benchmarks at 50 % — client-observed latency includes batch windows
   and thread scheduling, so it is inherently noisier than kernel time;
@@ -38,7 +39,7 @@ DIST_BASELINE = pathlib.Path(__file__).parent / "BENCH_dist.json"
 #: Gated by default: the headline deferred-verification solves AND the
 #: verification-pipeline microbenchmarks (codewords/sec of a SECDED
 #: check), so kernel regressions are caught independently of solver noise.
-DEFAULT_GROUPS = ("t1-full-protection*", "t1-check-throughput*")
+DEFAULT_GROUPS = ("t1-full-protection*", "t1-check-throughput*", "t1-fused-verify*")
 #: (baseline, group globs, threshold) triples run when no flags are given.
 DEFAULT_GATES = (
     (DEFAULT_BASELINE, DEFAULT_GROUPS, 0.20),

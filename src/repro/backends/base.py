@@ -41,6 +41,14 @@ class SyndromeScratch:
         self.pc8 = np.empty(self.chunk, dtype=np.uint8)
         self.pc16 = np.empty(self.chunk, dtype=np.uint16)
         self.syn = np.empty(self.chunk, dtype=np.uint16)
+        # Fused verify-in-SpMV scratch: the widened colidx lane under
+        # syndrome/decode and the gathered x values for one chunk.
+        self.lane = np.empty(self.chunk, dtype=np.uint64)
+        self.gather = np.empty(self.chunk, dtype=np.float64)
+        # Aggregate-screen scratch: the grid row/column XOR aggregates of
+        # one chunk (see numpy_fused's clean-path screen).  Sized for a
+        # chunk reduced over 32 columns plus the tail, at up to 8 lanes.
+        self.screen = np.empty((self.chunk // 32 + 64) * 8, dtype=np.uint64)
 
 
 class KernelBackend:
@@ -57,6 +65,11 @@ class KernelBackend:
 
     #: True when the backend is importable/usable in this process.
     available = True
+
+    #: True when the backend implements :meth:`fused_gather_verify`, the
+    #: single-pass verify-in-SpMV primitive.  Backends without it still
+    #: work — the protected matrices fall back to check-then-multiply.
+    supports_fused_verify = False
 
     def syndrome_into(self, code, lanes, syn, parity) -> None:
         """Fill ``syn`` (uint16) and ``parity`` (uint8) per codeword."""
@@ -75,8 +88,40 @@ class KernelBackend:
         """Recompute the redundancy slots of every codeword in place."""
         raise NotImplementedError
 
-    def spmv(self, values, colidx, rowptr, x, n_rows, out=None):
-        """General CSR matrix-vector product (see :func:`repro.csr.spmv.spmv`)."""
+    def spmv(
+        self, values, colidx, rowptr, x, n_rows,
+        out=None, products=None, gather=None, lengths=None,
+    ):
+        """General CSR matrix-vector product (see :func:`repro.csr.spmv.spmv`).
+
+        ``products``/``gather``/``lengths`` are optional caller-owned
+        scratch buffers (nnz-sized float64 / chunk-sized float64 /
+        n_rows-sized int64); backends that gather or reduce through
+        temporaries use them to keep the inner loop allocation-free.
+        Compiled backends whose loops are scalar may ignore them.
+        """
+        raise NotImplementedError
+
+    def fused_gather_verify(
+        self, code, values, colidx, x, index_mask, n_cols, col64, products
+    ):
+        """Verify one-element codewords while gathering the SpMV operands.
+
+        The verify-in-SpMV primitive: per cache-blocked chunk of the
+        ``(values, colidx)`` lane pair, compute the SECDED syndrome,
+        decode the column index (``colidx & index_mask``), bounds-check
+        it against ``n_cols``, gather ``x`` through it and multiply —
+        filling ``col64[:nnz]`` and ``products[:nnz]`` in the same pass
+        that screens the codewords.  Chunks containing a nonzero
+        syndrome or an out-of-range index are *not* gathered; their
+        ``[lo, hi)`` codeword windows are returned for the caller to
+        re-check (and correct) through the container's scalar cold path
+        before retrying.  Returns ``[]`` when everything was clean.
+
+        Only meaningful for schemes whose codeword is a single
+        ``(value, colidx)`` element pair (secded64); callers gate on
+        :attr:`supports_fused_verify` plus the scheme.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -101,12 +101,43 @@ if HAS_NUMBA:  # pragma: no cover - compiled/exercised only with numba
                 acc += values[k] * x[colidx[k]]
             out[row] = acc
 
+    @numba.njit(cache=True, parallel=True)
+    def _fused_gather_verify(
+        values, vwords, colidx, x, full_masks, all_mask,
+        index_mask, n_cols, col64, products, chunk, bad_counts,
+    ):
+        nnz = values.size
+        m = full_masks.shape[0]
+        for c in numba.prange(bad_counts.size):
+            lo = c * chunk
+            hi = min(lo + chunk, nnz)
+            bad = 0
+            for i in range(lo, hi):
+                v = vwords[i]
+                y = np.uint64(colidx[i])
+                s = np.uint16(0)
+                for j in range(m):
+                    fold = (v & full_masks[j, 0]) ^ (y & full_masks[j, 1])
+                    s |= np.uint16(_parity64(fold)) << np.uint16(j)
+                fold = (v & all_mask[0]) ^ (y & all_mask[1])
+                if s != np.uint16(0) or _parity64(fold) != np.uint8(0):
+                    bad += 1
+                    continue
+                col = np.int64(y & index_mask)
+                if col >= n_cols:
+                    bad += 1
+                    continue
+                col64[i] = col
+                products[i] = values[i] * x[col]
+            bad_counts[c] = bad
+
 
 class NumbaBackend(KernelBackend):
     """Jitted kernels; only constructible when numba imports."""
 
     name = "numba"
     available = HAS_NUMBA
+    supports_fused_verify = HAS_NUMBA
 
     def __init__(self):  # pragma: no cover - needs numba
         if not HAS_NUMBA:
@@ -125,12 +156,33 @@ class NumbaBackend(KernelBackend):
         _encode(lanes, code._data_masks, code._all_mask, code._check_mask,
                 slots, code.parity_slot)
 
-    def spmv(self, values, colidx, rowptr, x, n_rows, out=None):  # pragma: no cover
+    def spmv(self, values, colidx, rowptr, x, n_rows,
+             out=None, products=None, gather=None,
+             lengths=None):  # pragma: no cover
+        # The jitted loop is scalar per row, so the products/gather/
+        # lengths scratch buffers are unnecessary and ignored.
         if out is None:
             out = np.empty(n_rows, dtype=np.float64)
         _spmv(values, np.asarray(colidx, dtype=np.int64),
               np.asarray(rowptr, dtype=np.int64), x, out)
         return out
+
+    def fused_gather_verify(
+        self, code, values, colidx, x, index_mask, n_cols, col64, products
+    ):  # pragma: no cover
+        chunk = code.scratch.chunk
+        n_chunks = max(1, -(-values.size // chunk))
+        bad_counts = np.zeros(n_chunks, dtype=np.int64)
+        _fused_gather_verify(
+            values, values.view(np.uint64), colidx, x,
+            code._full_masks, code._all_mask,
+            np.uint64(index_mask), np.int64(n_cols),
+            col64, products, np.int64(chunk), bad_counts,
+        )
+        return [
+            (c * chunk, min(c * chunk + chunk, values.size))
+            for c in np.flatnonzero(bad_counts)
+        ]
 
 
 def make_backend() -> NumbaBackend:

@@ -9,6 +9,14 @@ codewords is pulled through the cache once and all ``m + 1``
 mask/fold/popcount passes run over it with every intermediate landing in
 the code's persistent :class:`~repro.backends.base.SyndromeScratch`.
 No temporary proportional to the codeword count is ever allocated.
+
+The clean-path screens go one step further: because syndromes are
+GF(2)-linear, a chunk can be XOR-reduced over a ``(rows, 32)`` grid and
+only the ``rows + 32`` aggregate codewords syndromed (two reduction
+passes plus ~3% of the per-element mask work).  An intact chunk never
+fires the screen; a chunk that fires for any reason falls back to the
+exact per-element passes, so correction behaviour is unchanged (see
+:func:`_chunk_screen` for the precise detection guarantee).
 """
 
 from __future__ import annotations
@@ -60,10 +68,114 @@ def _chunk_syndrome(code, chunk, n, scratch):
     return syn, pc
 
 
+#: Columns of the aggregate-screen grid.  A chunk is viewed as a
+#: ``(rows, 32)`` grid of codewords and XOR-reduced along both axes;
+#: the syndrome passes then run over ``rows + 32`` aggregate codewords
+#: instead of the whole chunk (~3% of the per-element work).
+_SCREEN_COLS = 32
+
+
+def _screen_shape(n: int) -> tuple[int, int, int]:
+    """Grid rows, tail length and aggregate count for an ``n``-codeword chunk."""
+    rows = n // _SCREEN_COLS
+    rem = n - rows * _SCREEN_COLS
+    return rows, rem, (rows + _SCREEN_COLS if rows else 0) + rem
+
+
+def _screen_clean(code, agg, k, scratch) -> bool:
+    """True when every aggregate codeword has zero syndrome and parity."""
+    syn, pc = _chunk_syndrome(code, agg, k, scratch)
+    return not (int(np.count_nonzero(syn)) or int(np.count_nonzero(pc)))
+
+
+def _screen_lane(lane1d, rows, agg_col, scratch):
+    """Row/column aggregates of one contiguous lane into an ``agg`` column.
+
+    ``lane1d`` (length ``rows * 32``, contiguous) is viewed as the
+    ``(rows, 32)`` screen grid and XOR-reduced along both axes.  Both
+    reductions are first-or-last-axis ``ufunc.reduce`` calls over a
+    contiguous grid into contiguous scratch — the only forms NumPy runs
+    through its non-buffering (allocation-free) inner reduce loop; a
+    middle-axis reduce, a strided ``out=`` or a strided-half halving all
+    fall into the buffered iterator and allocate a ~64 KiB bounce buffer
+    per call.
+    """
+    grid = lane1d.reshape(rows, _SCREEN_COLS)
+    ragg = scratch.tmp[:rows]
+    np.bitwise_xor.reduce(grid, axis=1, out=ragg)
+    agg_col[:rows] = ragg
+    cagg = scratch.tmp[rows : rows + _SCREEN_COLS]
+    np.bitwise_xor.reduce(grid, axis=0, out=cagg)
+    agg_col[rows : rows + _SCREEN_COLS] = cagg
+
+
+def _chunk_screen(code, block, n, scratch) -> bool:
+    """Aggregate clean-chunk screen over an ``(n, L)`` lane block.
+
+    Syndromes are GF(2)-linear, so the XOR of any subset of *clean*
+    codewords is itself a zero-syndrome, zero-parity word — an intact
+    chunk never fires the screen, and the ``rows + 32`` grid aggregates
+    cost ~3% of the per-element syndrome passes they stand in for.
+    Detection: every pattern of one or two flipped bits in the chunk
+    survives into some aggregate — two flips in one codeword meet
+    SECDED's double-error detection inside that codeword's row
+    aggregate, and flips in different codewords land in different grid
+    rows or different grid columns (or the exactly-screened tail), each
+    aggregate seeing a single nonzero-syndrome flip.  Four or more
+    flips escape only by cancelling in *every* row and column aggregate
+    (e.g. one bit position flipped on all four corners of a
+    grid-aligned rectangle); a chunk that fires for any reason falls
+    back to the exact per-element passes, so correction strength is
+    unchanged.
+    """
+    lanes = block.shape[1]
+    rows, rem, k = _screen_shape(n)
+    if k == 0:
+        return True
+    if k * lanes > scratch.screen.size:  # very wide codewords: exact path
+        return False
+    agg = scratch.screen[: k * lanes].reshape(k, lanes)
+    span = rows * _SCREEN_COLS
+    pos = 0
+    if rows:
+        lanebuf = scratch.fold[:span]
+        for lane in range(lanes):
+            np.copyto(lanebuf, block[:span, lane])
+            _screen_lane(lanebuf, rows, agg[:, lane], scratch)
+        pos = rows + _SCREEN_COLS
+    if rem:
+        agg[pos:] = block[span:]
+    return _screen_clean(code, agg, k, scratch)
+
+
+def _chunk_screen_split(code, a, b, n, scratch) -> bool:
+    """The :func:`_chunk_screen` screen over split one-element lanes.
+
+    ``a``/``b`` are the storage arrays themselves (values viewed as
+    uint64, widened colidx), so the fused SpMV path never packs an
+    ``(n, 2)`` lane buffer.  Same guarantee as the packed screen.
+    """
+    rows, rem, k = _screen_shape(n)
+    if k == 0:
+        return True
+    agg = scratch.screen[: k * 2].reshape(k, 2)
+    span = rows * _SCREEN_COLS
+    pos = 0
+    if rows:
+        _screen_lane(a[:span], rows, agg[:, 0], scratch)
+        _screen_lane(b[:span], rows, agg[:, 1], scratch)
+        pos = rows + _SCREEN_COLS
+    if rem:
+        agg[pos:, 0] = a[span:]
+        agg[pos:, 1] = b[span:]
+    return _screen_clean(code, agg, k, scratch)
+
+
 class NumpyFusedBackend(KernelBackend):
     """Chunked ``out=`` NumPy kernels (the ``numpy_fused`` default)."""
 
     name = "numpy_fused"
+    supports_fused_verify = True
 
     # -- SECDED ---------------------------------------------------------
     def syndrome_into(self, code, lanes, syn, parity) -> None:
@@ -83,6 +195,11 @@ class NumpyFusedBackend(KernelBackend):
         for lo in range(0, n_total, scratch.chunk):
             hi = min(lo + scratch.chunk, n_total)
             n = hi - lo
+            # Clean chunks (the overwhelmingly common case) are fully
+            # screened by their grid aggregates; only a chunk that fires
+            # pays the per-element syndrome passes for the exact count.
+            if _chunk_screen(code, lanes[lo:hi], n, scratch):
+                continue
             syn_c, pc = _chunk_syndrome(code, lanes[lo:hi], n, scratch)
             # Fold the overall parity into the syndrome word so one
             # count_nonzero sees both corruption signals.
@@ -118,5 +235,51 @@ class NumpyFusedBackend(KernelBackend):
         np.bitwise_or(chunk[:, lane], word, out=chunk[:, lane])
 
     # -- SpMV -----------------------------------------------------------
-    def spmv(self, values, colidx, rowptr, x, n_rows, out=None):
-        return _numpy_spmv(values, colidx, rowptr, x, n_rows, out=out)
+    def spmv(
+        self, values, colidx, rowptr, x, n_rows,
+        out=None, products=None, gather=None, lengths=None,
+    ):
+        return _numpy_spmv(
+            values, colidx, rowptr, x, n_rows, out=out,
+            products=products, gather=gather, lengths=lengths,
+        )
+
+    def fused_gather_verify(
+        self, code, values, colidx, x, index_mask, n_cols, col64, products
+    ):
+        """Single-pass syndrome + decode + gather + multiply (see base class).
+
+        Per chunk: widen the stored colidx lane once into the scratch,
+        run the grid-aggregate screen (:func:`_chunk_screen_split`) over
+        the (value word, widened index) pairs, and — when the chunk
+        screens clean — strip the redundancy bits, bounds-check, gather
+        ``x`` and multiply into ``products``, all through persistent
+        buffers.  Dirty or out-of-range chunks are skipped and returned
+        as ``[lo, hi)`` windows for the container's scalar correction
+        path (which re-screens them with exact per-element syndromes).
+        """
+        scratch = code.scratch
+        vwords = values.view(np.uint64)
+        nnz = values.size
+        mask64 = np.uint64(index_mask)
+        bad: list[tuple[int, int]] = []
+        for lo in range(0, nnz, scratch.chunk):
+            hi = min(lo + scratch.chunk, nnz)
+            n = hi - lo
+            lane = scratch.lane[:n]
+            np.copyto(lane, colidx[lo:hi], casting="same_kind")
+            if not _chunk_screen_split(code, vwords[lo:hi], lane, n, scratch):
+                bad.append((lo, hi))
+                continue
+            col = col64[lo:hi]
+            np.bitwise_and(lane, mask64, out=lane)
+            np.copyto(col, lane, casting="same_kind")
+            if int(col.max(initial=0)) >= n_cols:
+                bad.append((lo, hi))
+                continue
+            g = scratch.gather[:n]
+            # mode="clip" skips numpy's internal bounce buffer; the
+            # max() screen above already guarantees in-range indices.
+            np.take(x, col, out=g, mode="clip")
+            np.multiply(values[lo:hi], g, out=products[lo:hi])
+        return bad

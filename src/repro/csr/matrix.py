@@ -28,13 +28,14 @@ class CSRMatrix:
     protected wrappers can alias the same memory.
     """
 
-    __slots__ = ("values", "colidx", "rowptr", "shape")
+    __slots__ = ("values", "colidx", "rowptr", "shape", "_scratch")
 
     def __init__(self, values, colidx, rowptr, shape, *, validate: bool = True):
         self.values = np.ascontiguousarray(values, dtype=np.float64)
         self.colidx = np.ascontiguousarray(colidx, dtype=np.uint32)
         self.rowptr = np.ascontiguousarray(rowptr, dtype=np.uint32)
         self.shape = (int(shape[0]), int(shape[1]))
+        self._scratch = None
         if validate:
             validate_structure(self.values, self.colidx, self.rowptr, self.shape)
 
@@ -66,8 +67,35 @@ class CSRMatrix:
 
     # ------------------------------------------------------------------
     def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Sparse matrix-vector product ``A @ x``."""
-        return spmv(self.values, self.colidx, self.rowptr, x, self.n_rows, out=out)
+        """Sparse matrix-vector product ``A @ x``.
+
+        Runs through per-matrix persistent scratch (widened indices,
+        product and gather buffers), so repeated products allocate
+        nothing proportional to the matrix — solver inner loops stay off
+        the allocator, whose large-block behaviour otherwise dominates
+        (and destabilises) the product's run time.  The stored indices
+        are re-widened and re-range-checked on every call, so mutating
+        ``colidx``/``rowptr`` between products stays safe.
+        """
+        if self._scratch is None:
+            self._scratch = (
+                np.empty(self.nnz, dtype=np.int64),
+                np.empty(self.rowptr.size, dtype=np.int64),
+                np.empty(self.nnz, dtype=np.float64),
+                np.empty(min(16384, max(self.nnz, 1)), dtype=np.float64),
+                np.empty(self.n_rows, dtype=np.int64),
+            )
+        col64, ptr64, products, gather, lengths = self._scratch
+        np.copyto(col64, self.colidx, casting="same_kind")
+        np.copyto(ptr64, self.rowptr, casting="same_kind")
+        if col64.size and int(col64.max()) >= self.n_cols:
+            raise IndexError(
+                f"column index out of range for {self.n_cols} columns"
+            )
+        return spmv(
+            self.values, col64, ptr64, x, self.n_rows, out=out,
+            products=products, gather=gather, lengths=lengths,
+        )
 
     def diagonal(self) -> np.ndarray:
         """Extract the main diagonal, accumulating duplicate entries.

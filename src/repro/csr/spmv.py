@@ -17,6 +17,42 @@ from __future__ import annotations
 import numpy as np
 
 
+def reduce_rows(
+    products: np.ndarray,
+    rowptr: np.ndarray,
+    out: np.ndarray,
+    lengths: np.ndarray | None = None,
+) -> np.ndarray:
+    """Row-segment sums of precomputed per-element ``products`` into ``out``.
+
+    The one reduction every SpMV variant shares — the plain kernel, the
+    scratch-buffered kernel and the fused verify-in-SpMV kernels all
+    finish through this helper, so their results are bitwise identical
+    by construction (``np.add.reduceat`` sums each segment left to
+    right, matching a scalar per-row loop exactly).  Handles empty rows
+    (where ``reduceat`` alone would mis-assign segments) by masking them
+    after the reduction.
+
+    ``lengths`` is an optional caller-owned int64 scratch of size
+    ``n_rows``; with it, the all-rows-nonempty fast path allocates
+    nothing (the protected matrices pass their persistent buffer).
+    """
+    starts = rowptr[:-1]
+    if lengths is None:
+        lengths = rowptr[1:] - starts
+    else:
+        np.subtract(rowptr[1:], starts, out=lengths)
+    if int(lengths.min(initial=1)) > 0:
+        np.add.reduceat(products, starts, out=out)
+    else:
+        # reduceat with repeated offsets returns products[start] for empty
+        # rows; compute on the compacted rows then scatter back.
+        nonempty = lengths > 0
+        out[:] = 0.0
+        out[nonempty] = np.add.reduceat(products, starts[nonempty])
+    return out
+
+
 def spmv(
     values: np.ndarray,
     colidx: np.ndarray,
@@ -24,17 +60,24 @@ def spmv(
     x: np.ndarray,
     n_rows: int,
     out: np.ndarray | None = None,
+    products: np.ndarray | None = None,
+    gather: np.ndarray | None = None,
+    lengths: np.ndarray | None = None,
 ) -> np.ndarray:
     """General CSR matrix-vector product.
 
-    Handles empty rows (where ``reduceat`` alone would mis-assign
-    segments) by masking them after the reduction.
+    ``products`` (nnz-sized float64), ``gather`` (chunk-sized float64)
+    and ``lengths`` (n_rows-sized int64) are optional caller-owned
+    scratch buffers: with them, the gather and multiply run
+    chunk-by-chunk into them and the product allocates nothing
+    proportional to the matrix (the protected matrices pass their
+    persistent buffers so engine-mediated SpMVs are allocation-free
+    after warm-up).  The result is bitwise identical either way.
     """
     if out is None:
         out = np.zeros(n_rows, dtype=np.float64)
-    else:
-        out[:] = 0.0
     if values.size == 0:
+        out[:] = 0.0
         return out
     # Callers holding pre-converted snapshots (the protected matrices'
     # clean views) pass int64 indices straight through; only narrower
@@ -43,19 +86,19 @@ def spmv(
         colidx = colidx.astype(np.int64)
     if rowptr.dtype != np.int64:
         rowptr = rowptr.astype(np.int64)
-    products = values * x[colidx]
-    ptr = rowptr
-    starts = ptr[:-1]
-    lengths = ptr[1:] - starts
-    nonempty = lengths > 0
-    if np.all(nonempty):
-        out[:] = np.add.reduceat(products, starts)
+    if products is None or gather is None:
+        products = values * x[colidx]
     else:
-        # reduceat with repeated offsets returns products[start] for empty
-        # rows; compute on the compacted rows then scatter back.
-        sums = np.add.reduceat(products, starts[nonempty])
-        out[nonempty] = sums
-    return out
+        chunk = gather.size
+        for lo in range(0, values.size, chunk):
+            hi = min(lo + chunk, values.size)
+            g = gather[: hi - lo]
+            # mode="clip" skips numpy's internal bounce buffer; callers
+            # pass validated (bounds-checked) snapshot indices here.
+            np.take(x, colidx[lo:hi], out=g, mode="clip")
+            np.multiply(values[lo:hi], g, out=products[lo:hi])
+        products = products[: values.size]
+    return reduce_rows(products, rowptr, out, lengths=lengths)
 
 
 def spmv_fixed_width(

@@ -23,6 +23,7 @@ constructors name the paper's operating points.
 from __future__ import annotations
 
 import dataclasses
+import os
 
 from repro.errors import ConfigurationError
 from repro.protect.base import ELEMENT_SCHEMES, ROWPTR_SCHEMES, VECTOR_SCHEMES
@@ -70,6 +71,16 @@ class ProtectionConfig:
         ``stripes`` round-robin codeword slices, giving full coverage
         every ``interval * stripes`` accesses.  ``1`` (default) is the
         paper's whole-matrix interval check.
+    fused_verify:
+        Verify-in-SpMV: run due matrix checks *inside* the engine's
+        matrix-vector products, screening each codeword on the gather
+        traffic the product already pays for instead of a separate sweep
+        pass (and letting the end-of-step sweep skip matrices whose last
+        product verified everything it consumed).  ``None`` (default)
+        resolves to on unless the ``REPRO_FUSED_VERIFY=0`` environment
+        ablation disables it; schemes/backends without a fused kernel
+        fall back to verify-then-multiply with identical results and
+        accounting.
     backend:
         Kernel backend name (see :mod:`repro.backends`): ``None`` defers
         to ``REPRO_BACKEND`` / the ``numpy_fused`` default; ``"numba"``
@@ -92,6 +103,7 @@ class ProtectionConfig:
     defer_writes: bool | None = None
     correct: bool = True
     stripes: int = 1
+    fused_verify: bool | None = None
     backend: str | None = None
     recovery: RecoveryPolicy | str | None = None
 
@@ -186,6 +198,17 @@ class ProtectionConfig:
         return dataclasses.replace(self, **changes)
 
     # -- factories ------------------------------------------------------
+    def resolved_fused_verify(self) -> bool:
+        """The effective fused-verify setting (``None`` → env-gated default).
+
+        ``fused_verify=None`` means "on, unless the
+        ``REPRO_FUSED_VERIFY=0`` ablation says otherwise"; explicit
+        ``True``/``False`` always win over the environment.
+        """
+        if self.fused_verify is not None:
+            return self.fused_verify
+        return os.environ.get("REPRO_FUSED_VERIFY", "1") != "0"
+
     def policy(self) -> CheckPolicy:
         """A fresh :class:`CheckPolicy` carrying this config's schedule."""
         return CheckPolicy(
@@ -194,6 +217,7 @@ class ProtectionConfig:
             vector_interval=self.vector_interval,
             defer_writes=self.defer_writes,
             stripes=self.stripes,
+            fused_verify=self.resolved_fused_verify(),
         )
 
     def engine(self) -> DeferredVerificationEngine:

@@ -108,6 +108,21 @@ class ProtectedCSRElements64:
         """Number of ECC codewords covering this container."""
         return self.rowptr.size - 1 if self.scheme == "crc32c" else self.nnz
 
+    def fused_code(self):
+        """The per-element ECC code when one codeword spans one element.
+
+        Mirrors the 32-bit container's contract for fused verify-in-SpMV
+        kernels: a non-``None`` return means every (value, colidx) element
+        is covered by exactly one codeword, so a kernel streaming elements
+        for a product can compute syndromes on the same traffic.  Only the
+        ``secded`` scheme qualifies here (``sed`` folds a parity bit across
+        both lanes but cannot locate errors; ``crc32c`` codewords span whole
+        rows).
+        """
+        if self.scheme == "secded":
+            return csr64_element_secded()
+        return None
+
     def colidx_clean(self) -> np.ndarray:
         """Column indices with the embedded ECC bits masked off."""
         return self.colidx & self.index_mask

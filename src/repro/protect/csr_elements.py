@@ -114,6 +114,21 @@ class ProtectedCSRElements:
         """Mask selecting the *data* bits of a stored column index."""
         return _LOW31 if self.scheme == "sed" else _LOW24
 
+    def fused_code(self):
+        """The per-element SECDED code when this container is fusible.
+
+        Verify-in-SpMV needs a codeword that is exactly one
+        ``(value, colidx)`` pair — the product consumes elements, so
+        only then can each codeword be screened on the element's own
+        gather traffic.  That is the secded64 layout; schemes whose
+        codeword spans two elements (secded128) or a whole row (crc32c,
+        and sed's parity-only codeword has no syndrome kernel) return
+        ``None`` and take the verify-then-multiply fallback.
+        """
+        if self.scheme == "secded64":
+            return csr_element_secded()
+        return None
+
     def colidx_clean(self, out: np.ndarray | None = None) -> np.ndarray:
         """Column indices with redundancy stripped (safe to gather with)."""
         if out is None:

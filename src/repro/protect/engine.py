@@ -37,7 +37,7 @@ import numpy as np
 
 from repro import backends
 from repro.errors import ConfigurationError, DetectedUncorrectableError
-from repro.protect.kernels import full_matrix_check
+from repro.protect.kernels import full_matrix_check, fused_matrix_spmv
 from repro.protect.matrix import ProtectedCSRMatrix
 from repro.protect.policy import CheckPolicy
 from repro.protect.vector import ProtectedVector
@@ -73,6 +73,12 @@ class DeferredVerificationEngine:
         self._read_since_check: set[int] = set()
         self._stripe_cursor: dict[int, int] = {}
         self._iteration_hooks: list = []
+        # Consumption-coverage accounting for fused verification: the
+        # matrices whose *last* SpMV verified every codeword it consumed
+        # (a due fused product), with nothing consumed unverified since.
+        # Only those may skip the end-of-step sweep — a non-due access
+        # consumes values live and immediately clears the claim.
+        self._fused_cover: set[int] = set()
 
     @property
     def stats(self):
@@ -104,6 +110,7 @@ class DeferredVerificationEngine:
         self._matrices.pop(key, None)
         self._read_since_check.discard(key)
         self._stripe_cursor.pop(key, None)
+        self._fused_cover.discard(key)
 
     def registered_vectors(self) -> dict[str, ProtectedVector]:
         """Name → vector mapping of the currently tracked dense regions.
@@ -167,6 +174,15 @@ class DeferredVerificationEngine:
         range-check guarantee (no out-of-bounds access, ever) holds
         because the snapshot was validated when it was populated.
         ``stats.bounds_checks`` counts these snapshot-guarded accesses.
+
+        With ``policy.fused_verify``, a due access on a matrix whose
+        scheme and backend support it instead runs the verify-in-SpMV
+        kernel: the backend screens every codeword on the
+        product's own gather traffic (no separate sweep pass, and no
+        striping — full coverage costs nothing extra on this path) and
+        the matrix earns *consumption coverage* toward skipping the
+        end-of-step sweep; any non-due access clears that coverage,
+        because it consumes stored values unverified.
         """
         key = id(matrix)
         if key not in self._matrices:
@@ -174,7 +190,20 @@ class DeferredVerificationEngine:
         if isinstance(x, ProtectedVector):
             x = self.read(x)
         self._read_since_check.add(key)
+        # Resolve at call time so REPRO_BACKEND / active() apply to the
+        # SpMV exactly as they do to the verification kernels.
+        backend = self.backend if self.backend is not None else backends.get_backend()
         if self.policy.should_check():
+            if self.policy.fused_verify and matrix.supports_fused_verify(backend):
+                name = self._matrices.get(key, ("matrix", None))[0]
+                self._read_since_check.discard(key)
+                self._stripe_cursor.pop(key, None)
+                with backends.active(self.backend):
+                    y = fused_matrix_spmv(
+                        matrix, x, self.policy, name=name, out=out, backend=backend
+                    )
+                self._fused_cover.add(key)
+                return y
             with backends.active(self.backend):
                 if self.policy.stripes > 1:
                     self._verify_stripe(matrix)
@@ -183,9 +212,7 @@ class DeferredVerificationEngine:
         elif self.policy.interval:
             matrix.clean_views()  # populate + validate if stale; no-op otherwise
             self.policy.stats.bounds_checks += 1
-        # Resolve at call time so REPRO_BACKEND / active() apply to the
-        # SpMV exactly as they do to the verification kernels.
-        backend = self.backend if self.backend is not None else backends.get_backend()
+            self._fused_cover.discard(key)
         return matrix.matvec_unchecked(x, out=out, backend=backend)
 
     # -- scheduled verification ----------------------------------------
@@ -215,13 +242,26 @@ class DeferredVerificationEngine:
         so any escalating strategy repairs the vector from its
         authoritative cache instead of aborting the window (see
         :meth:`~repro.recover.manager.RecoveryManager.repair_vector`).
+
+        Under fused verification the sweep shrinks to the matrices *not*
+        covered by a fused product: a matrix whose last access was a due
+        fused SpMV had every consumed codeword verified in that very
+        pass, so a flip landing afterwards was never consumed and cannot
+        have tainted the returned solution — re-sweeping it buys nothing
+        (counted in ``stats.sweeps_skipped``).  Any matrix with a
+        non-due access since its last fused product lost that coverage
+        and is swept as usual.
         """
         sweep = self.policy.end_of_step()
         with backends.active(self.backend):
             self._check_vectors(only_read=False, in_sweep=True)
             if not sweep:
                 return
-            for _, matrix in self._matrices.values():
+            for key, (_, matrix) in self._matrices.items():
+                if key in self._fused_cover:
+                    self.policy.stats.sweeps_skipped += 1
+                    self._read_since_check.discard(key)
+                    continue
                 self.verify_matrix(matrix)
 
     def verify_matrix(self, matrix: ProtectedCSRMatrix) -> None:

@@ -65,6 +65,40 @@ def full_matrix_check(
             )
 
 
+def fused_matrix_spmv(
+    matrix: ProtectedCSRMatrix,
+    x: np.ndarray,
+    policy: CheckPolicy,
+    name: str | None = None,
+    out: np.ndarray | None = None,
+    backend=None,
+) -> np.ndarray:
+    """A due SpMV whose matrix check runs fused inside the product.
+
+    The verify-in-SpMV counterpart of :func:`full_matrix_check` followed
+    by ``matvec_unchecked``: every codeword of every region is verified
+    on the gather traffic the product pays for anyway
+    (:meth:`~repro.protect.matrix.ProtectedCSRMatrix.spmv_verified`),
+    with identical accounting — the access counts as a full check plus a
+    ``fused_products`` tick — and the same raise-on-uncorrectable
+    contract.
+    """
+    y, reports = matrix.spmv_verified(
+        x, out=out, correct=policy.correct, backend=backend
+    )
+    policy.stats.full_checks += 1
+    policy.stats.fused_products += 1
+    for region, report in reports.items():
+        policy.stats.corrected += report.n_corrected
+        policy.stats.uncorrectable += report.n_uncorrectable
+        if not report.ok:
+            region_name = f"{name}:{region}" if name else region
+            raise DetectedUncorrectableError(
+                region_name, report.uncorrectable_indices()[:8].tolist()
+            )
+    return y
+
+
 def verify_matrix(
     matrix: ProtectedCSRMatrix, policy: CheckPolicy | None, *, force: bool = False
 ) -> None:

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.base import CHUNK
 from repro.csr.matrix import CSRMatrix
-from repro.csr.spmv import spmv
+from repro.csr.spmv import reduce_rows, spmv
 from repro.ecc.base import CheckReport
 from repro.errors import BoundsViolationError, DetectedUncorrectableError
 from repro.protect.csr_elements import ProtectedCSRElements
@@ -48,6 +49,9 @@ class _UnprotectedElements:
     ) -> CheckReport:
         return CheckReport.all_ok(0)
 
+    def fused_code(self):
+        return None
+
 
 class _UnprotectedRowPointer:
     """Passthrough row pointer (no redundancy embedded)."""
@@ -74,6 +78,12 @@ class _UnprotectedRowPointer:
     def check(
         self, correct: bool = True, window: tuple[int, int] | None = None
     ) -> CheckReport:
+        return CheckReport.all_ok(0)
+
+    def verify_and_clean64(
+        self, out: np.ndarray, correct: bool = True
+    ) -> CheckReport:
+        np.copyto(out, self.raw, casting="same_kind")
         return CheckReport.all_ok(0)
 
 
@@ -123,6 +133,12 @@ class ProtectedCSRMatrix:
         self._ptr_diff: np.ndarray | None = None
         self._views_valid = False
         self._diagonal: np.ndarray | None = None
+        # Persistent SpMV product scratch: per-element products plus one
+        # cache-block gather buffer, so every engine-mediated product
+        # (fused or not) runs allocation-free after warm-up.
+        self._products: np.ndarray | None = None
+        self._gather: np.ndarray | None = None
+        self._row_lengths: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -302,6 +318,14 @@ class ProtectedCSRMatrix:
             self._diagonal = view.diagonal()
         return self._diagonal
 
+    def _spmv_scratch(self) -> tuple[np.ndarray, np.ndarray]:
+        """The persistent (products, gather) SpMV scratch pair."""
+        if self._products is None:
+            self._products = np.empty(self.nnz, dtype=np.float64)
+            self._gather = np.empty(min(CHUNK, max(self.nnz, 1)), dtype=np.float64)
+            self._row_lengths = np.empty(self.n_rows, dtype=np.int64)
+        return self._products, self._gather
+
     def matvec_unchecked(
         self, x: np.ndarray, out: np.ndarray | None = None, backend=None
     ) -> np.ndarray:
@@ -309,9 +333,12 @@ class ProtectedCSRMatrix:
 
         ``backend`` selects the SpMV kernel (a
         :class:`~repro.backends.base.KernelBackend`); ``None`` uses the
-        reference NumPy kernel.
+        reference NumPy kernel.  Either way the gather/multiply runs
+        through the matrix's persistent product scratch, so the inner
+        loop allocates nothing once ``out`` is supplied.
         """
         colidx, rowptr = self.clean_views()
+        products, gather = self._spmv_scratch()
         kernel = spmv if backend is None else backend.spmv
         return kernel(
             self.elements.values,
@@ -320,7 +347,152 @@ class ProtectedCSRMatrix:
             x,
             self.n_rows,
             out=out,
+            products=products,
+            gather=gather,
+            lengths=self._row_lengths,
         )
+
+    def supports_fused_verify(self, backend) -> bool:
+        """True when :meth:`spmv_verified` has a genuine single-pass path.
+
+        Requires a backend implementing ``fused_gather_verify`` and an
+        element scheme whose codeword is one ``(value, colidx)`` pair
+        (secded64).  Other schemes still accept :meth:`spmv_verified` —
+        they verify then multiply through the same persistent buffers —
+        but there is nothing to fuse at the codeword level.
+        """
+        return (
+            self.elements.fused_code() is not None
+            and backend is not None
+            and getattr(backend, "supports_fused_verify", False)
+        )
+
+    def spmv_verified(
+        self,
+        x: np.ndarray,
+        out: np.ndarray | None = None,
+        correct: bool = True,
+        backend=None,
+    ) -> tuple[np.ndarray | None, dict[str, CheckReport]]:
+        """Verify-in-SpMV: check every codeword on the product's own traffic.
+
+        Returns ``(y, reports)`` where ``reports`` maps region name to
+        its :class:`~repro.ecc.base.CheckReport`, exactly like
+        :meth:`check_all` — but the element verification happened *inside*
+        the matrix-vector product: per cache-blocked chunk the backend
+        computes syndromes over the ``(value, index)`` lanes it is about
+        to consume, decodes the clean indices, gathers and multiplies in
+        the same pass.  Chunks that screen dirty detour through the
+        container's correcting cold path and are re-gathered; an
+        uncorrectable codeword yields ``y is None`` with the failure in
+        the report (callers raise, mirroring ``check_or_raise``).
+
+        On success the validated index snapshot is refreshed as a side
+        effect (the fused pass decoded and bounds-checked every index),
+        so follow-up non-due products reuse it with zero extra work.
+
+        Falls back to verify-then-multiply over the same persistent
+        buffers when :meth:`supports_fused_verify` is false for this
+        backend/scheme combination — same results, same reports, two
+        passes instead of one.
+        """
+        if not self.supports_fused_verify(backend):
+            rp_report = self.rowptr_protected.check(correct=correct)
+            reports = {"row_pointer": rp_report}
+            if not rp_report.ok:
+                return None, reports
+            if rp_report.n_corrected:
+                self._views_valid = False
+                self._diagonal = None
+            el_report = self.elements.check(correct=correct)
+            reports["csr_elements"] = el_report
+            if el_report.n_corrected:
+                self._views_valid = False
+                self._diagonal = None
+            if not el_report.ok:
+                return None, reports
+            return self.matvec_unchecked(x, out=out, backend=backend), reports
+
+        el = self.elements
+        products, _ = self._spmv_scratch()
+        if self._col64 is None:
+            self._col64 = np.empty(self.nnz, dtype=np.int64)
+            self._ptr64 = np.empty(self.rowptr_protected.raw.size, dtype=np.int64)
+            self._ptr_diff = np.empty(max(self._ptr64.size - 1, 0), dtype=np.int64)
+        rp_report = self.rowptr_protected.verify_and_clean64(
+            self._ptr64, correct=correct
+        )
+        reports = {"row_pointer": rp_report}
+        if not rp_report.ok:
+            self._views_valid = False
+            self._diagonal = None
+            return None, reports
+        if rp_report.n_corrected:
+            self._diagonal = None
+        ptr = self._ptr64
+        if int(ptr.max(initial=0)) > self.nnz:
+            raise BoundsViolationError("row_pointer")
+        if ptr.size > 1:
+            np.subtract(ptr[1:], ptr[:-1], out=self._ptr_diff)
+            if int(self._ptr_diff.min()) < 0:
+                raise BoundsViolationError("row_pointer")
+
+        bad = backend.fused_gather_verify(
+            el.fused_code(), el.values, el.colidx, x,
+            el.index_mask, self.n_cols, self._col64, products,
+        )
+        reports["csr_elements"] = self._fused_cold_path(bad, x, correct)
+        if not reports["csr_elements"].ok:
+            self._views_valid = False
+            self._diagonal = None
+            return None, reports
+        # Every index was decoded from verified storage and bounds-checked
+        # chunk by chunk: the snapshot this pass filled is the validated one.
+        self._views_valid = True
+        if out is None:
+            out = np.empty(self.n_rows, dtype=np.float64)
+        return reduce_rows(
+            products[: self.nnz], ptr, out, lengths=self._row_lengths
+        ), reports
+
+    def _fused_cold_path(
+        self, bad: list[tuple[int, int]], x: np.ndarray, correct: bool
+    ) -> CheckReport:
+        """Re-check, correct and re-gather the windows a fused pass flagged.
+
+        The fused kernel skips dirty (or out-of-range) chunks wholesale;
+        here each flagged ``[lo, hi)`` window goes through the
+        container's scalar correction path, and — when it comes back
+        trustworthy — its slice of the decoded-index/product buffers is
+        refilled from the corrected storage.  Returns the whole-container
+        element report (compact all-OK when nothing was flagged).
+        """
+        el = self.elements
+        if not bad:
+            return CheckReport.all_ok(el.n_codewords)
+        self._diagonal = None
+        parts: list[CheckReport] = []
+        pos = 0
+        imask = np.int64(el.index_mask)
+        for lo, hi in bad:
+            if lo > pos:
+                parts.append(CheckReport.all_ok(lo - pos))
+            window_report = el.check(correct=correct, window=(lo, hi))
+            parts.append(window_report)
+            pos = hi
+            if not (correct and window_report.ok):
+                continue
+            col = self._col64[lo:hi]
+            np.copyto(col, el.colidx[lo:hi], casting="same_kind")
+            np.bitwise_and(col, imask, out=col)
+            if col.size and (int(col.max()) >= self.n_cols or int(col.min()) < 0):
+                # Corruption aliased to a clean-looking codeword with an
+                # out-of-range index: surface it as the range-check DUE.
+                raise BoundsViolationError("csr_elements")
+            np.multiply(el.values[lo:hi], x[col], out=self._products[lo:hi])
+        if pos < el.n_codewords:
+            parts.append(CheckReport.all_ok(el.n_codewords - pos))
+        return CheckReport.concat(parts)
 
     def reencode_from(self, source: CSRMatrix) -> None:
         """Rebuild stored data *and* redundancy from a pristine source.

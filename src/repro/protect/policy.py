@@ -38,6 +38,10 @@ class PolicyStats:
     dirty_flushes: int = 0
     corrected: int = 0
     uncorrectable: int = 0
+    #: Products whose due check ran fused inside the SpMV itself.
+    fused_products: int = 0
+    #: End-of-step matrix sweeps skipped because fused coverage was current.
+    sweeps_skipped: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -74,6 +78,17 @@ class CheckPolicy:
         a strict generalisation of the paper's interval model
         (``stripes=1`` is exactly §VI.A.2).  The end-of-step sweep is
         always a full check regardless.
+    fused_verify:
+        Run due matrix checks *inside* the SpMV (verify-in-SpMV): the
+        backend screens each codeword on the gather traffic the product
+        already pays for, instead of a separate sweep pass before the
+        multiply.  Detection guarantees are unchanged — every due access
+        still verifies the same codewords — but the engine additionally
+        tracks *consumption coverage*: when the last access of a step
+        verified everything it consumed and nothing was consumed
+        unverified afterwards, the end-of-step sweep skips the matrix
+        regions (they are recorded in ``stats.sweeps_skipped``).
+        Engine-level; the eager kernel path ignores it.
     """
 
     def __init__(
@@ -83,6 +98,7 @@ class CheckPolicy:
         vector_interval: int | None = None,
         defer_writes: bool | None = None,
         stripes: int = 1,
+        fused_verify: bool = False,
     ):
         if interval < 0:
             raise ValueError("interval must be >= 0")
@@ -99,6 +115,7 @@ class CheckPolicy:
         if defer_writes is None:
             defer_writes = self.vector_interval > 1
         self.defer_writes = bool(defer_writes)
+        self.fused_verify = bool(fused_verify)
         self._access = 0
         self._vector_access = 0
         self._stripe_pos = 0
@@ -155,5 +172,6 @@ class CheckPolicy:
         return (
             f"CheckPolicy(interval={self.interval}, correct={self.correct}, "
             f"vector_interval={self.vector_interval}, "
-            f"defer_writes={self.defer_writes}, stripes={self.stripes})"
+            f"defer_writes={self.defer_writes}, stripes={self.stripes}, "
+            f"fused_verify={self.fused_verify})"
         )

@@ -107,6 +107,23 @@ class ProtectedRowPointer:
             np.bitwise_and(tail, np.int64(_LOW31), out=tail)
         return out
 
+    def verify_and_clean64(
+        self, out: np.ndarray, correct: bool = True
+    ) -> CheckReport:
+        """Check the whole container, then decode into ``out`` if trustworthy.
+
+        The fused SpMV's row-pointer step: the row pointer is tiny next
+        to the element lanes (``group`` entries per codeword), so
+        "fusing" it means one sweep check immediately followed by the
+        widened decode the product consumes — skipping the decode when
+        the check found uncorrectable damage.  Returns the check report;
+        ``out`` is only valid when ``report.ok``.
+        """
+        report = self.check(correct=correct)
+        if report.ok:
+            self.clean64(out)
+        return report
+
     # ------------------------------------------------------------------
     def _lanes_synced(self, glo: int = 0, ghi: int | None = None) -> np.ndarray:
         """Persistent grouped-codeword lanes for groups ``[glo, ghi)``."""

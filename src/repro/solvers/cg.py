@@ -129,7 +129,7 @@ def protected_cg_run(
     )
     engine = ctx.engine
     x = ctx.wrap(np.zeros(ctx.n) if x0 is None else x0, "x")
-    r0 = b - matrix.matvec_unchecked(ctx.read(x))
+    r0 = b - ctx.initial_spmv(ctx.read(x))
     r = ctx.wrap(r0, "r")
     p = ctx.wrap(r0, "p")
     rr = float(np.dot(ctx.read(r), ctx.read(r)))
@@ -142,7 +142,7 @@ def protected_cg_run(
             while not converged and it < max_iters:
                 ctx.begin_iteration()
                 p_val = ctx.read(p)
-                w = ctx.spmv(p_val)
+                w = ctx.spmv(p_val, out=ctx.spmv_out())
                 pw = float(np.dot(p_val, w))
                 if pw == 0.0:
                     break

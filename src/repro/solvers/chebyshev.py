@@ -135,8 +135,10 @@ def protected_chebyshev_run(
         session=session,
     )
     if eig_min is None or eig_max is None:
-        # Estimate over the just-verified clean views — no whole-matrix
-        # to_csr() decode, the estimate only needs matvec.
+        # Estimate over just-verified clean views — no whole-matrix
+        # to_csr() decode, the estimate only needs matvec.  Fused solves
+        # defer the up-front sweep, so force it before decoding here.
+        ctx.ensure_verified()
         eig_min, eig_max = estimate_eigenvalue_bounds(
             LinearOperator(matrix.matvec_unchecked, matrix.n_rows, matrix.diagonal)
         )
@@ -146,7 +148,7 @@ def protected_chebyshev_run(
     delta = (eig_max - eig_min) / 2.0
     sigma = theta / delta
     x = ctx.wrap(np.zeros(ctx.n) if x0 is None else x0, "x")
-    r_val = b - matrix.matvec_unchecked(ctx.read(x))
+    r_val = b - ctx.initial_spmv(ctx.read(x))
     norms = [float(np.linalg.norm(r_val))]
     converged = norms[0] ** 2 < eps
     rho = 1.0 / sigma

@@ -81,9 +81,13 @@ def protected_jacobi_run(
         matrix, policy=policy, engine=engine, vector_scheme=vector_scheme,
         session=session,
     )
+    # The whole solve iterates against this one decoded diagonal, so a
+    # fused schedule (which defers the up-front sweep) must verify
+    # storage before it is read.
+    ctx.ensure_verified()
     d_inv = 1.0 / matrix.diagonal()
     x = ctx.wrap(np.zeros(ctx.n) if x0 is None else x0, "x")
-    r_val = b - matrix.matvec_unchecked(ctx.read(x))
+    r_val = b - ctx.initial_spmv(ctx.read(x))
     r = ctx.wrap(r_val, "r")
     norms = [float(np.linalg.norm(r_val))]
     converged = norms[0] ** 2 < eps

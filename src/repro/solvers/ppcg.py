@@ -130,15 +130,17 @@ def protected_ppcg_run(
         session=session,
     )
     if eig_bounds is None:
-        # Estimate over the just-verified clean views — no whole-matrix
-        # to_csr() decode, the estimate only needs matvec.
+        # Estimate over just-verified clean views — no whole-matrix
+        # to_csr() decode, the estimate only needs matvec.  Fused solves
+        # defer the up-front sweep, so force it before decoding here.
+        ctx.ensure_verified()
         eig_bounds = estimate_eigenvalue_bounds(
             LinearOperator(matrix.matvec_unchecked, matrix.n_rows, matrix.diagonal)
         )
     eig_min, eig_max = eig_bounds
     M = _ChebyshevPolyPreconditioner(ctx.spmv, eig_min, eig_max, inner_steps)
     x = ctx.wrap(np.zeros(ctx.n) if x0 is None else x0, "x")
-    r0 = b - matrix.matvec_unchecked(ctx.read(x))
+    r0 = b - ctx.initial_spmv(ctx.read(x))
     z0 = M.apply(r0)
     r = ctx.wrap(r0, "r")
     p = ctx.wrap(z0, "p")

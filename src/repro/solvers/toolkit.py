@@ -44,6 +44,7 @@ import dataclasses
 
 import numpy as np
 
+from repro import backends
 from repro.errors import BoundsViolationError, ConfigurationError
 from repro.protect.engine import DeferredVerificationEngine
 from repro.protect.kernels import verify_matrix
@@ -139,6 +140,17 @@ class ProtectedIteration:
         self.session = session
         self._state: list[ProtectedVector] = []
         self._named_state: list[tuple[str, ProtectedVector]] = []
+        self._spmv_out: np.ndarray | None = None
+        #: True when due matrix checks run fused inside the engine's SpMVs.
+        #: Requires both the policy knob and a matrix/backend pair that
+        #: supports the fused kernel — non-fusible schemes (sed, crc32c,
+        #: secded128) keep the classic schedule, including the up-front
+        #: forced sweep below.
+        self.fused = self.policy.fused_verify and matrix.supports_fused_verify(
+            self.engine.backend
+            if self.engine.backend is not None
+            else backends.get_backend()
+        )
         self.recovery = self.engine.recovery
         if self.recovery is not None:
             self.recovery.begin_solve()
@@ -151,8 +163,20 @@ class ProtectedIteration:
             dataclasses.replace(self.recovery.stats)
             if self.recovery is not None else None
         )
+        # Fused solves without recovery skip the up-front forced sweep:
+        # the first due engine product (access 0) verifies every codeword
+        # it consumes *before* anything derived from the matrix escapes,
+        # so the sweep would only re-read storage the fused kernel is
+        # about to verify anyway.  With recovery attached the sweep
+        # stays — the pristine to_csr() source below must be decoded
+        # from verified-clean storage.
+        skip_init = (
+            self.policy.interval != 0 and self.fused and self.recovery is None
+        )
+        self._init_check_skipped = skip_init
         try:
-            verify_matrix(matrix, self.policy, force=self.policy.interval != 0)
+            if not skip_init:
+                verify_matrix(matrix, self.policy, force=self.policy.interval != 0)
         except RECOVERABLE_ERRORS as exc:
             # Corruption that predates the solve.  Repairable only from
             # an application-held (persistent) source — the campaign's
@@ -219,6 +243,47 @@ class ProtectedIteration:
     def spmv(self, x, out: np.ndarray | None = None) -> np.ndarray:
         """``A @ x`` on the context's matrix through the engine schedule."""
         return self.engine.spmv(self.matrix, x, out=out)
+
+    def spmv_out(self) -> np.ndarray:
+        """The context's persistent SpMV result buffer.
+
+        For products whose result is consumed within the iteration (CG's
+        ``w = A p``): pass as ``out=`` so the engine's inner loop never
+        allocates.  One buffer per context — don't use it for two
+        overlapping products.
+        """
+        if self._spmv_out is None:
+            self._spmv_out = np.empty(self.n, dtype=np.float64)
+        return self._spmv_out
+
+    def ensure_verified(self) -> None:
+        """Force the up-front matrix sweep if the fused schedule skipped it.
+
+        Fused solves defer initial verification to their first due
+        engine product — sound for solvers whose first matrix
+        consumption *is* an engine product, but anything decoded outside
+        the engine beforehand (eigenvalue estimation over the clean
+        views) must run this first so it never reads unverified storage.
+        No-op when the up-front sweep already ran.
+        """
+        if not self._init_check_skipped:
+            return
+        self._init_check_skipped = False
+        verify_matrix(self.matrix, self.policy, force=True)
+
+    def initial_spmv(self, x, out: np.ndarray | None = None) -> np.ndarray:
+        """The residual-seeding product ``A @ x0``, verification-aware.
+
+        Fused solves route it through the engine so the very first
+        matrix consumption is a verified (due) fused product — this is
+        what lets the up-front forced sweep be skipped.  Non-fused
+        solves keep the historical behaviour: the up-front sweep already
+        verified storage, so the seed product is a plain
+        ``matvec_unchecked`` that does not advance the check schedule.
+        """
+        if self.fused:
+            return self.engine.spmv(self.matrix, x, out=out)
+        return self.matrix.matvec_unchecked(x, out=out)
 
     def finish(self) -> None:
         """End-of-solve: the mandatory sweep, then release the transients.
@@ -333,6 +398,8 @@ class ProtectedIteration:
             "deferred_stores": stats.deferred_stores - base.deferred_stores,
             "dirty_flushes": stats.dirty_flushes - base.dirty_flushes,
             "corrected": stats.corrected - base.corrected,
+            "fused_products": stats.fused_products - base.fused_products,
+            "sweeps_skipped": stats.sweeps_skipped - base.sweeps_skipped,
             "vector_scheme": self.vector_scheme,
         }
         if self.recovery is not None:

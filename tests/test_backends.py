@@ -194,6 +194,44 @@ class TestNumbaParity:  # pragma: no cover - exercised only with numba
         )
         assert np.allclose(got, expect)
 
+    def test_fused_gather_verify_matches_numpy(self):
+        """Same flagged windows, decoded indices and products, clean or
+        corrupt, as the numpy_fused verify-in-SpMV primitive."""
+        numba_backend = backends.get_backend("numba")
+        fused = backends.get_backend("numpy_fused")
+        assert numba_backend.supports_fused_verify
+        matrix = make_matrix(n=16)
+        x = np.random.default_rng(5).standard_normal(matrix.n_cols)
+        for flip in (None, 100):
+            pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+            if flip is not None:
+                f64_to_u64(pmat.values)[flip] ^= np.uint64(1) << np.uint64(31)
+            el = pmat.elements
+            results = []
+            for backend in (fused, numba_backend):
+                col64 = np.zeros(pmat.nnz, dtype=np.int64)
+                products = np.zeros(pmat.nnz, dtype=np.float64)
+                bad = backend.fused_gather_verify(
+                    el.fused_code(), el.values, el.colidx, x,
+                    el.index_mask, pmat.n_cols, col64, products,
+                )
+                results.append((bad, col64, products))
+            assert results[0][0] == results[1][0]
+            assert (results[0][0] == []) == (flip is None)
+            assert np.array_equal(results[0][1], results[1][1])
+            assert np.array_equal(results[0][2], results[1][2])
+
+    def test_fused_solve_matches_numpy_backend(self):
+        matrix = make_matrix()
+        x = np.random.default_rng(9).standard_normal(matrix.n_cols)
+        results = {}
+        for name in ("numpy_fused", "numba"):
+            pmat = ProtectedCSRMatrix(matrix, "secded64", "secded64")
+            y, reports = pmat.spmv_verified(x, backend=backends.get_backend(name))
+            assert reports["csr_elements"].ok
+            results[name] = y
+        assert np.array_equal(results["numpy_fused"], results["numba"])
+
 
 class TestAllocationFreeChecks:
     def test_persistent_lane_buffer_identity(self):
@@ -251,6 +289,7 @@ class TestStripedVerification:
         config = ProtectionConfig(
             element_scheme=scheme, rowptr_scheme=scheme,
             interval=interval, correct=False, stripes=n_stripes,
+            fused_verify=False,  # this test exercises the striped sweep path
         )
         engine = config.engine()
         x = np.ones(matrix.n_cols)
@@ -311,6 +350,7 @@ class TestStripedVerification:
         config = ProtectionConfig(
             element_scheme="secded64", rowptr_scheme="secded64",
             interval=1000, correct=False, stripes=8,
+            fused_verify=False,  # fused coverage would legitimately skip it
         )
         engine = config.engine()
         engine.spmv(pmat, np.ones(matrix.n_cols))
