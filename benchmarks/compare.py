@@ -6,8 +6,9 @@ regressed by more than the threshold.  With no flags, two gates run:
 
 * ``benchmarks/BENCH_t1.json`` gates the ``t1-full-protection*``
   deferred-verification solves, the ``t1-check-throughput*``
-  verification-pipeline microbenchmarks and the ``t1-fused-verify*``
-  verify-in-SpMV kernels at 20 %;
+  verification-pipeline microbenchmarks, the ``t1-fused-verify*``
+  verify-in-SpMV kernels and the ``t1-block`` blocked multi-RHS solves
+  at 20 %;
 * ``benchmarks/BENCH_serve.json`` gates the ``t1-serve*`` serving-layer
   benchmarks at 50 % — client-observed latency includes batch windows
   and thread scheduling, so it is inherently noisier than kernel time;
@@ -39,7 +40,8 @@ DIST_BASELINE = pathlib.Path(__file__).parent / "BENCH_dist.json"
 #: Gated by default: the headline deferred-verification solves AND the
 #: verification-pipeline microbenchmarks (codewords/sec of a SECDED
 #: check), so kernel regressions are caught independently of solver noise.
-DEFAULT_GROUPS = ("t1-full-protection*", "t1-check-throughput*", "t1-fused-verify*")
+DEFAULT_GROUPS = ("t1-full-protection*", "t1-check-throughput*",
+                  "t1-fused-verify*", "t1-block")
 #: (baseline, group globs, threshold) triples run when no flags are given.
 DEFAULT_GATES = (
     (DEFAULT_BASELINE, DEFAULT_GROUPS, 0.20),

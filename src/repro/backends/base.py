@@ -71,6 +71,13 @@ class KernelBackend:
     #: work — the protected matrices fall back to check-then-multiply.
     supports_fused_verify = False
 
+    #: True when the backend implements :meth:`fused_gather_verify_multi`
+    #: (and :meth:`spmm`), the blocked multi-RHS variants that verify
+    #: each codeword chunk once per ``k`` products.  Backends without
+    #: them still serve blocked solves — the protected matrices fall
+    #: back to check-then-multiply over the whole block.
+    supports_fused_verify_multi = False
+
     def syndrome_into(self, code, lanes, syn, parity) -> None:
         """Fill ``syn`` (uint16) and ``parity`` (uint8) per codeword."""
         raise NotImplementedError
@@ -99,6 +106,35 @@ class KernelBackend:
         n_rows-sized int64); backends that gather or reduce through
         temporaries use them to keep the inner loop allocation-free.
         Compiled backends whose loops are scalar may ignore them.
+        """
+        raise NotImplementedError
+
+    def spmm(
+        self, values, colidx, rowptr, X, n_rows,
+        out=None, products=None, tile=None, lengths=None,
+    ):
+        """Blocked CSR product over a ``(k, n_cols)`` RHS block.
+
+        Mirrors :func:`repro.csr.spmv.spmm`: one right-hand side per row
+        of ``X``, result ``(k, n_rows)``.  ``products`` (``(k, nnz)``
+        float64), ``tile`` (flat ``k * chunk`` float64) and ``lengths``
+        (n_rows int64) are optional caller-owned scratch; row ``j`` of
+        the result must be bitwise identical to :meth:`spmv` on
+        ``X[j]``.
+        """
+        raise NotImplementedError
+
+    def fused_gather_verify_multi(
+        self, code, values, colidx, X, index_mask, n_cols, col64, products, tile
+    ):
+        """Blocked :meth:`fused_gather_verify`: one screen per chunk, k gathers.
+
+        Identical syndrome screen, decode and bounds check as the
+        single-RHS primitive, but each clean chunk gathers all ``k``
+        rows of ``X`` through a contiguous ``(k, chunk)`` view of the
+        flat ``tile`` scratch into ``products[:, lo:hi]`` — the SECDED
+        verification cost is paid once and amortized over ``k``
+        products.  Returns the same ``[lo, hi)`` dirty-window list.
         """
         raise NotImplementedError
 

@@ -102,6 +102,49 @@ if HAS_NUMBA:  # pragma: no cover - compiled/exercised only with numba
             out[row] = acc
 
     @numba.njit(cache=True, parallel=True)
+    def _spmm(values, colidx, rowptr, X, out):
+        k = X.shape[0]
+        for row in numba.prange(out.shape[1]):
+            for j in range(k):
+                acc = 0.0
+                for p in range(rowptr[row], rowptr[row + 1]):
+                    acc += values[p] * X[j, colidx[p]]
+                out[j, row] = acc
+
+    @numba.njit(cache=True, parallel=True)
+    def _fused_gather_verify_multi(
+        values, vwords, colidx, X, full_masks, all_mask,
+        index_mask, n_cols, col64, products, chunk, bad_counts,
+    ):
+        nnz = values.size
+        m = full_masks.shape[0]
+        k = X.shape[0]
+        for c in numba.prange(bad_counts.size):
+            lo = c * chunk
+            hi = min(lo + chunk, nnz)
+            bad = 0
+            for i in range(lo, hi):
+                v = vwords[i]
+                y = np.uint64(colidx[i])
+                s = np.uint16(0)
+                for j in range(m):
+                    fold = (v & full_masks[j, 0]) ^ (y & full_masks[j, 1])
+                    s |= np.uint16(_parity64(fold)) << np.uint16(j)
+                fold = (v & all_mask[0]) ^ (y & all_mask[1])
+                if s != np.uint16(0) or _parity64(fold) != np.uint8(0):
+                    bad += 1
+                    continue
+                col = np.int64(y & index_mask)
+                if col >= n_cols:
+                    bad += 1
+                    continue
+                col64[i] = col
+                # One syndrome per element, k products off it.
+                for j in range(k):
+                    products[j, i] = values[i] * X[j, col]
+            bad_counts[c] = bad
+
+    @numba.njit(cache=True, parallel=True)
     def _fused_gather_verify(
         values, vwords, colidx, x, full_masks, all_mask,
         index_mask, n_cols, col64, products, chunk, bad_counts,
@@ -138,6 +181,7 @@ class NumbaBackend(KernelBackend):
     name = "numba"
     available = HAS_NUMBA
     supports_fused_verify = HAS_NUMBA
+    supports_fused_verify_multi = HAS_NUMBA
 
     def __init__(self):  # pragma: no cover - needs numba
         if not HAS_NUMBA:
@@ -175,6 +219,35 @@ class NumbaBackend(KernelBackend):
         bad_counts = np.zeros(n_chunks, dtype=np.int64)
         _fused_gather_verify(
             values, values.view(np.uint64), colidx, x,
+            code._full_masks, code._all_mask,
+            np.uint64(index_mask), np.int64(n_cols),
+            col64, products, np.int64(chunk), bad_counts,
+        )
+        return [
+            (c * chunk, min(c * chunk + chunk, values.size))
+            for c in np.flatnonzero(bad_counts)
+        ]
+
+    def spmm(self, values, colidx, rowptr, X, n_rows,
+             out=None, products=None, tile=None,
+             lengths=None):  # pragma: no cover
+        # Scalar per (row, rhs) accumulation; the tile/products scratch
+        # buffers are unnecessary and ignored.
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if out is None:
+            out = np.empty((X.shape[0], n_rows), dtype=np.float64)
+        _spmm(values, np.asarray(colidx, dtype=np.int64),
+              np.asarray(rowptr, dtype=np.int64), X, out)
+        return out
+
+    def fused_gather_verify_multi(
+        self, code, values, colidx, X, index_mask, n_cols, col64, products, tile
+    ):  # pragma: no cover
+        chunk = code.scratch.chunk
+        n_chunks = max(1, -(-values.size // chunk))
+        bad_counts = np.zeros(n_chunks, dtype=np.int64)
+        _fused_gather_verify_multi(
+            values, values.view(np.uint64), colidx, X,
             code._full_masks, code._all_mask,
             np.uint64(index_mask), np.int64(n_cols),
             col64, products, np.int64(chunk), bad_counts,

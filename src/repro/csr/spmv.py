@@ -101,6 +101,84 @@ def spmv(
     return reduce_rows(products, rowptr, out, lengths=lengths)
 
 
+def reduce_rows_multi(
+    products: np.ndarray,
+    rowptr: np.ndarray,
+    out: np.ndarray,
+    lengths: np.ndarray | None = None,
+) -> np.ndarray:
+    """Row-segment sums of a ``(k, nnz)`` product block into ``(k, n_rows)``.
+
+    The multi-RHS twin of :func:`reduce_rows`: ``np.add.reduceat`` along
+    ``axis=1`` performs the identical left-to-right segment sum per row
+    of the block, so column ``j`` of the result is bitwise equal to a
+    single-RHS :func:`reduce_rows` over ``products[j]``.  Empty matrix
+    rows are masked exactly as in the 1-D kernel.
+    """
+    starts = rowptr[:-1]
+    if lengths is None:
+        lengths = rowptr[1:] - starts
+    else:
+        np.subtract(rowptr[1:], starts, out=lengths)
+    if int(lengths.min(initial=1)) > 0:
+        np.add.reduceat(products, starts, axis=1, out=out)
+    else:
+        nonempty = lengths > 0
+        out[:] = 0.0
+        out[:, nonempty] = np.add.reduceat(products, starts[nonempty], axis=1)
+    return out
+
+
+def spmm(
+    values: np.ndarray,
+    colidx: np.ndarray,
+    rowptr: np.ndarray,
+    X: np.ndarray,
+    n_rows: int,
+    out: np.ndarray | None = None,
+    products: np.ndarray | None = None,
+    tile: np.ndarray | None = None,
+    lengths: np.ndarray | None = None,
+) -> np.ndarray:
+    """Blocked CSR product ``A @ X.T`` for a ``(k, n_cols)`` RHS block.
+
+    ``X`` holds one right-hand side per *row* (C-contiguous, so each
+    system's vector is a contiguous slab); the result is ``(k, n_rows)``
+    in the same layout.  ``products`` (``(k, nnz)`` float64) and ``tile``
+    (flat ``k * chunk`` float64) are optional caller-owned scratch: with
+    them the gather runs chunk-by-chunk through ``np.take(..., axis=1)``
+    into contiguous tile views and the product allocates nothing
+    proportional to the matrix.  Row ``j`` of the result is bitwise
+    identical to :func:`spmv` on ``X[j]`` — the gather/multiply is the
+    same elementwise arithmetic and the reduction goes through
+    :func:`reduce_rows_multi`.
+    """
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    k = X.shape[0]
+    if out is None:
+        out = np.zeros((k, n_rows), dtype=np.float64)
+    if values.size == 0:
+        out[:] = 0.0
+        return out
+    if colidx.dtype != np.int64:
+        colidx = colidx.astype(np.int64)
+    if rowptr.dtype != np.int64:
+        rowptr = rowptr.astype(np.int64)
+    if products is None or tile is None:
+        products = values[None, :] * X[:, colidx]
+    else:
+        chunk = tile.size // k
+        for lo in range(0, values.size, chunk):
+            hi = min(lo + chunk, values.size)
+            t = tile[: k * (hi - lo)].reshape(k, hi - lo)
+            # mode="clip" skips numpy's internal bounce buffer; callers
+            # pass validated (bounds-checked) snapshot indices here.
+            np.take(X, colidx[lo:hi], axis=1, out=t, mode="clip")
+            np.multiply(values[lo:hi], t, out=products[:, lo:hi])
+        products = products[:, : values.size]
+    return reduce_rows_multi(products, rowptr, out, lengths=lengths)
+
+
 def spmv_fixed_width(
     values: np.ndarray,
     colidx: np.ndarray,

@@ -28,7 +28,7 @@ from repro.protect.base import (
     column_limit,
     rowptr_value_limit,
 )
-from repro.protect.vector import ProtectedVector
+from repro.protect.vector import ProtectedBlockVector, ProtectedVector
 from repro.protect.csr_elements import ProtectedCSRElements
 from repro.protect.row_pointer import ProtectedRowPointer
 from repro.protect.matrix import ProtectedCSRMatrix
@@ -53,6 +53,7 @@ __all__ = [
     "column_limit",
     "rowptr_value_limit",
     "ProtectedVector",
+    "ProtectedBlockVector",
     "ProtectedCSRElements",
     "ProtectedRowPointer",
     "ProtectedCSRMatrix",

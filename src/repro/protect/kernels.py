@@ -99,6 +99,39 @@ def fused_matrix_spmv(
     return y
 
 
+def fused_matrix_spmm(
+    matrix: ProtectedCSRMatrix,
+    X: np.ndarray,
+    policy: CheckPolicy,
+    name: str | None = None,
+    out: np.ndarray | None = None,
+    backend=None,
+) -> np.ndarray:
+    """A due blocked SpMV whose matrix check runs fused inside the product.
+
+    The multi-RHS twin of :func:`fused_matrix_spmv`: every codeword is
+    verified once and its decoded element feeds all ``k`` products
+    (:meth:`~repro.protect.matrix.ProtectedCSRMatrix.spmv_verified_multi`).
+    Accounting and the raise-on-uncorrectable contract are identical —
+    one full check plus one ``fused_products`` tick per blocked product,
+    matching a single-RHS due access.
+    """
+    y, reports = matrix.spmv_verified_multi(
+        X, out=out, correct=policy.correct, backend=backend
+    )
+    policy.stats.full_checks += 1
+    policy.stats.fused_products += 1
+    for region, report in reports.items():
+        policy.stats.corrected += report.n_corrected
+        policy.stats.uncorrectable += report.n_uncorrectable
+        if not report.ok:
+            region_name = f"{name}:{region}" if name else region
+            raise DetectedUncorrectableError(
+                region_name, report.uncorrectable_indices()[:8].tolist()
+            )
+    return y
+
+
 def verify_matrix(
     matrix: ProtectedCSRMatrix, policy: CheckPolicy | None, *, force: bool = False
 ) -> None:

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.backends.base import CHUNK
 from repro.csr.matrix import CSRMatrix
-from repro.csr.spmv import reduce_rows, spmv
+from repro.csr.spmv import reduce_rows, reduce_rows_multi, spmm, spmv
 from repro.ecc.base import CheckReport
 from repro.errors import BoundsViolationError, DetectedUncorrectableError
 from repro.protect.csr_elements import ProtectedCSRElements
@@ -139,6 +139,11 @@ class ProtectedCSRMatrix:
         self._products: np.ndarray | None = None
         self._gather: np.ndarray | None = None
         self._row_lengths: np.ndarray | None = None
+        # Blocked multi-RHS scratch, keyed by the block width k so a
+        # session serving one batch size reuses the same buffers.
+        self._products2d: np.ndarray | None = None
+        self._tile2d: np.ndarray | None = None
+        self._block_k = 0
 
     # ------------------------------------------------------------------
     @property
@@ -352,6 +357,50 @@ class ProtectedCSRMatrix:
             lengths=self._row_lengths,
         )
 
+    def _spmm_scratch(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The persistent ``(products2d, tile)`` blocked-SpMV scratch pair.
+
+        Reallocated only when the block width ``k`` changes, so a worker
+        serving a steady batch size runs allocation-free after warm-up.
+        The tile is flat ``k * chunk`` — per-chunk contiguous ``(k, n)``
+        views of it keep ``np.take(..., axis=1, out=)`` on NumPy's
+        non-buffering path.
+        """
+        if self._products2d is None or self._block_k != k:
+            self._products2d = np.empty((k, self.nnz), dtype=np.float64)
+            self._tile2d = np.empty(
+                k * min(CHUNK, max(self.nnz, 1)), dtype=np.float64
+            )
+            self._block_k = k
+        if self._row_lengths is None:
+            self._row_lengths = np.empty(self.n_rows, dtype=np.int64)
+        return self._products2d, self._tile2d
+
+    def matvec_multi_unchecked(
+        self, X: np.ndarray, out: np.ndarray | None = None, backend=None
+    ) -> np.ndarray:
+        """Blocked SpMV on the validated snapshot, no integrity verification.
+
+        ``X`` is ``(k, n_cols)`` — one right-hand side per row.  Row
+        ``j`` of the result is bitwise identical to
+        :meth:`matvec_unchecked` on ``X[j]`` (same gather arithmetic,
+        same left-to-right row reduction).
+        """
+        colidx, rowptr = self.clean_views()
+        products, tile = self._spmm_scratch(X.shape[0])
+        kernel = spmm if backend is None else backend.spmm
+        return kernel(
+            self.elements.values,
+            colidx,
+            rowptr,
+            X,
+            self.n_rows,
+            out=out,
+            products=products,
+            tile=tile,
+            lengths=self._row_lengths,
+        )
+
     def supports_fused_verify(self, backend) -> bool:
         """True when :meth:`spmv_verified` has a genuine single-pass path.
 
@@ -366,6 +415,102 @@ class ProtectedCSRMatrix:
             and backend is not None
             and getattr(backend, "supports_fused_verify", False)
         )
+
+    def supports_fused_verify_multi(self, backend) -> bool:
+        """True when :meth:`spmv_verified_multi` has a single-pass path.
+
+        Same scheme requirement as :meth:`supports_fused_verify` plus a
+        backend implementing ``fused_gather_verify_multi``.  Without it,
+        blocked products still verify — check-then-multiply over the
+        whole block, two passes instead of one.
+        """
+        return (
+            self.elements.fused_code() is not None
+            and backend is not None
+            and getattr(backend, "supports_fused_verify_multi", False)
+        )
+
+    def spmv_verified_multi(
+        self,
+        X: np.ndarray,
+        out: np.ndarray | None = None,
+        correct: bool = True,
+        backend=None,
+    ) -> tuple[np.ndarray | None, dict[str, CheckReport]]:
+        """Blocked verify-in-SpMV: one codeword screen amortized over k products.
+
+        The multi-RHS twin of :meth:`spmv_verified`: ``X`` is
+        ``(k, n_cols)`` and the result ``(k, n_rows)``.  Each
+        cache-blocked ``(value, colidx)`` codeword chunk is syndromed
+        **once**, then gathered and multiplied against all ``k``
+        right-hand sides — the verification cost of a single-RHS fused
+        product buys ``k`` verified products.  Row ``j`` of the result
+        is bitwise identical to :meth:`spmv_verified` on ``X[j]`` (same
+        screen decisions, same gather arithmetic, same row reduction).
+        Dirty windows detour through the same scalar correction path;
+        uncorrectable codewords yield ``y is None`` with the failure in
+        the report.
+        """
+        if not self.supports_fused_verify_multi(backend):
+            rp_report = self.rowptr_protected.check(correct=correct)
+            reports = {"row_pointer": rp_report}
+            if not rp_report.ok:
+                return None, reports
+            if rp_report.n_corrected:
+                self._views_valid = False
+                self._diagonal = None
+            el_report = self.elements.check(correct=correct)
+            reports["csr_elements"] = el_report
+            if el_report.n_corrected:
+                self._views_valid = False
+                self._diagonal = None
+            if not el_report.ok:
+                return None, reports
+            return self.matvec_multi_unchecked(X, out=out, backend=backend), reports
+
+        el = self.elements
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        k = X.shape[0]
+        products, tile = self._spmm_scratch(k)
+        if self._col64 is None:
+            self._col64 = np.empty(self.nnz, dtype=np.int64)
+            self._ptr64 = np.empty(self.rowptr_protected.raw.size, dtype=np.int64)
+            self._ptr_diff = np.empty(max(self._ptr64.size - 1, 0), dtype=np.int64)
+        rp_report = self.rowptr_protected.verify_and_clean64(
+            self._ptr64, correct=correct
+        )
+        reports = {"row_pointer": rp_report}
+        if not rp_report.ok:
+            self._views_valid = False
+            self._diagonal = None
+            return None, reports
+        if rp_report.n_corrected:
+            self._diagonal = None
+        ptr = self._ptr64
+        if int(ptr.max(initial=0)) > self.nnz:
+            raise BoundsViolationError("row_pointer")
+        if ptr.size > 1:
+            np.subtract(ptr[1:], ptr[:-1], out=self._ptr_diff)
+            if int(self._ptr_diff.min()) < 0:
+                raise BoundsViolationError("row_pointer")
+
+        bad = backend.fused_gather_verify_multi(
+            el.fused_code(), el.values, el.colidx, X,
+            el.index_mask, self.n_cols, self._col64, products, tile,
+        )
+        reports["csr_elements"] = self._fused_cold_path_multi(bad, X, correct)
+        if not reports["csr_elements"].ok:
+            self._views_valid = False
+            self._diagonal = None
+            return None, reports
+        # Every index was decoded from verified storage and bounds-checked
+        # chunk by chunk: the snapshot this pass filled is the validated one.
+        self._views_valid = True
+        if out is None:
+            out = np.empty((k, self.n_rows), dtype=np.float64)
+        return reduce_rows_multi(
+            products[:, : self.nnz], ptr, out, lengths=self._row_lengths
+        ), reports
 
     def spmv_verified(
         self,
@@ -490,6 +635,44 @@ class ProtectedCSRMatrix:
                 # out-of-range index: surface it as the range-check DUE.
                 raise BoundsViolationError("csr_elements")
             np.multiply(el.values[lo:hi], x[col], out=self._products[lo:hi])
+        if pos < el.n_codewords:
+            parts.append(CheckReport.all_ok(el.n_codewords - pos))
+        return CheckReport.concat(parts)
+
+    def _fused_cold_path_multi(
+        self, bad: list[tuple[int, int]], X: np.ndarray, correct: bool
+    ) -> CheckReport:
+        """The blocked twin of :meth:`_fused_cold_path`.
+
+        Same window re-check and correction; the repaired slices of the
+        product block are refilled for all ``k`` right-hand sides with
+        one broadcast multiply per window.
+        """
+        el = self.elements
+        if not bad:
+            return CheckReport.all_ok(el.n_codewords)
+        self._diagonal = None
+        parts: list[CheckReport] = []
+        pos = 0
+        imask = np.int64(el.index_mask)
+        for lo, hi in bad:
+            if lo > pos:
+                parts.append(CheckReport.all_ok(lo - pos))
+            window_report = el.check(correct=correct, window=(lo, hi))
+            parts.append(window_report)
+            pos = hi
+            if not (correct and window_report.ok):
+                continue
+            col = self._col64[lo:hi]
+            np.copyto(col, el.colidx[lo:hi], casting="same_kind")
+            np.bitwise_and(col, imask, out=col)
+            if col.size and (int(col.max()) >= self.n_cols or int(col.min()) < 0):
+                # Corruption aliased to a clean-looking codeword with an
+                # out-of-range index: surface it as the range-check DUE.
+                raise BoundsViolationError("csr_elements")
+            np.multiply(
+                el.values[lo:hi], X[:, col], out=self._products2d[:, lo:hi]
+            )
         if pos < el.n_codewords:
             parts.append(CheckReport.all_ok(el.n_codewords - pos))
         return CheckReport.concat(parts)

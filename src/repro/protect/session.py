@@ -131,6 +131,9 @@ class ProtectionSession:
         """
         from repro.solvers.registry import get_method, run_plain
 
+        if b is not None and np.ndim(b) == 2:
+            return self._solve_block(A, b, x0, method=method, eps=eps,
+                                     max_iters=max_iters, **kwargs)
         runner = get_method(method)
         if self.engine is None:
             return run_plain(runner, A, b, x0, eps=eps, max_iters=max_iters, **kwargs)
@@ -140,6 +143,40 @@ class ProtectionSession:
                 pmat, b, x0, eps=eps, max_iters=max_iters,
                 engine=self.engine, vector_scheme=self.config.vector_scheme,
                 session=self, **kwargs,
+            )
+        except (DetectedUncorrectableError, BoundsViolationError):
+            self._release_all()
+            raise
+
+    def _solve_block(self, A, B, X0=None, *, method="cg", eps=1e-15,
+                     max_iters=10_000, **kwargs):
+        """Route a 2-D RHS block through the session's engine.
+
+        Mirrors :meth:`solve`: the blocked CG runner shares the session
+        engine (sweep deferred to :meth:`end_step`), anything the blocked
+        runner cannot take falls back to sequential per-column solves
+        under this same session, and an aborting integrity error releases
+        the whole deferral window before re-raising.
+        """
+        from repro.solvers.block import (
+            _sequential_block,
+            block_cg_solve,
+            block_solve_enabled,
+            protected_block_cg_run,
+        )
+
+        if method != "cg" or kwargs or not block_solve_enabled():
+            return _sequential_block(A, B, X0, method=method, protection=self,
+                                     eps=eps, max_iters=max_iters, **kwargs)
+        if self.engine is None:
+            plain_A = A.to_csr() if isinstance(A, ProtectedCSRMatrix) else A
+            return block_cg_solve(plain_A, B, X0, eps=eps, max_iters=max_iters)
+        try:
+            pmat = self.wrap_matrix(A)
+            return protected_block_cg_run(
+                pmat, B, X0, eps=eps, max_iters=max_iters,
+                engine=self.engine, vector_scheme=self.config.vector_scheme,
+                session=self,
             )
         except (DetectedUncorrectableError, BoundsViolationError):
             self._release_all()

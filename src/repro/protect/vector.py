@@ -512,3 +512,50 @@ class ProtectedVector:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProtectedVector(n={self.raw.size}, scheme={self.scheme!r})"
+
+
+class ProtectedBlockVector(ProtectedVector):
+    """A column-blocked ``(k, n)`` solver iterate behind one flat codeword store.
+
+    Blocked multi-RHS solves carry ``k`` systems' worth of each CG
+    iterate.  Protecting them as one flat vector of ``k * n`` elements
+    keeps every ProtectedVector mechanism — the single dirty-window
+    schedule, the verified plain cache, the engine's read/write
+    accounting — shared across all ``k`` columns, which is exactly the
+    amortization the blocked path exists for (one flush, one check, one
+    cache populate per iterate instead of ``k``).
+
+    The block rows are the systems (C-contiguous ``(k, n)``), so row
+    ``j``'s elements are a contiguous slab of the flat store.  With
+    group-1 schemes (``sed``, ``secded64``) every element is its own
+    codeword and each row's protected content is bit-identical to a
+    standalone :class:`ProtectedVector` over that row.  Grouped schemes
+    (``secded128``, ``crc32c``) build codewords that straddle row
+    boundaries when ``n`` is not a multiple of the group — still fully
+    protected, but the codeword partition differs from ``k`` standalone
+    vectors (a documented deviation; detection/correction strength is
+    unchanged).
+    """
+
+    def __init__(self, values: np.ndarray, scheme: str = "secded64",
+                 crc_mode: str = "2EC3ED"):
+        block = np.ascontiguousarray(values, dtype=np.float64)
+        if block.ndim != 2:
+            raise ConfigurationError("ProtectedBlockVector expects a 2-D array")
+        self.block_shape = block.shape
+        super().__init__(block.reshape(-1), scheme, crc_mode)
+
+    def values2d(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Computation-ready ``(k, n)`` copy (reserved LSBs masked)."""
+        flat = None if out is None else out.reshape(-1)
+        return self.values(out=flat).reshape(self.block_shape)
+
+    def view2d(self) -> np.ndarray:
+        """The cached read-only plain view, shaped ``(k, n)``."""
+        return self.view().reshape(self.block_shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProtectedBlockVector(shape={self.block_shape}, "
+            f"scheme={self.scheme!r})"
+        )

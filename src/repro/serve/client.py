@@ -85,9 +85,49 @@ class ServeClient:
 
     # -- conveniences ----------------------------------------------------
     def solve_many(self, jobs: list[dict]) -> list[dict]:
-        """Submit ``jobs``, wait for all, return records in submit order."""
-        ids = [self.submit(job)["job_id"] for job in jobs]
-        return [self.result(job_id) for job_id in ids]
+        """Submit ``jobs``, wait for all, return records in submit order.
+
+        The submits are pipelined over one connection — every request
+        line is written before the first response is read — so the whole
+        batch reaches the server inside one coalescing window and is
+        eligible for a single blocked multi-RHS solve, instead of each
+        submit paying a connection round-trip that spreads the jobs over
+        many windows.  Results are then fetched over the same connection
+        in submit order (``result`` blocks until each job is terminal).
+        """
+        if not jobs:
+            return []
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as conn:
+            conn.sendall(b"".join(
+                json.dumps({"op": "submit", "job": job}).encode() + b"\n"
+                for job in jobs
+            ))
+            stream = conn.makefile("rb")
+            ids = []
+            for _ in jobs:
+                response = self._read_line(stream)
+                if not response.get("ok"):
+                    raise ServeClientError(response.get("error", "submit failed"))
+                ids.append(response["job_id"])
+            results = []
+            for job_id in ids:
+                conn.sendall(json.dumps(
+                    {"op": "result", "job_id": job_id}
+                ).encode() + b"\n")
+                response = self._read_line(stream)
+                if not response.get("ok"):
+                    raise ServeClientError(response.get("error", "result failed"))
+                results.append(response["result"])
+        return results
+
+    @staticmethod
+    def _read_line(stream) -> dict:
+        """Read one JSON response line, failing loudly on a closed pipe."""
+        line = stream.readline()
+        if not line:
+            raise ServeClientError("connection closed before a response arrived")
+        return json.loads(line)
 
 
 def submit(job: dict, host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> dict:

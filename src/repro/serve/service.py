@@ -76,6 +76,13 @@ class ServeConfig:
         without bound.  ``0`` (default) disables the quota.  Cache hits
         and joins of identical in-flight jobs are never rejected — they
         add no queue pressure.
+    block_solve:
+        Serve compatible CG jobs of a batch as one blocked multi-RHS
+        solve (default on; see :func:`repro.serve.workers.run_batch`).
+        Per-job results are unchanged — this is purely a
+        verification/dispatch amortisation — so the job identity hash
+        never depends on it.  ``REPRO_BLOCK_SOLVE=0`` overrides it off
+        process-wide.
     """
 
     journal: str | None = None
@@ -86,6 +93,7 @@ class ServeConfig:
     dist_shards: int = 0
     dist_threshold: int = 4096
     max_pending: int = 0
+    block_solve: bool = True
 
 
 class SolveService:
@@ -106,7 +114,9 @@ class SolveService:
         self._running = False
         self.started_at = None
         self.stats = {"submitted": 0, "cached_hits": 0, "adopted": 0,
-                      "batches": 0, "solved": 0, "failed": 0, "rejected": 0}
+                      "batches": 0, "solved": 0, "failed": 0, "rejected": 0,
+                      "blocked_jobs": 0}
+        self._worker_stats: dict[str, dict] = {}
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> None:
@@ -251,6 +261,8 @@ class SolveService:
             "stats": dict(self.stats),
             "cache": dict(serve_workers.CACHE.stats),
             "sessions": dict(serve_workers.SESSIONS.stats),
+            "workers": {pid: dict(stats)
+                        for pid, stats in self._worker_stats.items()},
             "journal": self.journal.summary() if self.journal else None,
             "config": dataclasses.asdict(self.config),
         }
@@ -282,6 +294,7 @@ class SolveService:
                             "throttle": self.config.throttle,
                             "dist_shards": self.config.dist_shards,
                             "dist_threshold": self.config.dist_threshold,
+                            "block_solve": self.config.block_solve,
                         },
                     ))
                     for job in chunk:
@@ -301,6 +314,18 @@ class SolveService:
 
     def _ingest(self, batch_record: dict) -> None:
         """Commit one finished batch: journal, results, event streams."""
+        self.stats["blocked_jobs"] += int(batch_record.get("blocked_jobs", 0))
+        pid = batch_record.get("worker_pid")
+        if pid is not None:
+            # Per-worker warm-state accounting: with a spawn pool each
+            # worker pays for (and keeps) its own encoded-matrix cache,
+            # so status() can show the per-process memory/warmth split.
+            entry = self._worker_stats.setdefault(
+                str(pid), {"batches": 0, "blocked_jobs": 0})
+            entry["batches"] += 1
+            entry["blocked_jobs"] += int(batch_record.get("blocked_jobs", 0))
+            entry["cache"] = dict(batch_record.get("cache", {}))
+            entry["sessions"] = dict(batch_record.get("sessions", {}))
         for record in batch_record.get("jobs", []):
             job_id = record["job_id"]
             self._inflight.discard(job_id)

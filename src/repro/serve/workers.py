@@ -11,7 +11,13 @@ and a protection config — served by this process's warm state:
 * each job is one :meth:`ProtectionSession.solve` against the shared
   encoded matrix, and the whole batch closes with a single
   ``session.end_step()`` — the paper's mandatory sweep, paid once per
-  batch instead of once per solve.
+  batch instead of once per solve;
+* compatible CG jobs in a batch (same matrix, same protection, no
+  injection, not distributed-routed) are grouped into **one blocked
+  multi-RHS solve** (:mod:`repro.solvers.block`): the matrix is
+  verified once per iteration for the whole group instead of once per
+  job, while each job's record and event stream stay exactly what a
+  solo solve would have produced.
 
 The runner is addressed as ``"repro.serve.workers:run_batch"`` — the
 importable-reference form :mod:`repro.sweeps.executor` requires — and
@@ -75,6 +81,93 @@ def _recovery_snapshot(session) -> dict | None:
     return dataclasses.asdict(session.recovery.stats)
 
 
+def _result_record(job: dict, result, duration_s: float, session,
+                   before: dict | None) -> dict:
+    """Shape one job's result record (shared by solo and blocked paths)."""
+    record = {
+        "job_id": job["job_id"],
+        "status": "done",
+        "method": job["method"],
+        "converged": bool(result.converged),
+        "iterations": int(result.iterations),
+        "residual": float(result.final_residual),
+        "x_norm": float(np.linalg.norm(result.x)),
+        "duration_ms": duration_s * 1e3,
+        "events": [],
+    }
+    delta = _recovery_delta(session, before)
+    recovered = delta.get("rollbacks", 0) + delta.get("repopulates", 0) \
+        + delta.get("vector_repairs", 0)
+    if recovered or delta.get("dues"):
+        record["recovered"] = int(recovered)
+        record["events"].append({"event": "recovered", **delta})
+    if job.get("return_x"):
+        record["x"] = [float(v) for v in result.x]
+    return record
+
+
+def _solve_blocked(group: list[dict], session, matrix_arg, config) -> list[dict]:
+    """Serve a group of compatible jobs as one blocked multi-RHS solve.
+
+    The group shares the batch's matrix and protection by construction;
+    the right-hand sides stack into one ``(n, k)`` block and per-job
+    ``eps``/``max_iters`` ride the blocked runner's per-column targets,
+    so every job gets exactly the answer its solo solve would produce
+    while the matrix verification and kernel dispatch are paid once per
+    iteration for the whole group.  Integrity errors propagate to the
+    caller, which retries the group job-by-job so failure attribution
+    stays per-job.
+    """
+    import repro
+
+    n = matrix_arg.n_rows
+    k = len(group)
+    B = np.stack([build_rhs(job, n) for job in group], axis=1)
+    X0 = None
+    if any(job.get("x0") is not None for job in group):
+        X0 = np.zeros((n, k), dtype=np.float64)
+        for col, job in enumerate(group):
+            if job.get("x0") is not None:
+                X0[:, col] = np.asarray(job["x0"], dtype=np.float64)
+    eps = [job["eps"] for job in group]
+    max_iters = [job["max_iters"] for job in group]
+    t0 = time.perf_counter()
+    before = _recovery_snapshot(session)
+    if session is not None:
+        result = session.solve(matrix_arg, B, X0, method="cg",
+                               eps=eps, max_iters=max_iters)
+    else:
+        result = repro.solve(matrix_arg, B, X0, method="cg", protection=config,
+                             eps=eps, max_iters=max_iters)
+    duration = time.perf_counter() - t0
+    records = []
+    for col, job in enumerate(group):
+        _probe(job["job_id"])
+        record = _result_record(job, result.column(col), duration, session,
+                                before)
+        record["blocked_k"] = k
+        records.append(record)
+    # The recovery delta describes the whole block; report it once (on
+    # the first job's stream) instead of k times.
+    for record in records[1:]:
+        record.pop("recovered", None)
+        record["events"] = [e for e in record["events"]
+                            if e.get("event") != "recovered"]
+    return records
+
+
+def _blockable(job: dict, dist_shards: int, dist_threshold: int) -> bool:
+    """Whether a job may join a blocked multi-RHS group.
+
+    Blocked groups cover the warm-session CG path only: injection jobs
+    run on private matrices, distributed-routed jobs leave the process,
+    and non-CG methods have no blocked runner.
+    """
+    if job["method"] != "cg" or job.get("inject") is not None:
+        return False
+    return not _routes_distributed(job, dist_shards, dist_threshold)
+
+
 def _solve_one(job: dict, session, matrix_arg, config) -> dict:
     """Run one job's solve and shape its result record."""
     import repro
@@ -95,26 +188,7 @@ def _solve_one(job: dict, session, matrix_arg, config) -> dict:
         )
     duration = time.perf_counter() - t0
     _probe(job["job_id"])
-    record = {
-        "job_id": job["job_id"],
-        "status": "done",
-        "method": job["method"],
-        "converged": bool(result.converged),
-        "iterations": int(result.iterations),
-        "residual": float(result.final_residual),
-        "x_norm": float(np.linalg.norm(result.x)),
-        "duration_ms": duration * 1e3,
-        "events": [],
-    }
-    delta = _recovery_delta(session, before)
-    recovered = delta.get("rollbacks", 0) + delta.get("repopulates", 0) \
-        + delta.get("vector_repairs", 0)
-    if recovered or delta.get("dues"):
-        record["recovered"] = int(recovered)
-        record["events"].append({"event": "recovered", **delta})
-    if job.get("return_x"):
-        record["x"] = [float(v) for v in result.x]
-    return record
+    return _result_record(job, result, duration, session, before)
 
 
 def _solve_distributed(job: dict, config, n_shards: int) -> dict:
@@ -230,7 +304,7 @@ def _solve_injected(job: dict, config) -> dict:
 
 def run_batch(*, jobs: list[dict], protection=None, throttle: float = 0.0,
               dist_shards: int = 0, dist_threshold: int = 4096,
-              seed=None) -> dict:
+              block_solve: bool = True, seed=None) -> dict:
     """Serve one batch of same-matrix jobs; the executor's task runner.
 
     Parameters
@@ -244,63 +318,110 @@ def run_batch(*, jobs: list[dict], protection=None, throttle: float = 0.0,
     throttle:
         Artificial seconds of sleep per solve; load-shaping knob for
         demos and kill-mid-stream tests, never set in production.
+        Throttled batches never block-group: the knob's contract is a
+        paced, per-job cadence.
     dist_shards / dist_threshold:
         When ``dist_shards >= 2``, CG jobs on matrices of at least
         ``dist_threshold`` rows run on the row-sharded distributed
         solver instead of the warm single-process session (see
         :func:`_routes_distributed`); everything else is untouched.
+    block_solve:
+        When true (the default, and ``REPRO_BLOCK_SOLVE`` is not ``0``),
+        two or more compatible jobs (see :func:`_blockable`) are served
+        as one blocked multi-RHS solve — verification and dispatch paid
+        once per iteration for the whole group, per-job records and
+        event streams unchanged.  An integrity error inside a blocked
+        group falls back to job-by-job solves so failures attribute to
+        the job that hit them.
     seed:
         Executor-owned seeding slot (unused: job randomness is explicit
         in each job's spec, so batches are reproducible by content).
     """
+    from repro.solvers.block import block_solve_enabled
+
     del seed
-    records: list[dict] = []
+    records_by_id: dict[str, dict] = {}
     config = protection_from_spec(protection)
     matrix_spec = jobs[0]["matrix"]
     session = None
-    for job in jobs:
+    blocked_jobs = 0
+
+    def _acquire():
+        """(Re-)acquire the warm session and matrix handle lazily.
+
+        A DUE in an earlier job dropped the session and the encoded
+        matrix, so this re-warms from the pristine raw build.
+        """
+        if config is not None and config.enabled:
+            warm = SESSIONS.get(matrix_spec, protection)
+            pmat = CACHE.encoded(matrix_spec, protection)
+            return warm, (pmat if pmat is not None else CACHE.raw(matrix_spec))
+        return None, CACHE.raw(matrix_spec)
+
+    group: list[dict] = []
+    rest: list[dict] = jobs
+    if block_solve and block_solve_enabled() and throttle <= 0.0:
+        group = [j for j in jobs
+                 if _blockable(j, dist_shards, dist_threshold)]
+        if len(group) >= 2:
+            rest = [j for j in jobs if j not in group]
+        else:
+            group = []
+    if group:
+        try:
+            session, matrix_arg = _acquire()
+            for record in _solve_blocked(group, session, matrix_arg, config):
+                records_by_id[record["job_id"]] = record
+            blocked_jobs = len(group)
+        except _INTEGRITY_ERRORS:
+            # Can't attribute a block-wide DUE to one job: drop the warm
+            # state and retry the group job-by-job below.
+            SESSIONS.drop(matrix_spec, protection)
+            CACHE.invalidate(matrix_spec, protection)
+            session = None
+            rest = jobs
+        except Exception:
+            rest = jobs
+
+    for job in rest:
         if throttle > 0.0:
             time.sleep(throttle)
         try:
             if job.get("inject") is not None:
-                records.append(_solve_injected(job, config))
+                records_by_id[job["job_id"]] = _solve_injected(job, config)
                 continue
             if _routes_distributed(job, dist_shards, dist_threshold):
-                records.append(_solve_distributed(job, config, dist_shards))
+                records_by_id[job["job_id"]] = _solve_distributed(
+                    job, config, dist_shards)
                 continue
-            if config is not None and config.enabled:
-                # (Re-)acquire lazily: a DUE in an earlier job dropped
-                # the session and the encoded matrix, so this re-warms.
-                session = SESSIONS.get(matrix_spec, protection)
-                pmat = CACHE.encoded(matrix_spec, protection)
-                matrix_arg = pmat if pmat is not None else CACHE.raw(matrix_spec)
-            else:
-                session = None
-                matrix_arg = CACHE.raw(matrix_spec)
-            records.append(_solve_one(job, session, matrix_arg, config))
+            session, matrix_arg = _acquire()
+            records_by_id[job["job_id"]] = _solve_one(
+                job, session, matrix_arg, config)
         except _INTEGRITY_ERRORS as exc:
             SESSIONS.drop(matrix_spec, protection)
             CACHE.invalidate(matrix_spec, protection)
             session = None
-            records.append({
+            records_by_id[job["job_id"]] = {
                 "job_id": job["job_id"], "status": "failed",
                 "method": job["method"], "converged": False,
                 "error": f"{type(exc).__name__}: {exc}",
                 "events": [{"event": "due", "error": type(exc).__name__}],
-            })
+            }
         except Exception as exc:  # malformed-but-admitted jobs fail alone
-            records.append({
+            records_by_id[job["job_id"]] = {
                 "job_id": job["job_id"], "status": "failed",
                 "method": job["method"], "converged": False,
                 "error": f"{type(exc).__name__}: {exc}",
                 "events": [],
-            })
+            }
     if session is not None:
         # One mandatory sweep closes the whole batch's deferral window.
         session.end_step()
     return {
-        "jobs": records,
+        "jobs": [records_by_id[job["job_id"]] for job in jobs],
         "batch_size": len(jobs),
+        "blocked_jobs": blocked_jobs,
+        "worker_pid": os.getpid(),
         "cache": dict(CACHE.stats),
         "sessions": dict(SESSIONS.stats),
     }

@@ -9,6 +9,13 @@ name in :mod:`repro.solvers.registry` and dispatched by
 """
 
 from repro.solvers.base import SolverResult, LinearOperator, as_operator
+from repro.solvers.block import (
+    BlockResult,
+    block_cg_solve,
+    block_solve_enabled,
+    protected_block_cg_run,
+    solve_block,
+)
 from repro.solvers.cg import cg_solve, protected_cg_run, protected_cg_solve
 from repro.solvers.jacobi import jacobi_solve, protected_jacobi_run
 from repro.solvers.chebyshev import (
@@ -31,6 +38,11 @@ __all__ = [
     "SolverResult",
     "LinearOperator",
     "as_operator",
+    "BlockResult",
+    "block_cg_solve",
+    "block_solve_enabled",
+    "protected_block_cg_run",
+    "solve_block",
     "cg_solve",
     "protected_cg_run",
     "protected_cg_solve",

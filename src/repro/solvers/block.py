@@ -1,0 +1,464 @@
+"""Blocked multi-RHS CG: amortize verification and dispatch across columns.
+
+A server batch of compatible jobs — same matrix, same method, same
+protection — is ``k`` independent linear systems sharing one operator.
+Running them as ``k`` sequential solves pays the fixed per-iteration
+costs ``k`` times: every kernel dispatch, every SECDED codeword screen,
+every scheduled check.  Blocking the right-hand sides into one
+``(k, n)`` iterate pays each of those once per iteration and amortizes
+it across all ``k`` columns — the classic ABFT block-operation argument
+(Bosilca et al., arXiv:0806.3121) applied to the paper's protected
+solver stack:
+
+* the matrix product becomes one fused blocked SpMV
+  (:meth:`~repro.protect.matrix.ProtectedCSRMatrix.spmv_verified_multi`)
+  that syndromes each ``(value, colidx)`` codeword chunk **once** and
+  feeds its decoded element to all ``k`` gathers;
+* the solver state lives in
+  :class:`~repro.protect.vector.ProtectedBlockVector` stores — one
+  dirty-window schedule, one cache populate, one scheduled check per
+  iterate regardless of ``k``;
+* the CG recurrence carries per-column ``alpha``/``beta`` scalars and a
+  convergence mask, so finished columns freeze (their rows are copied
+  verbatim — never scaled by a zero step, which would flip ``-0.0`` to
+  ``+0.0``) while stragglers keep iterating.
+
+Column parity, precisely: with group-1 vector schemes (``sed``,
+``secded64`` — all presets) column ``j`` of a blocked solve is **bitwise
+identical** to the corresponding single-RHS solve under a fresh engine,
+because every per-column operation reuses the single-RHS arithmetic
+exactly — contiguous-row ``np.dot`` for the scalars, elementwise
+broadcast updates for the axpys, the same left-to-right row reduction
+inside the blocked SpMV, and one engine access per iteration so the due
+pattern matches.  Grouped vector schemes (``secded128``, ``crc32c``)
+keep full protection but build codewords that straddle column
+boundaries when ``n`` is not a multiple of the group — a documented
+deviation (results still match; only the codeword partition differs).
+
+``REPRO_BLOCK_SOLVE=0`` disables the blocked path everywhere
+(:func:`block_solve_enabled`); callers then fall back to the sequential
+per-column loop with identical per-column results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+
+from repro.backends.base import CHUNK
+from repro.csr.spmv import spmm
+from repro.errors import ConfigurationError
+from repro.protect.matrix import ProtectedCSRMatrix
+from repro.protect.session import ProtectionSession
+from repro.solvers.base import SolverResult, as_operator
+from repro.solvers.toolkit import ProtectedIteration
+
+
+def block_solve_enabled() -> bool:
+    """True unless ``REPRO_BLOCK_SOLVE=0`` disables the blocked path."""
+    return os.environ.get("REPRO_BLOCK_SOLVE", "1") != "0"
+
+
+@dataclasses.dataclass
+class BlockResult:
+    """The result of one blocked multi-RHS solve.
+
+    ``x`` is ``(n, k)`` — column ``j`` solves against column ``j`` of
+    the right-hand-side block.  ``iterations``/``converged`` are
+    per-column arrays and ``residual_norms`` one history list per
+    column.  :meth:`column` re-packages any column as a standalone
+    :class:`~repro.solvers.base.SolverResult`.
+    """
+
+    x: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    residual_norms: list
+    info: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        """The block width (number of right-hand sides)."""
+        return self.x.shape[1]
+
+    def column(self, j: int) -> SolverResult:
+        """Column ``j`` as a standalone single-RHS solver result."""
+        return SolverResult(
+            x=np.ascontiguousarray(self.x[:, j]),
+            iterations=int(self.iterations[j]),
+            converged=bool(self.converged[j]),
+            residual_norms=list(self.residual_norms[j]),
+            info=dict(self.info),
+        )
+
+
+def _per_column(value, k: int, name: str) -> np.ndarray:
+    """Normalize a scalar-or-length-``k`` parameter to a float64 array."""
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.full(k, float(arr))
+    if arr.shape != (k,):
+        raise ConfigurationError(
+            f"{name} must be a scalar or a length-{k} sequence, "
+            f"got shape {arr.shape}"
+        )
+    return arr.copy()
+
+
+def _block_rhs(B: np.ndarray) -> np.ndarray:
+    """Validate and transpose a public ``(n, k)`` RHS block to ``(k, n)``."""
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2 or B.shape[1] == 0:
+        raise ConfigurationError(
+            "blocked solves expect a 2-D (n, k) right-hand-side block "
+            f"with k >= 1, got shape {B.shape}"
+        )
+    return np.ascontiguousarray(B.T)
+
+
+def _block_x0(X0, k: int, n: int) -> np.ndarray:
+    """The ``(k, n)`` initial iterate block (zeros when ``X0`` is None)."""
+    if X0 is None:
+        return np.zeros((k, n), dtype=np.float64)
+    X0 = np.asarray(X0, dtype=np.float64)
+    if X0.shape != (n, k):
+        raise ConfigurationError(
+            f"x0 block must have shape ({n}, {k}), got {X0.shape}"
+        )
+    return np.ascontiguousarray(X0.T)
+
+
+def _make_block_matvec(A, k: int, n_rows: int):
+    """A ``(k, n) -> (k, n_rows)`` blocked product closure for plain solves.
+
+    CSR-backed operators run the blocked gather kernel through
+    persistent scratch (row ``j`` bitwise equal to ``A.matvec(X[j])``);
+    anything else falls back to ``k`` per-row matvecs — still exactly
+    the single-RHS arithmetic, just without the shared gather.
+    """
+    values = getattr(A, "values", None)
+    colidx = getattr(A, "colidx", None)
+    rowptr = getattr(A, "rowptr", None)
+    if (
+        values is not None and colidx is not None and rowptr is not None
+        and not isinstance(A, ProtectedCSRMatrix)
+    ):
+        if colidx.dtype != np.int64:
+            colidx = colidx.astype(np.int64)
+        if rowptr.dtype != np.int64:
+            rowptr = rowptr.astype(np.int64)
+        products = np.empty((k, values.size), dtype=np.float64)
+        tile = np.empty(k * min(CHUNK, max(values.size, 1)), dtype=np.float64)
+        lengths = np.empty(n_rows, dtype=np.int64)
+
+        def matmat(X: np.ndarray, out: np.ndarray) -> np.ndarray:
+            return spmm(values, colidx, rowptr, X, n_rows, out=out,
+                        products=products, tile=tile, lengths=lengths)
+
+        return matmat
+
+    op = as_operator(A)
+
+    def matmat(X: np.ndarray, out: np.ndarray) -> np.ndarray:
+        for j in range(X.shape[0]):
+            out[j] = op.matvec(X[j])
+        return out
+
+    return matmat
+
+
+def block_cg_solve(
+    A,
+    B: np.ndarray,
+    X0: np.ndarray | None = None,
+    *,
+    eps: float = 1e-15,
+    max_iters: int = 10_000,
+) -> BlockResult:
+    """Unprotected blocked CG over a ``(n, k)`` right-hand-side block.
+
+    Column ``j`` replicates :func:`~repro.solvers.cg.cg_solve` (identity
+    preconditioner) bitwise: same residual recurrence, same
+    ``norm(r)**2 < eps`` convergence test, same zero-curvature
+    breakdown.  ``eps``/``max_iters`` may be scalars or length-``k``
+    sequences for per-column targets.
+    """
+    if isinstance(A, ProtectedCSRMatrix):
+        A = A.to_csr()
+    Bt = _block_rhs(B)
+    k, n = Bt.shape
+    eps_c = _per_column(eps, k, "eps")
+    mi_c = _per_column(max_iters, k, "max_iters").astype(np.int64)
+    matmat = _make_block_matvec(A, k, n)
+
+    X = _block_x0(X0, k, n)
+    W = np.empty((k, n), dtype=np.float64)
+    R = Bt - matmat(X, W)
+    # Identity preconditioner: z is r itself, so rz == dot(r, r) and the
+    # search-direction update reads p = r + beta * p, as in cg_solve.
+    P = R.copy()
+    rz = np.array([float(np.dot(R[j], R[j])) for j in range(k)])
+    norms = [[float(np.linalg.norm(R[j]))] for j in range(k)]
+    converged = np.array([norms[j][0] ** 2 < eps_c[j] for j in range(k)])
+    broken = np.zeros(k, dtype=bool)
+    iters = np.zeros(k, dtype=np.int64)
+
+    while True:
+        active = ~converged & ~broken & (iters < mi_c)
+        if not active.any():
+            break
+        idx = np.flatnonzero(active)
+        matmat(P, W)
+        pw = np.zeros(k)
+        for j in idx:
+            pw[j] = float(np.dot(P[j], W[j]))
+        dead = idx[pw[idx] == 0.0]
+        if dead.size:
+            # Zero curvature: cg_solve breaks before touching x/r, so
+            # these columns freeze at their pre-iteration state.
+            broken[dead] = True
+            idx = idx[pw[idx] != 0.0]
+        if idx.size == 0:
+            continue
+        alpha = rz[idx] / pw[idx]
+        if idx.size == k:
+            X += alpha[:, None] * P
+            R -= alpha[:, None] * W
+        else:
+            X[idx] += alpha[:, None] * P[idx]
+            R[idx] -= alpha[:, None] * W[idx]
+        cont = []
+        rz_new = np.zeros(k)
+        for j in idx:
+            rz_new[j] = float(np.dot(R[j], R[j]))
+            norms[j].append(float(np.linalg.norm(R[j])))
+            iters[j] += 1
+            if norms[j][-1] ** 2 < eps_c[j]:
+                converged[j] = True
+            else:
+                cont.append(int(j))
+        if cont:
+            cidx = np.asarray(cont)
+            beta = rz_new[cidx] / rz[cidx]
+            P[cidx] = R[cidx] + beta[:, None] * P[cidx]
+            rz[cidx] = rz_new[cidx]
+
+    return BlockResult(
+        x=np.ascontiguousarray(X.T),
+        iterations=iters,
+        converged=converged,
+        residual_norms=norms,
+        info={"block_width": k},
+    )
+
+
+def protected_block_cg_run(
+    matrix: ProtectedCSRMatrix,
+    B: np.ndarray,
+    X0: np.ndarray | None = None,
+    *,
+    eps: float = 1e-15,
+    max_iters: int = 10_000,
+    policy=None,
+    vector_scheme: str | None = "secded64",
+    engine=None,
+    session=None,
+) -> BlockResult:
+    """Fully protected blocked CG: one verification schedule for k systems.
+
+    Column ``j`` replicates :func:`~repro.solvers.cg.protected_cg_run`
+    bitwise (under a fresh engine with a group-1 vector scheme): the
+    blocked iterate makes exactly one engine matrix access per iteration
+    — the same due pattern as a solo solve — and a due access runs the
+    fused blocked kernel, verifying every codeword once for all ``k``
+    products.  Frozen (converged or broken-down) columns have their rows
+    of ``x``/``r``/``p`` carried verbatim through each commit while the
+    stragglers iterate.  DUE recovery mirrors the single-RHS runner:
+    repair/rollback through the context, then restart the recurrence for
+    *all* columns from the authoritative iterate block.
+    """
+    Bt = _block_rhs(B)
+    k = Bt.shape[0]
+    eps_c = _per_column(eps, k, "eps")
+    mi_c = _per_column(max_iters, k, "max_iters").astype(np.int64)
+    ctx = ProtectedIteration(
+        matrix, policy=policy, engine=engine, vector_scheme=vector_scheme,
+        session=session,
+    )
+    n = ctx.n
+    X = ctx.wrap_block(_block_x0(X0, k, n), "x")
+    R0 = Bt - ctx.initial_spmm(ctx.read_block(X))
+    R = ctx.wrap_block(R0, "r")
+    P = ctx.wrap_block(R0, "p")
+    Rv = ctx.read_block(R)
+    rr = np.array([float(np.dot(Rv[j], Rv[j])) for j in range(k)])
+    norms = [[float(np.sqrt(rr[j]))] for j in range(k)]
+    converged = rr < eps_c
+    broken = np.zeros(k, dtype=bool)
+    iters = np.zeros(k, dtype=np.int64)
+    step = 0
+    ctx.maybe_checkpoint(step, iters=[int(v) for v in iters])
+    while True:
+        try:
+            while True:
+                active = ~converged & ~broken & (iters < mi_c)
+                if not active.any():
+                    break
+                ctx.begin_iteration()
+                idx = np.flatnonzero(active)
+                P_val = ctx.read_block(P)
+                W = ctx.spmm(P_val, out=ctx.spmm_out(k))
+                pw = np.zeros(k)
+                for j in idx:
+                    pw[j] = float(np.dot(P_val[j], W[j]))
+                dead = idx[pw[idx] == 0.0]
+                if dead.size:
+                    broken[dead] = True
+                    idx = idx[pw[idx] != 0.0]
+                if idx.size == 0:
+                    continue
+                alpha = rr[idx] / pw[idx]
+                Xv = ctx.read_block(X)
+                Rv = ctx.read_block(R)
+                if idx.size == k:
+                    X_new = Xv + alpha[:, None] * P_val
+                    R_new = Rv - alpha[:, None] * W
+                else:
+                    # Frozen columns are copied verbatim — never scaled
+                    # by a zero step, which would rewrite -0.0 as +0.0.
+                    X_new = np.array(Xv)
+                    X_new[idx] = Xv[idx] + alpha[:, None] * P_val[idx]
+                    R_new = np.array(Rv)
+                    R_new[idx] = Rv[idx] - alpha[:, None] * W[idx]
+                X = ctx.write_block(X, X_new)
+                R = ctx.write_block(R, R_new)
+                step += 1
+                cont = []
+                rr_new = np.zeros(k)
+                for j in idx:
+                    rr_new[j] = float(np.dot(R_new[j], R_new[j]))
+                    norms[j].append(float(np.sqrt(rr_new[j])))
+                    iters[j] += 1
+                    if rr_new[j] < eps_c[j]:
+                        converged[j] = True
+                    else:
+                        cont.append(int(j))
+                if cont:
+                    cidx = np.asarray(cont)
+                    beta = rr_new[cidx] / rr[cidx]
+                    if cidx.size == k:
+                        P_new = R_new + beta[:, None] * P_val
+                    else:
+                        P_new = np.array(P_val)
+                        P_new[cidx] = R_new[cidx] + beta[:, None] * P_val[cidx]
+                    P = ctx.write_block(P, P_new)
+                    rr[cidx] = rr_new[cidx]
+                ctx.maybe_checkpoint(step, iters=[int(v) for v in iters])
+
+            X_final = ctx.value_of_block(X)
+            ctx.finish()
+            break
+        except ctx.RECOVERABLE as exc:
+            saved = ctx.recover(exc)  # repairs state; raises if recovery is off
+            if saved is not None:
+                step = int(saved["it"])
+                iters = np.asarray(saved.get("iters", iters), dtype=np.int64)
+            # Restart the recurrence for every column from the
+            # authoritative iterate block, exactly as the single-RHS
+            # runner restarts from x.
+            R_val = Bt - ctx.spmm(ctx.read_block(X))
+            R = ctx.write_block(R, R_val)
+            P = ctx.write_block(P, R_val)
+            broken[:] = False
+            for j in range(k):
+                rr[j] = float(np.dot(R_val[j], R_val[j]))
+                norms[j].append(float(np.sqrt(rr[j])))
+            converged = rr < eps_c
+    return BlockResult(
+        x=np.ascontiguousarray(X_final.T),
+        iterations=iters,
+        converged=converged,
+        residual_norms=norms,
+        info=ctx.info(block_width=k),
+    )
+
+
+def _sequential_block(
+    A, B, X0=None, *, method="cg", protection=None,
+    eps=1e-15, max_iters=10_000, **kwargs,
+) -> BlockResult:
+    """The per-column fallback: ``k`` single-RHS solves, assembled as a block.
+
+    Used when the blocked path is disabled (``REPRO_BLOCK_SOLVE=0``),
+    the method has no blocked runner, or method-specific kwargs are in
+    play.  Results are definitionally identical to solo solves.
+    """
+    from repro.solvers.registry import solve as _solve
+
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2:
+        raise ConfigurationError("blocked solves expect a 2-D RHS block")
+    k = B.shape[1]
+    eps_c = _per_column(eps, k, "eps")
+    mi_c = _per_column(max_iters, k, "max_iters").astype(np.int64)
+    X0 = None if X0 is None else np.asarray(X0, dtype=np.float64)
+    columns = []
+    for j in range(k):
+        x0j = None if X0 is None else X0[:, j]
+        columns.append(_solve(
+            A, B[:, j], x0j, method=method, protection=protection,
+            eps=float(eps_c[j]), max_iters=int(mi_c[j]), **kwargs,
+        ))
+    return _block_from_columns(columns)
+
+
+def _block_from_columns(columns: list[SolverResult]) -> BlockResult:
+    """Assemble per-column solver results into one :class:`BlockResult`."""
+    return BlockResult(
+        x=np.ascontiguousarray(np.stack([c.x for c in columns], axis=1)),
+        iterations=np.array([c.iterations for c in columns], dtype=np.int64),
+        converged=np.array([c.converged for c in columns], dtype=bool),
+        residual_norms=[list(c.residual_norms) for c in columns],
+        info={
+            "block_width": len(columns),
+            "sequential_fallback": True,
+            "columns": [dict(c.info) for c in columns],
+        },
+    )
+
+
+def solve_block(
+    A,
+    B: np.ndarray,
+    X0: np.ndarray | None = None,
+    *,
+    method: str = "cg",
+    protection=None,
+    eps: float = 1e-15,
+    max_iters: int = 10_000,
+    **kwargs,
+) -> BlockResult:
+    """Dispatch a multi-RHS solve: blocked CG when possible, sequential otherwise.
+
+    The 2-D counterpart of :func:`repro.solve` (which routes here when
+    ``b.ndim == 2``).  The blocked runners cover CG without
+    method-specific kwargs; anything else — other methods,
+    preconditioners, ``REPRO_BLOCK_SOLVE=0`` — falls back to ``k``
+    sequential single-RHS solves with identical per-column results.
+    """
+    if isinstance(protection, ProtectionSession):
+        return protection.solve(A, B, X0, method=method, eps=eps,
+                                max_iters=max_iters, **kwargs)
+    if method != "cg" or kwargs or not block_solve_enabled():
+        return _sequential_block(A, B, X0, method=method, protection=protection,
+                                 eps=eps, max_iters=max_iters, **kwargs)
+    if protection is None or not protection.enabled:
+        plain_A = A.to_csr() if isinstance(A, ProtectedCSRMatrix) else A
+        return block_cg_solve(plain_A, B, X0, eps=eps, max_iters=max_iters)
+    pmat = protection.wrap_matrix(A)
+    return protected_block_cg_run(
+        pmat, B, X0, eps=eps, max_iters=max_iters,
+        engine=protection.engine(), vector_scheme=protection.vector_scheme,
+    )

@@ -33,6 +33,8 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.protect.config import ProtectionConfig
 from repro.protect.matrix import ProtectedCSRMatrix
@@ -141,6 +143,12 @@ def solve(
         unprotected path).  A pre-wrapped
         :class:`~repro.protect.matrix.ProtectedCSRMatrix` is used as-is
         when protection is active (and decoded when it is not).
+    b:
+        The right-hand side.  A 2-D ``(n, k)`` block routes to the
+        blocked multi-RHS path (:func:`repro.solvers.block.solve_block`),
+        which amortises verification and dispatch across the ``k``
+        columns and returns a
+        :class:`~repro.solvers.block.BlockResult`.
     protection:
         ``None`` for the plain solver, a :class:`ProtectionConfig` for a
         one-shot protected solve, or a :class:`ProtectionSession` to run
@@ -156,6 +164,16 @@ def solve(
         ``eig_bounds``, ``eig_min``/``eig_max``, ``check_every``;
         ``kill_plan``/``round_timeout`` for distributed solves).
     """
+    if b is not None and np.ndim(b) == 2:
+        if distributed:
+            raise ConfigurationError(
+                "distributed solves take a single right-hand side; solve "
+                "the block's columns separately or drop distributed="
+            )
+        from repro.solvers.block import solve_block
+
+        return solve_block(A, b, x0, method=method, protection=protection,
+                           eps=eps, max_iters=max_iters, **kwargs)
     if distributed:
         if isinstance(protection, ProtectionSession):
             raise ConfigurationError(

@@ -50,7 +50,7 @@ from repro.protect.engine import DeferredVerificationEngine
 from repro.protect.kernels import verify_matrix
 from repro.protect.matrix import ProtectedCSRMatrix
 from repro.protect.policy import CheckPolicy
-from repro.protect.vector import ProtectedVector
+from repro.protect.vector import ProtectedBlockVector, ProtectedVector
 from repro.recover.policy import RECOVERABLE_ERRORS
 
 
@@ -141,6 +141,7 @@ class ProtectedIteration:
         self._state: list[ProtectedVector] = []
         self._named_state: list[tuple[str, ProtectedVector]] = []
         self._spmv_out: np.ndarray | None = None
+        self._spmm_out: np.ndarray | None = None
         #: True when due matrix checks run fused inside the engine's SpMVs.
         #: Requires both the policy knob and a matrix/backend pair that
         #: supports the fused kernel — non-fusible schemes (sed, crc32c,
@@ -230,6 +231,46 @@ class ProtectedIteration:
         """The container's computation-ready values (final-result read)."""
         return container.values() if self.protect_vectors else container
 
+    # -- blocked (multi-RHS) state plumbing -----------------------------
+    def wrap_block(self, values: np.ndarray, name: str):
+        """Protect a ``(k, n)`` blocked iterate behind one flat codeword store.
+
+        The blocked twin of :meth:`wrap`: all ``k`` columns of the
+        iterate share one :class:`ProtectedBlockVector` — one dirty
+        window, one scheduled check, one cache populate per iterate
+        regardless of the block width.
+        """
+        if not self.protect_vectors:
+            return np.array(values, dtype=np.float64, copy=True)
+        vec = self.engine.register(
+            ProtectedBlockVector(
+                np.asarray(values, dtype=np.float64), self.vector_scheme
+            ),
+            name,
+        )
+        self._state.append(vec)
+        self._named_state.append((name, vec))
+        if self.session is not None:
+            self.session.track(vec)
+        return vec
+
+    def read_block(self, container) -> np.ndarray:
+        """Decode-free ``(k, n)``-shaped engine read of a blocked iterate."""
+        if not self.protect_vectors:
+            return container
+        return self.engine.read(container).reshape(container.block_shape)
+
+    def write_block(self, container, values: np.ndarray):
+        """Commit a ``(k, n)`` iterate through the engine's write mode."""
+        if not self.protect_vectors:
+            return values
+        self.engine.write(container, np.asarray(values).reshape(-1))
+        return container
+
+    def value_of_block(self, container) -> np.ndarray:
+        """The blocked container's computation-ready ``(k, n)`` values."""
+        return container.values2d() if self.protect_vectors else container
+
     # -- schedule hooks -------------------------------------------------
     def begin_iteration(self) -> None:
         """Per-iteration scheduling point: engine hooks + vector checks.
@@ -255,6 +296,32 @@ class ProtectedIteration:
         if self._spmv_out is None:
             self._spmv_out = np.empty(self.n, dtype=np.float64)
         return self._spmv_out
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Blocked ``A @ X.T`` on the context's matrix through the engine."""
+        return self.engine.spmm(self.matrix, X, out=out)
+
+    def spmm_out(self, k: int) -> np.ndarray:
+        """The context's persistent ``(k, n)`` blocked-SpMV result buffer.
+
+        The blocked twin of :meth:`spmv_out`; reallocated only when the
+        block width changes.
+        """
+        if self._spmm_out is None or self._spmm_out.shape[0] != k:
+            self._spmm_out = np.empty((k, self.n), dtype=np.float64)
+        return self._spmm_out
+
+    def initial_spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """The blocked residual-seeding product ``A @ X0``, verification-aware.
+
+        Mirrors :meth:`initial_spmv`: fused solves route through the
+        engine so the first matrix consumption is a verified due
+        product; non-fused solves ride the up-front sweep and use a
+        plain unchecked blocked product.
+        """
+        if self.fused:
+            return self.engine.spmm(self.matrix, X, out=out)
+        return self.matrix.matvec_multi_unchecked(X, out=out)
 
     def ensure_verified(self) -> None:
         """Force the up-front matrix sweep if the fused schedule skipped it.

@@ -250,9 +250,12 @@ class TestServiceBatching:
         jobs = [five_point_job(b_seed=i) for i in range(6)]
         records, _, status = run_service(jobs, batch_window=0.01)
         assert all(r["status"] == "done" and r["converged"] for r in records)
-        # The acceptance assertion: six solves, ONE encode.
+        # The acceptance assertion: six solves, ONE encode.  The blocked
+        # multi-RHS path serves the whole group off a single cache
+        # acquisition, so "reuse" shows up as either cache hits (solo
+        # solves) or jobs served by the blocked group.
         assert status["cache"]["encodes"] == 1
-        assert status["cache"]["hits"] >= 1
+        assert status["cache"]["hits"] + status["stats"]["blocked_jobs"] >= 5
         assert status["sessions"]["created"] == 1
 
     def test_distinct_matrices_split_batches(self, fresh_workers):
